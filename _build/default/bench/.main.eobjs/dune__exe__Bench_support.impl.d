@@ -1,0 +1,1 @@
+bench/bench_support.ml: Cq Generate List Obda_cq Obda_data Obda_ndl Obda_ontology Obda_rewriting Obda_syntax Printf Role String Symbol Tbox Unix

@@ -1,0 +1,171 @@
+(* Shared infrastructure for the experiment harness: the OMQ(1,1,2)
+   sequences of Section 6, dataset construction (Table 2), rewriting-size
+   and evaluation measurements, and table printing. *)
+
+open Obda_syntax
+open Obda_ontology
+open Obda_cq
+open Obda_data
+module Omq = Obda_rewriting.Omq
+module Ndl = Obda_ndl.Ndl
+module Eval = Obda_ndl.Eval
+module Optimize = Obda_ndl.Optimize
+
+(* ------------------------------------------------------------------ *)
+(* The ontology of Example 11 and the three query sequences of Fig. 2 *)
+
+let example11 () =
+  Tbox.make
+    [
+      Tbox.Role_incl (Role.of_string "P", Role.of_string "S");
+      Tbox.Role_incl (Role.of_string "P", Role.of_string "R-");
+    ]
+
+let sequence1 = "RRSRSRSRRSRRSSR"
+let sequence2 = "SRRRRRSRSRRRRRR"
+let sequence3 = "SRRSSRSRSRRSRRS"
+let sequences = [ (1, sequence1); (2, sequence2); (3, sequence3) ]
+
+(* the linear CQ over the first n letters, answer variables x0 and xn *)
+let prefix_query letters n =
+  let v i = Printf.sprintf "x%d" i in
+  let atoms =
+    List.init n (fun i ->
+        Cq.Binary (Symbol.intern (String.make 1 letters.[i]), v i, v (i + 1)))
+  in
+  Cq.make ~answer:[ v 0; v n ] atoms
+
+(* ------------------------------------------------------------------ *)
+(* Algorithms of the experiment (the starred ones are our stand-ins for the
+   systems of the paper; see DESIGN.md) *)
+
+type algorithm =
+  | Rapid_star
+  | Clipper_star
+  | Presto_star
+  | Lin
+  | Log
+  | Tw
+  | Tw_star
+
+let algorithm_label = function
+  | Rapid_star -> "Rapid*"
+  | Clipper_star -> "Clipper*"
+  | Presto_star -> "Presto*"
+  | Lin -> "Lin"
+  | Log -> "Log"
+  | Tw -> "Tw"
+  | Tw_star -> "Tw*"
+
+let table1_algorithms = [ Rapid_star; Clipper_star; Presto_star; Lin; Log; Tw ]
+
+let eval_algorithms =
+  [ Rapid_star; Clipper_star; Presto_star; Lin; Log; Tw; Tw_star ]
+
+exception Skipped of string
+
+(* rewriting over arbitrary data instances, like the systems compared in the
+   paper; [max_cqs] bounds the UCQ baselines (their 15-minute timeouts) *)
+let rewrite ?(max_cqs = 20_000) alg omq =
+  match alg with
+  | Clipper_star -> (
+    try Obda_rewriting.Ucq_rewriter.rewrite ~max_cqs omq.Omq.tbox omq.Omq.cq
+    with Obda_rewriting.Ucq_rewriter.Limit_reached -> raise (Skipped "limit"))
+  | Rapid_star -> (
+    (* condensation is quadratic in the number of CQs: bail out like Rapid's
+       timeouts in the paper *)
+    try
+      let cqs =
+        Obda_rewriting.Ucq_rewriter.rewrite_cqs ~max_cqs omq.Omq.tbox omq.Omq.cq
+      in
+      if List.length cqs > 1200 then raise (Skipped "too many CQs to condense")
+      else
+        Obda_rewriting.Ucq_rewriter.rewrite_condensed ~max_cqs omq.Omq.tbox
+          omq.Omq.cq
+    with Obda_rewriting.Ucq_rewriter.Limit_reached -> raise (Skipped "limit"))
+  | Presto_star -> (
+    try
+      let complete_level =
+        Obda_rewriting.Presto_like.rewrite ~max_subsets:max_cqs omq.Omq.tbox
+          omq.Omq.cq
+      in
+      Obda_ndl.Star.complete_to_arbitrary omq.Omq.tbox complete_level
+    with Obda_rewriting.Presto_like.Limit_reached -> raise (Skipped "limit"))
+  | Lin -> Omq.rewrite Omq.Lin omq
+  | Log -> Omq.rewrite Omq.Log omq
+  | Tw -> Omq.rewrite Omq.Tw omq
+  | Tw_star -> Optimize.inline_single_use (Omq.rewrite Omq.Tw omq)
+
+let rewriting_size ?max_cqs alg omq =
+  try Some (Ndl.num_clauses (rewrite ?max_cqs alg omq)) with Skipped _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Datasets of Table 2 *)
+
+let marker tbox r = Tbox.exists_name tbox (Role.of_string r)
+
+let build_dataset ~scale tbox (name, params) =
+  let params = if scale = 1.0 then params else Generate.scale scale params in
+  let abox =
+    Generate.erdos_renyi ~seed:42 ~edge_pred:(Symbol.intern "R")
+      ~concepts:[ marker tbox "P"; marker tbox "P-" ]
+      params
+  in
+  (name, params, abox)
+
+let datasets ~scale tbox =
+  List.map (build_dataset ~scale tbox) Generate.table2_params
+
+(* ------------------------------------------------------------------ *)
+(* Timed evaluation *)
+
+type eval_outcome =
+  | Ok_result of { time : float; answers : int; tuples : int }
+  | Timed_out of float
+  | Not_available of string
+
+let evaluate ~timeout query abox =
+  let t0 = Unix.gettimeofday () in
+  let deadline () = Unix.gettimeofday () -. t0 > timeout in
+  try
+    let r = Eval.run ~deadline query abox in
+    Ok_result
+      {
+        time = Unix.gettimeofday () -. t0;
+        answers = List.length r.Eval.answers;
+        tuples = r.Eval.generated_tuples;
+      }
+  with Eval.Timeout -> Timed_out timeout
+
+let evaluate_alg ~timeout ?max_cqs alg omq abox =
+  match rewrite ?max_cqs alg omq with
+  | exception Skipped why -> Not_available why
+  | query -> evaluate ~timeout query abox
+
+(* ------------------------------------------------------------------ *)
+(* Table printing *)
+
+let print_row widths cells =
+  let padded =
+    List.map2
+      (fun w c -> if String.length c >= w then c else String.make (w - String.length c) ' ' ^ c)
+      widths cells
+  in
+  print_endline (String.concat "  " padded)
+
+let print_header title =
+  print_newline ();
+  print_endline (String.make 78 '=');
+  print_endline title;
+  print_endline (String.make 78 '=')
+
+let cell_of_option = function Some n -> string_of_int n | None -> "-"
+
+let cell_of_outcome field = function
+  | Ok_result r -> (
+    match field with
+    | `Time -> Printf.sprintf "%.3f" r.time
+    | `Answers -> string_of_int r.answers
+    | `Tuples -> string_of_int r.tuples)
+  | Timed_out t -> ( match field with `Time -> Printf.sprintf ">%g" t | _ -> "-")
+  | Not_available _ -> "-"

@@ -1,0 +1,285 @@
+(* The obda command-line tool: classify OMQs, produce NDL-rewritings and
+   answer queries over data files, all in the textual format of Obda_parse. *)
+
+open Cmdliner
+module Omq = Obda_rewriting.Omq
+module Ndl = Obda_ndl.Ndl
+module Parse = Obda_parse.Parse
+
+let algorithm_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "tw" -> Ok Omq.Tw
+    | "lin" -> Ok Omq.Lin
+    | "log" -> Ok Omq.Log
+    | "ucq" | "clipper" -> Ok Omq.Ucq
+    | "ucq-condensed" | "rapid" -> Ok Omq.Ucq_condensed
+    | "presto" | "flat-tw" -> Ok Omq.Presto_like
+    | _ -> Error (`Msg (Printf.sprintf "unknown algorithm %s" s))
+  in
+  let print ppf alg = Format.pp_print_string ppf (Omq.algorithm_name alg) in
+  Arg.conv (parse, print)
+
+let ontology_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "o"; "ontology" ] ~docv:"FILE" ~doc:"Ontology file.")
+
+let query_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "q"; "query" ] ~docv:"FILE" ~doc:"Conjunctive query file.")
+
+let data_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "d"; "data" ] ~docv:"FILE" ~doc:"Data (ABox) file.")
+
+let algorithm_arg ~default =
+  Arg.(
+    value
+    & opt (some algorithm_conv) default
+    & info [ "a"; "algorithm" ] ~docv:"ALG"
+        ~doc:"Rewriting algorithm: tw, lin, log, ucq, ucq-condensed, presto.")
+
+let load_omq ontology query =
+  let tbox = Parse.ontology_of_file ontology in
+  let cq = Parse.query_of_file query in
+  Omq.make tbox cq
+
+let handle_errors f =
+  try f () with
+  | Parse.Parse_error msg ->
+    Printf.eprintf "parse error: %s\n" msg;
+    exit 1
+  | Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let classify_cmd =
+  let run ontology query =
+    handle_errors (fun () ->
+        let omq = load_omq ontology query in
+        let c = Omq.classify omq in
+        Format.printf "%a@." Omq.pp_classification c;
+        Format.printf "applicable algorithms:";
+        List.iter
+          (fun alg ->
+            if Omq.applicable alg omq then
+              Format.printf " %s" (Omq.algorithm_name alg))
+          Omq.all_algorithms;
+        Format.printf "@.")
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:"Place the OMQ in the complexity landscape of the paper's Fig. 1.")
+    Term.(const run $ ontology_arg $ query_arg)
+
+let rewrite_cmd =
+  let run ontology query algorithm over_complete stats =
+    handle_errors (fun () ->
+        let omq = load_omq ontology query in
+        let alg =
+          match algorithm with
+          | Some a -> a
+          | None -> if Obda_cq.Cq.is_tree_shaped omq.Omq.cq then Omq.Tw else Omq.Log
+        in
+        if not (Omq.applicable alg omq) then begin
+          Printf.eprintf "algorithm %s is not applicable to this OMQ\n"
+            (Omq.algorithm_name alg);
+          exit 1
+        end;
+        let over = if over_complete then `Complete else `Arbitrary in
+        let q = Omq.rewrite ~over alg omq in
+        Format.printf "%a" Ndl.pp q;
+        if stats then
+          Format.printf
+            "# clauses=%d size=%d depth=%d width=%d linear=%b skinny-depth=%.1f@."
+            (Ndl.num_clauses q) (Ndl.size q) (Ndl.depth q) (Ndl.width q)
+            (Ndl.is_linear q) (Ndl.skinny_depth q))
+  in
+  let over_complete =
+    Arg.(
+      value & flag
+      & info [ "complete" ]
+          ~doc:"Produce the rewriting over complete data instances (skip the \
+                ∗-transformation).")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print size statistics.")
+  in
+  Cmd.v
+    (Cmd.info "rewrite" ~doc:"Print an NDL-rewriting of the OMQ.")
+    Term.(
+      const run $ ontology_arg $ query_arg
+      $ algorithm_arg ~default:None
+      $ over_complete $ stats)
+
+let answer_cmd =
+  let run ontology query data mapping source algorithm use_chase =
+    handle_errors (fun () ->
+        let omq = load_omq ontology query in
+        let answers =
+          match (mapping, source) with
+          | Some mf, Some sf ->
+            (* virtual OBDA: unfold the rewriting through the mapping and
+               evaluate directly over the relational source *)
+            let m = Parse.mapping_of_file mf in
+            let src = Parse.source_of_file sf in
+            let alg =
+              match algorithm with
+              | Some a -> a
+              | None ->
+                if Obda_cq.Cq.is_tree_shaped omq.Omq.cq then Omq.Tw else Omq.Log
+            in
+            let rewriting = Omq.rewrite alg omq in
+            Obda_mapping.Mapping.answers_virtual m rewriting src
+          | None, None -> (
+            match data with
+            | Some d ->
+              let abox = Parse.data_of_file d in
+              if use_chase then Omq.answer_certain omq abox
+              else Omq.answer ?algorithm omq abox
+            | None ->
+              prerr_endline "answer: provide -d, or --mapping with --source";
+              exit 1)
+          | _ ->
+            prerr_endline "answer: --mapping and --source go together";
+            exit 1
+        in
+        if Obda_cq.Cq.is_boolean omq.Omq.cq then
+          print_endline (if answers <> [] then "yes" else "no")
+        else
+          List.iter
+            (fun tuple ->
+              print_endline
+                (String.concat "," (List.map Obda_syntax.Symbol.name tuple)))
+            answers)
+  in
+  let use_chase =
+    Arg.(
+      value & flag
+      & info [ "chase" ]
+          ~doc:"Answer on the canonical model instead of via rewriting.")
+  in
+  let data_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "d"; "data" ] ~docv:"FILE" ~doc:"Data (ABox) file.")
+  in
+  let mapping =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "m"; "mapping" ] ~docv:"FILE" ~doc:"GAV mapping file.")
+  in
+  let source =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "s"; "source" ] ~docv:"FILE"
+          ~doc:"Relational source file (used with --mapping).")
+  in
+  Cmd.v
+    (Cmd.info "answer"
+       ~doc:
+         "Certain answers of the OMQ over a data file, or over a relational \
+          source through a GAV mapping.")
+    Term.(
+      const run $ ontology_arg $ query_arg $ data_opt $ mapping $ source
+      $ algorithm_arg ~default:None
+      $ use_chase)
+
+let stats_cmd =
+  let run ontology =
+    handle_errors (fun () ->
+        let tbox = Parse.ontology_of_file ontology in
+        let module Tbox = Obda_ontology.Tbox in
+        Format.printf "axioms: %d (with normalisation: %d)@."
+          (List.length (Tbox.axioms tbox))
+          (Tbox.size tbox);
+        Format.printf "roles (R_T): %d@." (List.length (Tbox.roles tbox));
+        Format.printf "concept names: %d@."
+          (List.length (Tbox.concept_names tbox));
+        Format.printf "depth: %a@." Tbox.pp_depth (Tbox.depth tbox);
+        Format.printf "has bottom: %b@." (Tbox.has_bottom tbox))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Ontology statistics (depth, signature, …).")
+    Term.(const run $ ontology_arg)
+
+let gen_data_cmd =
+  let run vertices edge_prob concept_prob seed =
+    let abox =
+      Obda_data.Generate.erdos_renyi ~seed
+        ~edge_pred:(Obda_syntax.Symbol.intern "R")
+        ~concepts:
+          [ Obda_syntax.Symbol.intern "A"; Obda_syntax.Symbol.intern "B" ]
+        { Obda_data.Generate.vertices; edge_prob; concept_prob }
+    in
+    print_string (Parse.data_to_string abox)
+  in
+  let vertices =
+    Arg.(value & opt int 1000 & info [ "vertices" ] ~docv:"V" ~doc:"Vertices.")
+  in
+  let edge_prob =
+    Arg.(
+      value & opt float 0.05
+      & info [ "edge-prob" ] ~docv:"P" ~doc:"Directed edge probability.")
+  in
+  let concept_prob =
+    Arg.(
+      value & opt float 0.05
+      & info [ "concept-prob" ] ~docv:"Q" ~doc:"Concept marker probability.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "gen-data"
+       ~doc:"Generate an Erdős–Rényi data instance (Table 2 of the paper).")
+    Term.(const run $ vertices $ edge_prob $ concept_prob $ seed)
+
+let chase_cmd =
+  let run ontology data depth =
+    handle_errors (fun () ->
+        let tbox = Parse.ontology_of_file ontology in
+        let abox = Parse.data_of_file data in
+        let canon = Obda_chase.Canonical.make tbox abox ~depth in
+        Format.printf "canonical model to depth %d: %d elements@." depth
+          (Obda_chase.Canonical.num_elements canon);
+        List.iter
+          (fun e ->
+            let labels =
+              List.filter
+                (fun a -> Obda_chase.Canonical.unary_holds canon a e)
+                (Obda_ontology.Tbox.concept_names tbox)
+            in
+            Format.printf "  %a : {%s}@." Obda_chase.Canonical.pp_element e
+              (String.concat ", "
+                 (List.map Obda_syntax.Symbol.name labels)))
+          (Obda_chase.Canonical.elements canon))
+  in
+  let depth =
+    Arg.(
+      value & opt int 3
+      & info [ "depth" ] ~docv:"D" ~doc:"Materialisation depth for nulls.")
+  in
+  Cmd.v
+    (Cmd.info "chase"
+       ~doc:"Print the canonical model C_{T,A} to a bounded null depth.")
+    Term.(const run $ ontology_arg $ data_arg $ depth)
+
+let main =
+  Cmd.group
+    (Cmd.info "obda" ~version:"1.0.0"
+       ~doc:
+         "Optimal NDL-rewritings for OWL 2 QL ontology-mediated queries \
+          (Bienvenu et al., PODS 2017).")
+    [ classify_cmd; rewrite_cmd; answer_cmd; stats_cmd; gen_data_cmd; chase_cmd ]
+
+let () = exit (Cmd.eval main)

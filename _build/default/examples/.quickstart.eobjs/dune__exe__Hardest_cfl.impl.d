@@ -1,0 +1,1 @@
+examples/hardest_cfl.ml: Cfl Format List Obda_cq Obda_ontology Obda_reductions Printf Unix

@@ -1,0 +1,1 @@
+examples/hardest_cfl.mli:

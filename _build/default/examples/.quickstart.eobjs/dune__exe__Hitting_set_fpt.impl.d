@@ -1,0 +1,1 @@
+examples/hitting_set_fpt.ml: Format Hitting_set List Obda_cq Obda_ontology Obda_reductions Printf String Unix

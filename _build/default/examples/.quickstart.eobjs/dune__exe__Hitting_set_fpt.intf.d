@@ -1,0 +1,1 @@
+examples/hitting_set_fpt.mli:

@@ -1,0 +1,1 @@
+examples/obda_pipeline.ml: Format List Mapping Obda_data Obda_mapping Obda_ndl Obda_parse Obda_rewriting Obda_syntax Source String

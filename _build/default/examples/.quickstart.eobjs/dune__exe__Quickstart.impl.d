@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Obda_ndl Obda_parse Obda_rewriting Obda_syntax String

@@ -1,0 +1,1 @@
+examples/sat_via_obda.ml: Array Dpll Format List Obda_cq Obda_ontology Obda_reductions Printf Sat String

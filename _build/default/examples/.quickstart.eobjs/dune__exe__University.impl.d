@@ -1,0 +1,1 @@
+examples/university.ml: Format List Obda_cq Obda_data Obda_ndl Obda_ontology Obda_parse Obda_rewriting Obda_syntax String

@@ -1,0 +1,101 @@
+(* The full OBDA pipeline of the paper's introduction: end users query a
+   *relational* data source D through an ontology T, connected by a GAV
+   mapping M.  A certain answer is any a with T, M(D) ⊨ q(a), and reduction
+   (1) lets us compute it by evaluating an NDL-rewriting — either over the
+   materialised instance M(D), or directly over D after unfolding the
+   rewriting through M ("so there is no need to materialise M(D)").
+
+   Run with:  dune exec examples/obda_pipeline.exe *)
+
+open Obda_mapping
+module Parse = Obda_parse.Parse
+module Omq = Obda_rewriting.Omq
+module Ndl = Obda_ndl.Ndl
+
+let () =
+  (* --- the data source: a tiny HR database with n-ary tables ----------- *)
+  let d = Source.create () in
+  (* employees(id, name, dept, manager_id) *)
+  Source.add_row d "employees" [ "e1"; "ada"; "research"; "e2" ];
+  Source.add_row d "employees" [ "e2"; "grace"; "research"; "e2" ];
+  Source.add_row d "employees" [ "e3"; "alan"; "ops"; "e2" ];
+  (* contracts(emp_id, project, role) *)
+  Source.add_row d "contracts" [ "e1"; "warp"; "lead" ];
+  Source.add_row d "contracts" [ "e3"; "warp"; "member" ];
+  (* grants(project, sponsor) *)
+  Source.add_row d "grants" [ "warp"; "esa" ];
+
+  (* --- the ontology the users see -------------------------------------- *)
+  let tbox =
+    Parse.ontology_of_string
+      {|
+        Manager(x)   -> Employee(x)
+        worksOn(x,_) -> Employee(x)
+        worksOn(_,x) -> Project(x)
+        # every project has someone working on it (an existential!)
+        Project(x)   -> worksOn(_,x)
+        Funded(x)    -> Project(x)
+      |}
+  in
+
+  (* --- the GAV mapping M ------------------------------------------------ *)
+  let v x = Ndl.Var x in
+  let src name ts = Ndl.Pred (Obda_syntax.Symbol.intern name, ts) in
+  let m =
+    [
+      Mapping.rule "Employee" [ "x" ]
+        [ src "employees" [ v "x"; v "n"; v "d"; v "m" ] ];
+      Mapping.rule "Manager" [ "x" ]
+        [ src "employees" [ v "e"; v "n"; v "d"; v "x" ] ];
+      Mapping.rule "worksOn" [ "x"; "p" ]
+        [ src "contracts" [ v "x"; v "p"; v "r" ] ];
+      Mapping.rule "Project" [ "p" ] [ src "grants" [ v "p"; v "s" ] ];
+      Mapping.rule "Funded" [ "p" ] [ src "grants" [ v "p"; v "s" ] ];
+    ]
+  in
+  (match Mapping.validate m with Ok () -> () | Error e -> failwith e);
+
+  (* --- a user query in the ontology vocabulary ------------------------- *)
+  let q =
+    Parse.query_of_string "q(x) <- Employee(x), worksOn(x,p), Funded(p)"
+  in
+  let omq = Omq.make tbox q in
+  let rewriting = Omq.rewrite Omq.Tw omq in
+  Format.printf "rewriting: %d clauses (Tw)@." (Ndl.num_clauses rewriting);
+
+  (* mode 1: materialise M(D), then evaluate *)
+  let md = Mapping.materialise m d in
+  Format.printf "M(D) has %d atoms over %d individuals@."
+    (Obda_data.Abox.num_atoms md)
+    (Obda_data.Abox.num_individuals md);
+  let via_materialisation = Omq.answer omq md in
+
+  (* mode 2: unfold the rewriting through M and evaluate over D directly *)
+  let via_unfolding = Mapping.answers_virtual m rewriting d in
+
+  Format.printf "answers via materialisation: %s@."
+    (String.concat " "
+       (List.map
+          (fun t -> String.concat "," (List.map Obda_syntax.Symbol.name t))
+          via_materialisation));
+  Format.printf "answers via unfolding:       %s@."
+    (String.concat " "
+       (List.map
+          (fun t -> String.concat "," (List.map Obda_syntax.Symbol.name t))
+          via_unfolding));
+  assert (via_materialisation = via_unfolding);
+
+  (* the chase agrees too *)
+  assert (via_materialisation = Omq.answer_certain omq md);
+  Format.printf "@.both modes agree with the canonical model ✓@.";
+
+  (* A Boolean query that needs the ontology's existential: is there a
+     project somebody works on?  "warp" qualifies directly; any Funded
+     project would qualify even with no contracts row, thanks to
+     Project ⊑ ∃worksOn⁻. *)
+  let q2 = Parse.query_of_string "q() <- worksOn(x,p), Project(p)" in
+  let omq2 = Omq.make tbox q2 in
+  let r2 = Omq.rewrite Omq.Tw omq2 in
+  let yes = Mapping.answers_virtual m r2 d <> [] in
+  Format.printf "somebody works on a project: %b@." yes;
+  assert (yes = (Omq.answer_certain omq2 md <> []))

@@ -1,0 +1,1 @@
+lib/chase/canonical.ml: Abox Concept Format Lazy List Obda_data Obda_ontology Obda_syntax Role String Symbol Tbox

@@ -1,0 +1,1 @@
+lib/chase/canonical.mli: Abox Concept Format Obda_data Obda_ontology Obda_syntax Role Symbol Tbox

@@ -1,0 +1,1 @@
+lib/chase/certain.ml: Array Canonical Cq Hashtbl List Obda_cq Obda_ontology Obda_syntax Role Symbol Ugraph

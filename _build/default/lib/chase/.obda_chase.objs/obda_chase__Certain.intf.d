@@ -1,0 +1,1 @@
+lib/chase/certain.mli: Abox Canonical Concept Cq Obda_cq Obda_data Obda_ontology Obda_syntax Symbol Tbox

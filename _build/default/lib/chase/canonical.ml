@@ -1,0 +1,185 @@
+open Obda_syntax
+open Obda_ontology
+open Obda_data
+
+type element = Ind of Abox.const | Null of Abox.const * Role.t list
+
+let word = function Ind _ -> [] | Null (_, w) -> List.rev w
+
+let compare_element e1 e2 =
+  match (e1, e2) with
+  | Ind a, Ind b -> Symbol.compare a b
+  | Ind _, Null _ -> -1
+  | Null _, Ind _ -> 1
+  | Null (a, w), Null (b, v) ->
+    let c = Symbol.compare a b in
+    if c <> 0 then c else List.compare Role.compare w v
+
+let pp_element ppf = function
+  | Ind a -> Symbol.pp ppf a
+  | Null (a, w) ->
+    Format.fprintf ppf "%a%s" Symbol.pp a
+      (String.concat ""
+         (List.rev_map (fun r -> "." ^ Role.to_string r) w))
+
+type t = {
+  tbox : Tbox.t;
+  complete : Abox.t;  (* the ABox closed under T over ind(A) *)
+  depth : int;
+  all_elements : element list;  (* individuals first, then nulls by level *)
+  root : Abox.const option;  (* for [of_concept] *)
+}
+
+let generate_elements tbox complete depth =
+  let inds = Abox.individuals complete in
+  let starts a =
+    List.filter_map
+      (fun r ->
+        if
+          Tbox.can_start tbox r
+          && Abox.satisfies_concept tbox complete a (Concept.Exists r)
+        then Some (Null (a, [ r ]))
+        else None)
+      (Tbox.roles tbox)
+  in
+  let extend = function
+    | Ind _ -> []
+    | Null (a, (last :: _ as w)) ->
+      List.filter_map
+        (fun r ->
+          if Tbox.can_follow tbox last r then Some (Null (a, r :: w)) else None)
+        (Tbox.roles tbox)
+    | Null (_, []) -> assert false
+  in
+  let level0 = List.concat_map starts inds in
+  let rec go acc level n =
+    if n >= depth || level = [] then List.rev acc
+    else
+      let next = List.concat_map extend level in
+      go (List.rev_append next acc) next (n + 1)
+  in
+  List.map (fun a -> Ind a) inds @ go (List.rev level0) level0 1
+
+let make tbox abox ~depth =
+  let complete = Abox.complete tbox abox in
+  {
+    tbox;
+    complete;
+    depth;
+    all_elements = generate_elements tbox complete depth;
+    root = None;
+  }
+
+let concept_root_name = lazy (Symbol.intern "@root")
+
+let of_concept tbox concept ~depth =
+  let a = Lazy.force concept_root_name in
+  let abox = Abox.create () in
+  (match concept with
+  | Concept.Name p -> Abox.add_unary abox p a
+  | Concept.Exists r ->
+    (* assert the normalisation name A_ρ when available, otherwise a fresh
+       successor — both make [a] satisfy ∃ρ *)
+    (match Tbox.exists_name_opt tbox r with
+    | Some ar -> Abox.add_unary abox ar a
+    | None -> Abox.add_role abox r a (Symbol.intern "@aux"))
+  | Concept.Top -> Abox.add_unary abox (Symbol.intern "@top_marker") a);
+  let c = make tbox abox ~depth in
+  { c with root = Some a }
+
+let root_of_concept_model t =
+  match t.root with
+  | Some a -> Ind a
+  | None -> invalid_arg "Canonical.root_of_concept_model"
+
+let tbox t = t.tbox
+let elements t = t.all_elements
+let num_elements t = List.length t.all_elements
+
+let individuals t =
+  List.filter (function Ind _ -> true | Null _ -> false) t.all_elements
+
+let unary_holds t a = function
+  | Ind c -> Abox.satisfies_concept t.tbox t.complete c (Concept.Name a)
+  | Null (_, last :: _) -> Tbox.null_satisfies t.tbox last a
+  | Null (_, []) -> assert false
+
+(* C ⊨ P(u,v) iff (i) both individuals and T,A ⊨ P(a,b); (ii) u = v and
+   T ⊨ P(x,x); (iii) T ⊨ ρ ⊑ P with v = u·ρ or u = v·ρ⁻. *)
+let binary_holds t p u v =
+  let rho = Role.make p in
+  let refl = Tbox.reflexive t.tbox rho in
+  match (u, v) with
+  | Ind a, Ind b ->
+    (a = b && refl)
+    || List.exists
+         (fun sub -> Abox.mem_role t.complete sub a b)
+         (Tbox.subroles_of t.tbox rho)
+    || Abox.mem_role t.complete rho a b
+  | _ when compare_element u v = 0 -> refl
+  | Ind a, Null (b, [ r ]) -> a = b && Tbox.edge_satisfies t.tbox r rho
+  | Null (b, [ r ]), Ind a -> a = b && Tbox.edge_satisfies t.tbox r (Role.inv rho)
+  | Null (a, w), Null (b, r :: w') when a = b && List.compare Role.compare w' w = 0
+    ->
+    (* v = u·r *)
+    Tbox.edge_satisfies t.tbox r rho
+  | Null (a, r :: w), Null (b, w') when a = b && List.compare Role.compare w w' = 0
+    ->
+    (* u = v·r,  so P(u,v) iff r ⊑ P⁻ *)
+    Tbox.edge_satisfies t.tbox r (Role.inv rho)
+  | _ -> false
+
+let parent_of = function
+  | Null (a, [ _ ]) -> Some (Ind a)
+  | Null (a, _ :: w) -> Some (Null (a, w))
+  | Null (_, []) | Ind _ -> None
+
+let child_roles t = function
+  | Ind a ->
+    if t.depth < 1 then []
+    else
+      List.filter
+        (fun r ->
+          Tbox.can_start t.tbox r
+          && Abox.satisfies_concept t.tbox t.complete a (Concept.Exists r))
+        (Tbox.roles t.tbox)
+  | Null (_, (last :: _ as w)) ->
+    if List.length w >= t.depth then []
+    else List.filter (fun r -> Tbox.can_follow t.tbox last r) (Tbox.roles t.tbox)
+  | Null (_, []) -> []
+
+let extend_with u r =
+  match u with
+  | Ind a -> Null (a, [ r ])
+  | Null (a, w) -> Null (a, r :: w)
+
+(* all v with C ⊨ ρ(u,v), ρ possibly inverse *)
+let role_successors t rho u =
+  let refl_part = if Tbox.reflexive t.tbox rho then [ u ] else [] in
+  let abox_part =
+    match u with
+    | Ind a ->
+      let direct =
+        List.concat_map
+          (fun sub -> Abox.role_successors t.complete sub a)
+          (Tbox.subroles_of t.tbox rho)
+      in
+      List.map (fun b -> Ind b) (List.sort_uniq Symbol.compare direct)
+    | Null _ -> []
+  in
+  let children =
+    List.filter_map
+      (fun r ->
+        if Tbox.edge_satisfies t.tbox r rho then Some (extend_with u r)
+        else None)
+      (child_roles t u)
+  in
+  let parent =
+    match u with
+    | Null (_, r :: _) ->
+      if Tbox.edge_satisfies t.tbox r (Role.inv rho) then
+        match parent_of u with Some p -> [ p ] | None -> []
+      else []
+    | Null (_, []) | Ind _ -> []
+  in
+  List.sort_uniq compare_element (refl_part @ abox_part @ children @ parent)

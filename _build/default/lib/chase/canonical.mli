@@ -1,0 +1,46 @@
+(** The canonical model C_{T,A} (Section 2), materialised to a bounded depth
+    of labelled nulls.
+
+    Elements are the individuals of the ABox and the labelled nulls
+    a·ρ₁…ρₙ with ρ₁…ρₙ ∈ W_T and T,A ⊨ ∃y ρ₁(a,y).  Depth [d] keeps the
+    nulls with n ≤ d, which suffices for answering CQs with at most d
+    variables. *)
+
+open Obda_syntax
+open Obda_ontology
+open Obda_data
+
+type element =
+  | Ind of Abox.const
+  | Null of Abox.const * Role.t list
+      (** [Null (a, w)] is a·ρ₁…ρₙ with [w = [ρₙ; …; ρ₁]] (reversed). *)
+
+val word : element -> Role.t list
+(** The word ρ₁…ρₙ in reading order ([] for individuals). *)
+
+val compare_element : element -> element -> int
+val pp_element : Format.formatter -> element -> unit
+
+type t
+
+val make : Tbox.t -> Abox.t -> depth:int -> t
+val of_concept : Tbox.t -> Concept.t -> depth:int -> t
+(** [of_concept T τ ~depth] is C_{T,{A(a)}} for a single fresh individual
+    asserted to satisfy τ (τ a concept name or ∃ρ). *)
+
+val root_of_concept_model : t -> element
+(** The individual [a] of [of_concept]. *)
+
+val tbox : t -> Tbox.t
+val elements : t -> element list
+val num_elements : t -> int
+val individuals : t -> element list
+
+val unary_holds : t -> Symbol.t -> element -> bool
+(** C_{T,A} ⊨ A(u). *)
+
+val binary_holds : t -> Symbol.t -> element -> element -> bool
+(** C_{T,A} ⊨ P(u,v). *)
+
+val role_successors : t -> Role.t -> element -> element list
+(** All v with C ⊨ ρ(u,v) (within the materialised depth). *)

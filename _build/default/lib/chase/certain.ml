@@ -1,0 +1,161 @@
+open Obda_syntax
+open Obda_cq
+
+type assignment = (Cq.var * Canonical.element) list
+
+(* Static variable order: repeatedly pick the unordered variable with the
+   most already-ordered Gaifman neighbours (ties: answer variables first). *)
+let variable_order q =
+  let g = Cq.gaifman q in
+  let vars = Array.of_list (Cq.vars q) in
+  let n = Array.length vars in
+  let ordered = Array.make n false in
+  let order = ref [] in
+  for _ = 1 to n do
+    let best = ref (-1) and best_score = ref (-1) in
+    for i = 0 to n - 1 do
+      if not ordered.(i) then begin
+        let nbrs = Ugraph.neighbours g i in
+        let s = 2 * List.length (List.filter (fun j -> ordered.(j)) nbrs) in
+        let s = if Cq.is_answer_var q vars.(i) then s + 1 else s in
+        if s > !best_score then begin
+          best := i;
+          best_score := s
+        end
+      end
+    done;
+    ordered.(!best) <- true;
+    order := vars.(!best) :: !order
+  done;
+  Array.of_list (List.rev !order)
+
+let search ?(pin = []) ?(admissible = fun _ _ -> true) canon q ~on_solution =
+  let order = variable_order q in
+  let n = Array.length order in
+  let assignment : (Cq.var, Canonical.element) Hashtbl.t = Hashtbl.create 16 in
+  let assigned v = Hashtbl.find_opt assignment v in
+  let ok_locally v e =
+    (match List.assoc_opt v pin with
+    | Some p -> Canonical.compare_element p e = 0
+    | None -> true)
+    && admissible v e
+    && (match e with
+       | Canonical.Ind _ -> true
+       | Canonical.Null _ -> not (Cq.is_answer_var q v))
+    && List.for_all (fun a -> Canonical.unary_holds canon a e) (Cq.unary_atoms_of q v)
+    && List.for_all (fun p -> Canonical.binary_holds canon p e e) (Cq.loop_atoms_of q v)
+  in
+  let ok_with_assigned v e =
+    List.for_all
+      (fun atom ->
+        match atom with
+        | Cq.Unary _ -> true
+        | Cq.Binary (p, y, z) ->
+          if y = v && z = v then true (* checked in ok_locally *)
+          else if y = v then (
+            match assigned z with
+            | Some ez -> Canonical.binary_holds canon p e ez
+            | None -> true)
+          else if z = v then (
+            match assigned y with
+            | Some ey -> Canonical.binary_holds canon p ey e
+            | None -> true)
+          else true)
+      (Cq.atoms q)
+  in
+  let candidates v =
+    (* use a binary atom linking v to an assigned variable if possible *)
+    let linked =
+      List.find_map
+        (fun atom ->
+          match atom with
+          | Cq.Binary (p, y, z) when y = v && z <> v -> (
+            match assigned z with
+            | Some ez ->
+              Some (Canonical.role_successors canon (Role.inv (Role.make p)) ez)
+            | None -> None)
+          | Cq.Binary (p, y, z) when z = v && y <> v -> (
+            match assigned y with
+            | Some ey -> Some (Canonical.role_successors canon (Role.make p) ey)
+            | None -> None)
+          | Cq.Binary _ | Cq.Unary _ -> None)
+        (Cq.atoms q)
+    in
+    match linked with
+    | Some cands -> cands
+    | None ->
+      if Cq.is_answer_var q v then Canonical.individuals canon
+      else Canonical.elements canon
+  in
+  let stop = ref false in
+  let rec go i =
+    if !stop then ()
+    else if i = n then on_solution assignment stop
+    else begin
+      let v = order.(i) in
+      List.iter
+        (fun e ->
+          if (not !stop) && ok_locally v e && ok_with_assigned v e then begin
+            Hashtbl.replace assignment v e;
+            go (i + 1);
+            Hashtbl.remove assignment v
+          end)
+        (candidates v)
+    end
+  in
+  go 0
+
+let find_hom ?pin ?admissible canon q =
+  let result = ref None in
+  search ?pin ?admissible canon q ~on_solution:(fun assignment stop ->
+      result :=
+        Some (Hashtbl.fold (fun v e acc -> (v, e) :: acc) assignment []);
+      stop := true);
+  !result
+
+let all_answer_tuples canon q =
+  let tuples = Hashtbl.create 16 in
+  search canon q ~on_solution:(fun assignment _stop ->
+      let tuple =
+        List.map
+          (fun x ->
+            match Hashtbl.find assignment x with
+            | Canonical.Ind c -> c
+            | Canonical.Null _ -> assert false)
+          (Cq.answer_vars q)
+      in
+      Hashtbl.replace tuples tuple ());
+  Hashtbl.fold (fun t () acc -> t :: acc) tuples []
+  |> List.sort (List.compare Symbol.compare)
+
+(* A sufficient materialisation depth: components anchored at an individual
+   stay within |var(q)| of it; a fully-anonymous component lies in the
+   subtree below its shallowest image element w, and that subtree only
+   depends on the last role of w, so the hom can be translated below the
+   shallowest realisable word with that tail — of length ≤ |R_T|.  For
+   finite-depth ontologies the full anonymous part is itself a cap. *)
+let default_depth tbox q =
+  let base =
+    List.length (Cq.vars q) + List.length (Obda_ontology.Tbox.roles tbox)
+  in
+  match Obda_ontology.Tbox.depth tbox with
+  | Obda_ontology.Tbox.Finite d -> min d base
+  | Obda_ontology.Tbox.Infinite -> base
+
+let answers ?depth tbox abox q =
+  let depth =
+    match depth with Some d -> d | None -> default_depth tbox q
+  in
+  let canon = Canonical.make tbox abox ~depth in
+  all_answer_tuples canon q
+
+let boolean ?depth tbox abox q =
+  if not (Cq.is_boolean q) then invalid_arg "Certain.boolean: non-Boolean CQ";
+  answers ?depth tbox abox q <> []
+
+let certain tbox abox q tuple = List.mem tuple (answers tbox abox q)
+
+let entailed_from_concept tbox concept q =
+  let depth = default_depth tbox q in
+  let canon = Canonical.of_concept tbox concept ~depth in
+  match find_hom canon q with Some _ -> true | None -> false

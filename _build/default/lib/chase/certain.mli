@@ -1,0 +1,42 @@
+(** Certain answers by homomorphism search into the canonical model — the
+    ground-truth OMQ answering oracle used by tests, and the
+    [T,{A(a)} ⊨ q] decision procedure used by the Tw-rewriting.
+
+    Intended for small instances; the benchmarks use the NDL engine. *)
+
+open Obda_syntax
+open Obda_ontology
+open Obda_cq
+open Obda_data
+
+type assignment = (Cq.var * Canonical.element) list
+
+val find_hom :
+  ?pin:(Cq.var * Canonical.element) list ->
+  ?admissible:(Cq.var -> Canonical.element -> bool) ->
+  Canonical.t ->
+  Cq.t ->
+  assignment option
+(** A homomorphism from the CQ into the canonical model mapping answer
+    variables to individuals, each pinned variable to its given element, and
+    every variable to an [admissible] element. *)
+
+val all_answer_tuples : Canonical.t -> Cq.t -> Symbol.t list list
+(** All certain answers (tuples over ind(A)), sorted and deduplicated. *)
+
+val answers : ?depth:int -> Tbox.t -> Abox.t -> Cq.t -> Symbol.t list list
+(** [answers T A q]: the certain answers to the OMQ (T,q) over A, computed on
+    the canonical model materialised to depth
+    min(depth(T), |var(q)| + |R_T|), which is sufficient; [depth] may lower
+    it when a smaller bound is known.  For Boolean q the result is [[[]]] for
+    "yes" and [[]] for "no". *)
+
+val boolean : ?depth:int -> Tbox.t -> Abox.t -> Cq.t -> bool
+(** T,A ⊨ q for Boolean q (raises [Invalid_argument] on non-Boolean q). *)
+
+val certain : Tbox.t -> Abox.t -> Cq.t -> Symbol.t list -> bool
+(** Whether the tuple is a certain answer. *)
+
+val entailed_from_concept : Tbox.t -> Concept.t -> Cq.t -> bool
+(** [entailed_from_concept T τ q] iff T, {τ(a)} ⊨ q for Boolean q — used for
+    the [G_q0 ← A(x)] clauses of the Tw-rewriting (Section 3.4). *)

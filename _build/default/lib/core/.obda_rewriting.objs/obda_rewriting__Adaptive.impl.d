@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Abox Cq Float Fun Lin_rewriter List Obda_cq Obda_data Obda_ndl Obda_syntax Omq Option Printf Set String Symbol Ugraph

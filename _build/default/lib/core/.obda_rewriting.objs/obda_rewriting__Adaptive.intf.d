@@ -1,0 +1,1 @@
+lib/core/adaptive.mli: Abox Cq Obda_cq Obda_data Obda_ndl Obda_ontology Obda_syntax Tbox

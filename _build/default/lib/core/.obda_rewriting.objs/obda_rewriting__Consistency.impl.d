@@ -1,0 +1,1 @@
+lib/core/consistency.ml: Concept List Obda_ndl Obda_ontology Obda_syntax Printf Role Symbol Tbox

@@ -1,0 +1,1 @@
+lib/core/consistency.mli: Obda_ndl Obda_ontology Obda_syntax Symbol Tbox

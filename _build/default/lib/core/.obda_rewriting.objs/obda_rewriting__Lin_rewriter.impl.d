@@ -1,0 +1,1 @@
+lib/core/lin_rewriter.ml: Array Cq Hashtbl List Obda_cq Obda_ndl Obda_ontology Obda_syntax Printf Symbol Tbox Ugraph Word_type

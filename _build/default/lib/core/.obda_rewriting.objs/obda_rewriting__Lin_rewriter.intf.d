@@ -1,0 +1,1 @@
+lib/core/lin_rewriter.mli: Cq Obda_cq Obda_ndl Obda_ontology Tbox

@@ -1,0 +1,1 @@
+lib/core/log_rewriter.ml: Array Cq Format Fun Hashtbl List Obda_cq Obda_ndl Obda_ontology Obda_syntax Printf Set String Symbol Tbox Tree_decomposition Ugraph Word_type

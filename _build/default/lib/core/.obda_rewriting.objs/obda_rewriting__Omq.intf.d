@@ -1,0 +1,1 @@
+lib/core/omq.mli: Abox Cq Format Obda_cq Obda_data Obda_ndl Obda_ontology Obda_syntax Symbol Tbox

@@ -1,0 +1,1 @@
+lib/core/pe_rewriter.ml: Abox Cq Format Hashtbl List Obda_cq Obda_data Obda_ontology Obda_syntax Seq Symbol Tbox Tree_witness

@@ -1,0 +1,1 @@
+lib/core/pe_rewriter.mli: Cq Format Obda_cq Obda_data Obda_ontology Obda_syntax Tbox

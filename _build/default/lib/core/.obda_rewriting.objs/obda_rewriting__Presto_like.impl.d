@@ -1,0 +1,1 @@
+lib/core/presto_like.ml: Certain Concept Cq List Obda_chase Obda_cq Obda_ndl Obda_ontology Obda_syntax Printf Symbol Tbox Tree_witness

@@ -1,0 +1,1 @@
+lib/core/presto_like.mli: Cq Obda_cq Obda_ndl Obda_ontology Tbox

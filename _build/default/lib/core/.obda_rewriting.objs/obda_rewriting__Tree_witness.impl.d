@@ -1,0 +1,1 @@
+lib/core/tree_witness.ml: Canonical Certain Concept Cq Format List Obda_chase Obda_cq Obda_ontology Obda_syntax Role String Tbox Ugraph

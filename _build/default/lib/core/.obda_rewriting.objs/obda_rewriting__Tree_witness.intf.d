@@ -1,0 +1,1 @@
+lib/core/tree_witness.mli: Cq Format Obda_cq Obda_ontology Obda_syntax Role Tbox

@@ -1,0 +1,1 @@
+lib/core/tw_rewriter.ml: Certain Concept Cq List Map Obda_chase Obda_cq Obda_ndl Obda_ontology Obda_syntax Printf String Symbol Tbox Tree_witness Ugraph

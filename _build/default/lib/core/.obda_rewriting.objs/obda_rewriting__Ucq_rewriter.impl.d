@@ -1,0 +1,1 @@
+lib/core/ucq_rewriter.ml: Array Concept Cq Hashtbl List Obda_cq Obda_ndl Obda_ontology Obda_syntax Printf Queue Role Symbol Tbox

@@ -1,0 +1,1 @@
+lib/core/word_type.ml: Cq Format List Obda_cq Obda_ndl Obda_ontology Obda_syntax Option Role String Tbox

@@ -1,0 +1,1 @@
+lib/core/word_type.mli: Cq Format Obda_cq Obda_ndl Obda_ontology Obda_syntax Role Symbol Tbox

@@ -1,0 +1,36 @@
+(** Cost-based rewriting selection — the "adaptable splitting strategy"
+    sketched in the paper's concluding discussion (Section 6): none of the
+    three optimal rewritings dominates, so use statistics of the relational
+    tables to estimate the evaluation cost of candidate NDL programs and
+    pick the cheapest.
+
+    The cost model is a Selinger-style estimate: clauses are costed along
+    the same greedy join order the evaluation engine uses, with EDB
+    cardinalities taken from the data and IDB cardinalities propagated
+    bottom-up through the dependence order. *)
+
+open Obda_ontology
+open Obda_cq
+open Obda_data
+
+type stats
+
+val stats_of_abox : Abox.t -> stats
+val cardinality : stats -> Obda_syntax.Symbol.t -> int option
+
+val estimate_cost : stats -> Obda_ndl.Ndl.query -> float
+(** Estimated number of intermediate tuples touched when materialising the
+    program bottom-up. *)
+
+type candidate = { name : string; query : Obda_ndl.Ndl.query; cost : float }
+
+val candidates : Tbox.t -> Cq.t -> stats -> candidate list
+(** Costed applicable variants: Lin with each endpoint (and the centre) as
+    root, Log, Tw, and Tw* — all over arbitrary instances, sorted by
+    estimated cost. *)
+
+val choose : Tbox.t -> Cq.t -> Abox.t -> candidate
+(** The cheapest candidate for this data. *)
+
+val answer : Tbox.t -> Cq.t -> Abox.t -> Obda_syntax.Symbol.t list list
+(** Answer with the chosen candidate. *)

@@ -1,0 +1,78 @@
+open Obda_syntax
+open Obda_ontology
+module Ndl = Obda_ndl.Ndl
+
+let goal = Symbol.intern "Inconsistent!"
+
+let role_atom rho t1 t2 =
+  if Role.is_inverse rho then Ndl.Pred (rho.Role.base, [ t2; t1 ])
+  else Ndl.Pred (rho.Role.base, [ t1; t2 ])
+
+(* atoms witnessing that [u] satisfies the basic concept, with fresh
+   existential variables supplied by [fresh] *)
+let concept_atoms fresh u = function
+  | Concept.Name a -> [ Ndl.Pred (a, [ u ]) ]
+  | Concept.Exists rho -> [ role_atom rho u (Ndl.Var (fresh ())) ]
+  | Concept.Top -> [ Ndl.Dom u ]
+
+let clauses tbox =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "w!%d" !counter
+  in
+  let out = ref [] in
+  let emit body = out := { Ndl.head = (goal, []); body } :: !out in
+  let u = Ndl.Var "u" and v = Ndl.Var "v" in
+  (* disjoint concepts: some individual satisfies both sides *)
+  List.iter
+    (fun (tau, tau') ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun b' -> emit (concept_atoms fresh u b @ concept_atoms fresh u b'))
+            (Tbox.subconcepts_of tbox tau'))
+        (Tbox.subconcepts_of tbox tau))
+    (Tbox.disjoint_concept_axioms tbox);
+  (* disjoint roles: some pair satisfies both sides *)
+  List.iter
+    (fun (rho, rho') ->
+      List.iter
+        (fun s ->
+          List.iter
+            (fun s' -> emit [ role_atom s u v; role_atom s' u v ])
+            (Tbox.subroles_of tbox rho'))
+        (Tbox.subroles_of tbox rho);
+      (* reflexivity makes loops implicit *)
+      if Tbox.reflexive tbox rho then
+        List.iter
+          (fun s' -> emit [ role_atom s' u u ])
+          (Tbox.subroles_of tbox rho');
+      if Tbox.reflexive tbox rho' then
+        List.iter (fun s -> emit [ role_atom s u u ]) (Tbox.subroles_of tbox rho);
+      if Tbox.reflexive tbox rho && Tbox.reflexive tbox rho' then
+        emit [ Ndl.Dom u ])
+    (Tbox.disjoint_role_axioms tbox);
+  (* irreflexive roles *)
+  List.iter
+    (fun rho ->
+      List.iter (fun s -> emit [ role_atom s u u ]) (Tbox.subroles_of tbox rho);
+      if Tbox.reflexive tbox rho then emit [ Ndl.Dom u ])
+    (Tbox.irreflexive_axioms tbox);
+  !out
+
+let query tbox = Ndl.make ~goal ~goal_args:[] (clauses tbox)
+
+let guard_rewriting tbox (q : Ndl.query) =
+  match clauses tbox with
+  | [] -> q
+  | cs ->
+    let guard_clause =
+      {
+        Ndl.head = (q.Ndl.goal, List.map (fun v -> Ndl.Var v) q.Ndl.goal_args);
+        body =
+          Ndl.Pred (goal, [])
+          :: List.map (fun v -> Ndl.Dom (Ndl.Var v)) q.Ndl.goal_args;
+      }
+    in
+    { q with Ndl.clauses = q.Ndl.clauses @ cs @ [ guard_clause ] }

@@ -1,0 +1,21 @@
+(** Handling ⊥ inside NDL-rewritings (the remark at the end of Section 2):
+    subqueries that check whether the left-hand side of some axiom with ⊥
+    holds, and output all tuples of constants if so. *)
+
+open Obda_syntax
+open Obda_ontology
+
+val goal : Symbol.t
+(** The 0-ary "inconsistent" predicate. *)
+
+val clauses : Tbox.t -> Obda_ndl.Ndl.clause list
+(** Clauses deriving {!goal} over arbitrary data instances whenever (T,A) is
+    inconsistent. *)
+
+val query : Tbox.t -> Obda_ndl.Ndl.query
+(** The inconsistency check as a Boolean NDL query. *)
+
+val guard_rewriting : Tbox.t -> Obda_ndl.Ndl.query -> Obda_ndl.Ndl.query
+(** Extend a rewriting over arbitrary instances with clauses that output
+    every tuple over the active domain when the data is inconsistent with
+    the ontology. *)

@@ -1,0 +1,159 @@
+open Obda_syntax
+open Obda_ontology
+open Obda_cq
+module Ndl = Obda_ndl.Ndl
+module Optimize = Obda_ndl.Optimize
+
+let type_guard = 100_000
+
+(* all total types over [vars]: products of per-variable candidate words *)
+let slice_types tbox q cands vars =
+  let per_var =
+    List.map
+      (fun z -> List.filter (Word_type.locally_ok tbox q z) cands)
+      vars
+  in
+  let count =
+    List.fold_left (fun acc l -> acc * max 1 (List.length l)) 1 per_var
+  in
+  if count > type_guard then
+    invalid_arg "Lin_rewriter: too many slice types (raise the depth bound?)";
+  let rec product acc = function
+    | [] -> [ acc ]
+    | (z, ws) :: rest ->
+      List.concat_map (fun w -> product (Cq.Var_map.add z w acc) rest) ws
+  in
+  product Cq.Var_map.empty (List.combine vars per_var)
+
+(* the inter-slice compatibility of (w,s) for consecutive slices *)
+let pair_compatible tbox q slice_n ty =
+  List.for_all
+    (fun atom ->
+      match atom with
+      | Cq.Unary _ -> true
+      | Cq.Binary (p, y, z) ->
+        if y = z then true
+        else
+          let crosses =
+            (List.mem y slice_n && Cq.Var_map.mem z ty && not (List.mem z slice_n))
+            || (List.mem z slice_n && Cq.Var_map.mem y ty && not (List.mem y slice_n))
+          in
+          if crosses && Cq.Var_map.mem y ty && Cq.Var_map.mem z ty then
+            Word_type.pair_ok tbox p (Cq.Var_map.find y ty) (Cq.Var_map.find z ty)
+          else true)
+    (Cq.atoms q)
+
+let rewrite ?root tbox q =
+  if not (Cq.is_tree_shaped q && Cq.is_connected q) then
+    invalid_arg "Lin_rewriter.rewrite: CQ must be tree-shaped and connected";
+  let d =
+    match Tbox.depth tbox with
+    | Tbox.Finite d -> d
+    | Tbox.Infinite ->
+      invalid_arg "Lin_rewriter.rewrite: ontology of infinite depth"
+  in
+  let root =
+    match root with
+    | Some r -> r
+    | None -> (
+      match Cq.answer_vars q with v :: _ -> v | [] -> List.hd (Cq.vars q))
+  in
+  let g = Cq.gaifman q in
+  let slices =
+    Ugraph.bfs_layers g (Cq.var_index q root)
+    |> List.map (List.map (Cq.var_of_index q))
+  in
+  let slices = Array.of_list slices in
+  let m = Array.length slices - 1 in
+  let cands = Word_type.candidates tbox ~max_depth:d in
+  let x = Cq.answer_vars q in
+  (* x^n: answer variables occurring at depth ≥ n *)
+  let x_from = Array.make (m + 1) [] in
+  for n = m downto 0 do
+    let here = List.filter (fun v -> List.mem v slices.(n)) x in
+    x_from.(n) <-
+      here @ (if n = m then [] else x_from.(n + 1))
+  done;
+  let types = Array.init (m + 1) (fun n -> slice_types tbox q cands slices.(n)) in
+  (* predicate per (slice, type) *)
+  let pred_table : (int * Word_type.word Cq.Var_map.t, Symbol.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let counter = ref 0 in
+  let params = ref Symbol.Map.empty in
+  let head_of n ty =
+    let key = (n, ty) in
+    let p =
+      match Hashtbl.find_opt pred_table key with
+      | Some p -> p
+      | None ->
+        incr counter;
+        let p = Symbol.fresh (Printf.sprintf "Glin%d_%d" n !counter) in
+        Hashtbl.add pred_table key p;
+        p
+    in
+    let z_exists = List.filter (fun v -> not (List.mem v x)) slices.(n) in
+    let args = z_exists @ x_from.(n) in
+    params := Symbol.Map.add p (List.length x_from.(n)) !params;
+    (p, List.map (fun v -> Ndl.Var v) args)
+  in
+  let clauses = ref [] in
+  let emit head body =
+    (* head variables must occur in the body; pad with active-domain atoms *)
+    let body_vars = List.concat_map Ndl.atom_vars body in
+    let missing =
+      List.filter_map
+        (function
+          | Ndl.Var v when not (List.mem v body_vars) -> Some (Ndl.Dom (Ndl.Var v))
+          | Ndl.Var _ | Ndl.Cst _ -> None)
+        (snd head)
+    in
+    clauses := { Ndl.head; body = body @ missing } :: !clauses
+  in
+  (* internal clauses: slice n -> slice n+1 *)
+  for n = 0 to m - 1 do
+    List.iter
+      (fun w ->
+        List.iter
+          (fun s ->
+            let union =
+              Cq.Var_map.union (fun _ a _ -> Some a) w s
+            in
+            if pair_compatible tbox q slices.(n) union then begin
+              let head = head_of n w in
+              let scope = slices.(n) @ slices.(n + 1) in
+              let emit_for v = List.mem v slices.(n) in
+              let at = Word_type.at_atoms tbox q ~scope ~emit_for union in
+              let _, next_args = head_of (n + 1) s in
+              let next_pred, _ = head_of (n + 1) s in
+              emit head (at @ [ Ndl.Pred (next_pred, next_args) ])
+            end)
+          types.(n + 1))
+      types.(n)
+  done;
+  (* base clauses for the last slice *)
+  List.iter
+    (fun w ->
+      let head = head_of m w in
+      let at =
+        Word_type.at_atoms tbox q ~scope:slices.(m) ~emit_for:(fun _ -> true) w
+      in
+      emit head at)
+    types.(m);
+  (* goal clauses *)
+  let goal = Symbol.fresh "GLin" in
+  List.iter
+    (fun w ->
+      let p0, args0 = head_of 0 w in
+      emit (goal, List.map (fun v -> Ndl.Var v) x) [ Ndl.Pred (p0, args0) ])
+    types.(0);
+  params := Symbol.Map.add goal (List.length x) !params;
+  let query = Ndl.make ~params:!params ~goal ~goal_args:x (List.rev !clauses) in
+  (* every predicate created here is intensional, even when it ended up with
+     no defining clause (a type with no compatible continuation) — clauses
+     mentioning those must be pruned, not treated as extensional lookups *)
+  let generated =
+    Hashtbl.fold (fun _ p acc -> Symbol.Set.add p acc) pred_table
+      (Symbol.Set.singleton goal)
+  in
+  Optimize.prune ~edb:(fun p -> not (Symbol.Set.mem p generated)) query

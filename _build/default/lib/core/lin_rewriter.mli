@@ -1,0 +1,15 @@
+(** The linear NDL-rewriting Π^Lin of Section 3.3, for OMQs with ontologies
+    of finite depth and tree-shaped CQs.
+
+    The CQ is rooted and cut into slices z⁰, z¹, … by distance from the root;
+    one predicate G_n^w per slice n and type w (a map from the slice's
+    variables to witness words) is defined from G_{n+1}^s for every
+    compatible pair (w,s).  The result is a linear NDL program of width ≤ 2ℓ
+    over complete data instances. *)
+
+open Obda_ontology
+open Obda_cq
+
+val rewrite : ?root:Cq.var -> Tbox.t -> Cq.t -> Obda_ndl.Ndl.query
+(** Raises [Invalid_argument] if the CQ is not tree-shaped and connected, or
+    if the ontology has infinite depth. *)

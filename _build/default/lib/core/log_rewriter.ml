@@ -1,0 +1,264 @@
+open Obda_syntax
+open Obda_ontology
+open Obda_cq
+module Ndl = Obda_ndl.Ndl
+module Optimize = Obda_ndl.Optimize
+
+let type_guard = 100_000
+
+module VarSet = Set.Make (String)
+
+type ctx = {
+  tbox : Tbox.t;
+  q : Cq.t;
+  dec : Tree_decomposition.t;
+  cands : Word_type.word list;
+  x : Cq.var list;
+  (* atom index -> bags covering it *)
+  coverage : int list array;
+  atoms : Cq.atom array;
+  mutable clauses : Ndl.clause list;
+  mutable params : int Symbol.Map.t;
+  memo :
+    (int list * (Cq.var * Word_type.word) list, (Symbol.t * Cq.var list) option)
+    Hashtbl.t;
+  mutable counter : int;
+}
+
+let bag ctx t = ctx.dec.Tree_decomposition.bags.(t)
+let tree ctx = ctx.dec.Tree_decomposition.tree
+
+(* variables shared between D and its outside neighbours: ∂D *)
+let boundary_vars ctx d =
+  let in_d t = List.mem t d in
+  List.fold_left
+    (fun acc t ->
+      List.fold_left
+        (fun acc t' ->
+          if in_d t' then acc
+          else
+            List.fold_left
+              (fun acc v -> if List.mem v (bag ctx t') then VarSet.add v acc else acc)
+              acc (bag ctx t))
+        acc
+        (Ugraph.neighbours (tree ctx) t))
+    VarSet.empty d
+  |> VarSet.elements
+
+let boundary_nodes ctx d =
+  List.filter
+    (fun t ->
+      List.exists (fun t' -> not (List.mem t' d)) (Ugraph.neighbours (tree ctx) t))
+    d
+
+(* answer variables of the atoms covered by a bag in D *)
+let x_of ctx d =
+  let covered = Hashtbl.create 16 in
+  Array.iteri
+    (fun i bags ->
+      if List.exists (fun t -> List.mem t d) bags then
+        List.iter
+          (fun v -> Hashtbl.replace covered v ())
+          (Cq.atom_vars ctx.atoms.(i)))
+    ctx.coverage;
+  List.filter (Hashtbl.mem covered) ctx.x
+
+(* the splitting node of Lemma 10 *)
+let splitter ctx d =
+  match d with
+  | [ t ] -> t
+  | _ -> (
+    match boundary_nodes ctx d with
+    | [] | [ _ ] -> Ugraph.centroid (tree ctx) d
+    | b1 :: b2 :: _ ->
+      (* pick a node on the b1–b2 path minimising the larger of the two
+         boundary-containing components *)
+      let path =
+        match Ugraph.path (tree ctx) b1 b2 with
+        | Some p -> List.filter (fun t -> List.mem t d) p
+        | None -> d
+      in
+      let score t =
+        let rest = List.filter (fun u -> u <> t) d in
+        List.fold_left
+          (fun acc comp ->
+            if List.mem b1 comp || List.mem b2 comp then
+              max acc (List.length comp)
+            else acc)
+          0
+          (Ugraph.components_within (tree ctx) rest)
+      in
+      List.fold_left
+        (fun (bt, bs) t ->
+          let s = score t in
+          if s < bs then (t, s) else (bt, bs))
+        (List.hd path, score (List.hd path))
+        path
+      |> fst)
+
+let emit ctx head body =
+  let body_vars = List.concat_map Ndl.atom_vars body in
+  let missing =
+    List.filter_map
+      (function
+        | Ndl.Var v when not (List.mem v body_vars) -> Some (Ndl.Dom (Ndl.Var v))
+        | Ndl.Var _ | Ndl.Cst _ -> None)
+      (snd head)
+    |> List.sort_uniq compare
+  in
+  ctx.clauses <- { Ndl.head; body = body @ missing } :: ctx.clauses
+
+(* enumerate the types s over the bag of the splitting node, agreeing with
+   the ambient type [w] and compatible with the bag *)
+let bag_types ctx w bag_vars =
+  let free = List.filter (fun v -> not (Cq.Var_map.mem v w)) bag_vars in
+  let per_var =
+    List.map
+      (fun z -> (z, List.filter (Word_type.locally_ok ctx.tbox ctx.q z) ctx.cands))
+      free
+  in
+  let count =
+    List.fold_left (fun acc (_, l) -> acc * max 1 (List.length l)) 1 per_var
+  in
+  if count > type_guard then invalid_arg "Log_rewriter: too many bag types";
+  let fixed =
+    List.fold_left
+      (fun acc v ->
+        match Cq.Var_map.find_opt v w with
+        | Some word -> Cq.Var_map.add v word acc
+        | None -> acc)
+      Cq.Var_map.empty bag_vars
+  in
+  let rec product acc = function
+    | [] -> [ acc ]
+    | (z, ws) :: rest ->
+      List.concat_map (fun word -> product (Cq.Var_map.add z word acc) rest) ws
+  in
+  product fixed per_var
+  |> List.filter (fun s -> Word_type.compatible_on ctx.tbox ctx.q bag_vars s)
+
+let restrict_type ty vars =
+  List.fold_left
+    (fun acc v ->
+      match Cq.Var_map.find_opt v ty with
+      | Some w -> Cq.Var_map.add v w acc
+      | None -> acc)
+    Cq.Var_map.empty vars
+
+let memo_key d w =
+  (d, Cq.Var_map.bindings w)
+
+(* returns the predicate (with its argument variables) for (D, w), or None
+   when no clause for it can fire *)
+let rec pred_for ctx d w =
+  let key = memo_key d w in
+  match Hashtbl.find_opt ctx.memo key with
+  | Some r -> r
+  | None ->
+    (* break potential re-entry (cannot happen: strictly decreasing D) *)
+    let boundary = boundary_vars ctx d in
+    let xd = x_of ctx d in
+    let args = boundary @ xd in
+    ctx.counter <- ctx.counter + 1;
+    let p = Symbol.fresh (Printf.sprintf "Glog%d" ctx.counter) in
+    let sigma = splitter ctx d in
+    let bag_vars = bag ctx sigma in
+    let children =
+      Ugraph.components_within (tree ctx)
+        (List.filter (fun t -> t <> sigma) d)
+    in
+    let head = (p, List.map (fun v -> Ndl.Var v) args) in
+    let made = ref false in
+    List.iter
+      (fun s ->
+        let union = Cq.Var_map.union (fun _ a _ -> Some a) s w in
+        (* one body per child subtree, if all children are productive *)
+        let rec child_calls acc = function
+          | [] -> Some (List.rev acc)
+          | d' :: rest -> (
+            let w' = restrict_type union (boundary_vars ctx d') in
+            match pred_for ctx d' w' with
+            | None -> None
+            | Some (p', args') ->
+              child_calls
+                (Ndl.Pred (p', List.map (fun v -> Ndl.Var v) args') :: acc)
+                rest)
+        in
+        match child_calls [] children with
+        | None -> ()
+        | Some calls ->
+          let at =
+            Word_type.at_atoms ctx.tbox ctx.q ~scope:bag_vars
+              ~emit_for:(fun _ -> true)
+              s
+          in
+          made := true;
+          emit ctx head (at @ calls))
+      (bag_types ctx w bag_vars);
+    let result = if !made then Some (p, args) else None in
+    Hashtbl.replace ctx.memo key result;
+    if !made then ctx.params <- Symbol.Map.add p (List.length xd) ctx.params;
+    result
+
+let rewrite ?decomposition tbox q =
+  if not (Cq.is_connected q) then
+    invalid_arg "Log_rewriter.rewrite: CQ must be connected";
+  let d_depth =
+    match Tbox.depth tbox with
+    | Tbox.Finite d -> d
+    | Tbox.Infinite ->
+      invalid_arg "Log_rewriter.rewrite: ontology of infinite depth"
+  in
+  let dec =
+    match decomposition with
+    | Some d -> d
+    | None -> Tree_decomposition.of_cq q
+  in
+  let atoms = Array.of_list (Cq.atoms q) in
+  let coverage =
+    Array.map
+      (fun atom ->
+        let vars = Cq.atom_vars atom in
+        List.filteri (fun _ _ -> true)
+          (List.init (Array.length dec.Tree_decomposition.bags) Fun.id)
+        |> List.filter (fun t ->
+               List.for_all
+                 (fun v -> List.mem v dec.Tree_decomposition.bags.(t))
+                 vars))
+      atoms
+  in
+  Array.iteri
+    (fun i bags ->
+      if bags = [] then
+        Format.kasprintf invalid_arg
+          "Log_rewriter.rewrite: atom %a not covered by the decomposition"
+          Cq.pp_atom atoms.(i))
+    coverage;
+  let ctx =
+    {
+      tbox;
+      q;
+      dec;
+      cands = Word_type.candidates tbox ~max_depth:d_depth;
+      x = Cq.answer_vars q;
+      coverage;
+      atoms;
+      clauses = [];
+      params = Symbol.Map.empty;
+      memo = Hashtbl.create 64;
+      counter = 0;
+    }
+  in
+  let all_nodes = List.init (Array.length dec.Tree_decomposition.bags) Fun.id in
+  let goal = Symbol.fresh "GLog" in
+  let goal_args = Cq.answer_vars q in
+  (match pred_for ctx all_nodes Cq.Var_map.empty with
+  | Some (p, args) ->
+    emit ctx
+      (goal, List.map (fun v -> Ndl.Var v) goal_args)
+      [ Ndl.Pred (p, List.map (fun v -> Ndl.Var v) args) ]
+  | None -> ());
+  let params = Symbol.Map.add goal (List.length goal_args) ctx.params in
+  let query = Ndl.make ~params ~goal ~goal_args (List.rev ctx.clauses) in
+  let idb = Ndl.idb_preds query in
+  Optimize.prune ~edb:(fun p -> not (Symbol.Set.mem p idb)) query

@@ -1,0 +1,16 @@
+(** The logarithmic-depth NDL-rewriting Π^Log of Section 3.2, for OMQs with
+    ontologies of finite depth and CQs of bounded treewidth.
+
+    A tree decomposition of the CQ is split recursively at balancing nodes
+    (Lemma 10); for every subtree D of the splitting family and every type w
+    over its boundary variables ∂D, a predicate G_D^w is defined by one
+    clause per compatible type s over the splitting bag.  The resulting
+    program has width ≤ 3(t+1) and logarithmic skinny depth. *)
+
+open Obda_ontology
+open Obda_cq
+
+val rewrite :
+  ?decomposition:Tree_decomposition.t -> Tbox.t -> Cq.t -> Obda_ndl.Ndl.query
+(** Raises [Invalid_argument] if the CQ is not connected or the ontology has
+    infinite depth. *)

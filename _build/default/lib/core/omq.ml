@@ -1,0 +1,178 @@
+open Obda_syntax
+open Obda_ontology
+open Obda_cq
+open Obda_data
+open Obda_chase
+module Ndl = Obda_ndl.Ndl
+module Eval = Obda_ndl.Eval
+module Star = Obda_ndl.Star
+
+type t = { tbox : Tbox.t; cq : Cq.t }
+
+let make tbox cq = { tbox; cq }
+
+type algorithm = Tw | Lin | Log | Ucq | Ucq_condensed | Presto_like
+
+let all_algorithms = [ Tw; Lin; Log; Ucq; Ucq_condensed; Presto_like ]
+
+let algorithm_name = function
+  | Tw -> "Tw"
+  | Lin -> "Lin"
+  | Log -> "Log"
+  | Ucq -> "Clipper*(UCQ)"
+  | Ucq_condensed -> "Rapid*(UCQ)"
+  | Presto_like -> "Presto*(TW)"
+
+let finite_depth omq =
+  match Tbox.depth omq.tbox with Tbox.Finite _ -> true | Tbox.Infinite -> false
+
+(* a forest counts: disconnected CQs are rewritten component-by-component *)
+let forest omq =
+  List.for_all Cq.is_tree_shaped (Cq.connected_components omq.cq)
+
+let applicable alg omq =
+  match alg with
+  | Tw -> forest omq
+  | Lin -> forest omq && finite_depth omq
+  | Log -> finite_depth omq
+  | Ucq | Ucq_condensed -> true
+  | Presto_like -> forest omq
+
+type classification = {
+  ontology_depth : Tbox.depth;
+  treewidth : int;
+  tree_shaped : bool;
+  leaves : int option;
+  linear : bool;
+  classes : string list;
+}
+
+let classify omq =
+  let d = Tbox.depth omq.tbox in
+  let tree_shaped = Cq.is_tree_shaped omq.cq in
+  let tw = Tree_decomposition.treewidth_upper_bound omq.cq in
+  let leaves = if tree_shaped then Some (Cq.num_leaves omq.cq) else None in
+  let linear = Cq.is_linear omq.cq in
+  let classes =
+    let depth_str =
+      match d with Tbox.Finite d -> string_of_int d | Tbox.Infinite -> "inf"
+    in
+    let base =
+      match d with
+      | Tbox.Finite _ -> [ Printf.sprintf "OMQ(%s,%d,inf)" depth_str tw ]
+      | Tbox.Infinite -> []
+    in
+    let tree_classes =
+      match (leaves, d) with
+      | Some l, Tbox.Finite _ ->
+        [
+          Printf.sprintf "OMQ(%s,1,%d)" depth_str l;
+          Printf.sprintf "OMQ(inf,1,%d)" l;
+        ]
+      | Some l, Tbox.Infinite -> [ Printf.sprintf "OMQ(inf,1,%d)" l ]
+      | None, _ -> []
+    in
+    base @ tree_classes
+  in
+  { ontology_depth = d; treewidth = tw; tree_shaped; leaves; linear; classes }
+
+let pp_classification ppf c =
+  Format.fprintf ppf
+    "depth=%a treewidth<=%d tree=%b leaves=%s linear=%b classes={%s}"
+    Tbox.pp_depth c.ontology_depth c.treewidth c.tree_shaped
+    (match c.leaves with Some l -> string_of_int l | None -> "-")
+    c.linear
+    (String.concat ", " c.classes)
+
+(* rewrite each connected component and conjoin the goals *)
+let componentwise rewrite_one omq =
+  let components = Cq.connected_components omq.cq in
+  match components with
+  | [ _ ] -> rewrite_one omq.cq
+  | comps ->
+    let sub = List.map (fun c -> (c, rewrite_one c)) comps in
+    let goal = Symbol.fresh "GAnd" in
+    let goal_args = Cq.answer_vars omq.cq in
+    let body =
+      List.map
+        (fun ((c : Cq.t), (sq : Ndl.query)) ->
+          ignore c;
+          Ndl.Pred (sq.Ndl.goal, List.map (fun v -> Ndl.Var v) sq.Ndl.goal_args))
+        sub
+    in
+    let clauses =
+      {
+        Ndl.head = (goal, List.map (fun v -> Ndl.Var v) goal_args);
+        body;
+      }
+      :: List.concat_map (fun (_, (sq : Ndl.query)) -> sq.Ndl.clauses) sub
+    in
+    let params =
+      List.fold_left
+        (fun acc (_, (sq : Ndl.query)) ->
+          Symbol.Map.union (fun _ a _ -> Some a) acc sq.Ndl.params)
+        (Symbol.Map.singleton goal (List.length goal_args))
+        sub
+    in
+    Ndl.make ~params ~goal ~goal_args clauses
+
+let rewrite ?(over = `Arbitrary) ?(consistency = false) alg omq =
+  let base =
+    match (alg, over) with
+    | (Ucq | Ucq_condensed), _ ->
+      (* PerfectRef rewrites over arbitrary instances natively *)
+      if alg = Ucq then Ucq_rewriter.rewrite omq.tbox omq.cq
+      else Ucq_rewriter.rewrite_condensed omq.tbox omq.cq
+    | Tw, `Complete -> componentwise (Tw_rewriter.rewrite omq.tbox) omq
+    | Lin, `Complete -> componentwise (Lin_rewriter.rewrite omq.tbox) omq
+    | Log, `Complete -> componentwise (Log_rewriter.rewrite omq.tbox) omq
+    | Presto_like, `Complete ->
+      componentwise (Presto_like.rewrite omq.tbox) omq
+    | Lin, `Arbitrary ->
+      (* Lemma 3 preserves linearity per component; the conjunction clause
+         joining the components is IDB-only, so it needs no transformation *)
+      componentwise
+        (fun c ->
+          Star.complete_to_arbitrary_linear omq.tbox
+            (Lin_rewriter.rewrite omq.tbox c))
+        omq
+    | Tw, `Arbitrary ->
+      Star.complete_to_arbitrary omq.tbox
+        (componentwise (Tw_rewriter.rewrite omq.tbox) omq)
+    | Log, `Arbitrary ->
+      Star.complete_to_arbitrary omq.tbox
+        (componentwise (Log_rewriter.rewrite omq.tbox) omq)
+    | Presto_like, `Arbitrary ->
+      Star.complete_to_arbitrary omq.tbox
+        (componentwise (Presto_like.rewrite omq.tbox) omq)
+  in
+  if consistency && over = `Arbitrary then
+    Consistency.guard_rewriting omq.tbox base
+  else base
+
+let all_tuples abox arity =
+  let inds = Abox.individuals abox in
+  let rec tuples n =
+    if n = 0 then [ [] ]
+    else
+      let rest = tuples (n - 1) in
+      List.concat_map (fun c -> List.map (fun t -> c :: t) rest) inds
+  in
+  tuples arity
+
+let answer ?algorithm omq abox =
+  let alg =
+    match algorithm with
+    | Some a -> a
+    | None -> if Cq.is_tree_shaped omq.cq then Tw else Log
+  in
+  if not (Abox.consistent omq.tbox abox) then
+    all_tuples abox (List.length (Cq.answer_vars omq.cq))
+  else
+    let q = rewrite ~over:`Arbitrary alg omq in
+    Eval.answers q abox
+
+let answer_certain omq abox =
+  if not (Abox.consistent omq.tbox abox) then
+    all_tuples abox (List.length (Cq.answer_vars omq.cq))
+  else Certain.answers omq.tbox abox omq.cq

@@ -1,0 +1,67 @@
+(** Ontology-mediated queries and the top-level rewriting/answering API.
+
+    An OMQ is a pair Q(x) = (T, q(x)).  [classify] places it in the
+    complexity landscape of Fig. 1; [rewrite] produces an NDL-rewriting with
+    the requested algorithm (over complete or arbitrary data instances);
+    [answer] evaluates a rewriting over an ABox, checking consistency
+    first. *)
+
+open Obda_syntax
+open Obda_ontology
+open Obda_cq
+open Obda_data
+
+type t = { tbox : Tbox.t; cq : Cq.t }
+
+val make : Tbox.t -> Cq.t -> t
+
+type algorithm =
+  | Tw  (** Section 3.4: tree witnesses, LOGCFL, any-depth ontology *)
+  | Lin  (** Section 3.3: slices, NL, finite-depth ontology *)
+  | Log  (** Section 3.2: tree decomposition, LOGCFL, finite-depth ontology *)
+  | Ucq  (** PerfectRef baseline (Clipper star) *)
+  | Ucq_condensed  (** PerfectRef + subsumption pruning (Rapid star) *)
+  | Presto_like  (** flat tree-witness baseline (Presto star) *)
+
+val all_algorithms : algorithm list
+val algorithm_name : algorithm -> string
+
+val applicable : algorithm -> t -> bool
+(** Whether the algorithm's side conditions hold (tree shape, finite depth…). *)
+
+type classification = {
+  ontology_depth : Tbox.depth;
+  treewidth : int;  (** upper bound from the decomposition *)
+  tree_shaped : bool;
+  leaves : int option;  (** for tree-shaped CQs *)
+  linear : bool;
+  classes : string list;
+      (** the OMQ(·,·,·) classes of Fig. 1 the OMQ belongs to *)
+}
+
+val classify : t -> classification
+val pp_classification : Format.formatter -> classification -> unit
+
+val rewrite :
+  ?over:[ `Complete | `Arbitrary ] ->
+  ?consistency:bool ->
+  algorithm -> t -> Obda_ndl.Ndl.query
+(** Default [`Arbitrary].  The UCQ baselines are rewritings over arbitrary
+    instances natively; Tw/Lin/Log are produced over complete instances and
+    passed through the ∗-transformation (the linearity-preserving Lemma 3
+    construction for Lin) when [`Arbitrary] is requested.
+
+    With [~consistency:true] (and [`Arbitrary]), the ⊥-axioms of the
+    ontology are compiled in following the remark at the end of Section 2:
+    the program outputs every tuple over the active domain when (T,A) is
+    inconsistent, so [Eval] alone computes certain answers on any data. *)
+
+val answer :
+  ?algorithm:algorithm -> t -> Abox.t -> Symbol.t list list
+(** Certain answers via rewriting + NDL evaluation.  Defaults to [Tw] for
+    tree-shaped CQs and [Log] otherwise.  If (T,A) is inconsistent, every
+    tuple over ind(A) is returned (of the answer arity), per the convention
+    at the end of Section 2. *)
+
+val answer_certain : t -> Abox.t -> Symbol.t list list
+(** Ground-truth answers via the canonical model (chase), for testing. *)

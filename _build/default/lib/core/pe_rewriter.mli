@@ -1,0 +1,35 @@
+(** Positive-existential (PE) rewritings (Fig. 1(b)).
+
+    The tree-witness PE-rewriting of [37]: q_tw = ⋁_Θ ∃y (⋀ atoms outside Θ
+    ∧ ⋀_{t∈Θ} tw_t), over the independent (atom-disjoint) sets Θ of tree
+    witnesses — the formula counterpart of {!Presto_like}.  Its size can be
+    super-polynomial (that is the point of Fig. 1(b)); comparing it with the
+    linear-sized NDL-rewritings reproduces the figure's message. *)
+
+open Obda_ontology
+open Obda_cq
+
+exception Limit_reached
+
+type formula =
+  | Atom of Cq.atom
+  | Equal of Cq.var * Cq.var
+  | And of formula list
+  | Or of formula list
+
+val size : formula -> int
+(** Number of symbols (atoms + connectives), the |q′| of Section 2. *)
+
+val pp : Format.formatter -> formula -> unit
+
+val rewrite : ?max_subsets:int -> Tbox.t -> Cq.t -> formula
+(** The PE-rewriting over complete data instances; the answer variables are
+    free, every other variable is implicitly existentially quantified. *)
+
+val matrix_depth : formula -> int
+(** Alternation depth of the ∧/∨ matrix (the k of Π_k-rewritings). *)
+
+val certain_answers :
+  Tbox.t -> Cq.t -> formula -> Obda_data.Abox.t -> Obda_syntax.Symbol.t list list
+(** Evaluate the PE-rewriting over the completion of the given instance
+    (for testing: agrees with the NDL rewritings). *)

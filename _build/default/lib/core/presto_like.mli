@@ -1,0 +1,17 @@
+(** The flat tree-witness rewriting (Kikot, Kontchakov & Zakharyaschev,
+    KR 2012), standing in for Presto in the paper's experiments: an NDL
+    program with one auxiliary predicate per tree witness and one goal clause
+    per independent (atom-disjoint) set of tree witnesses.
+
+    Its size is exponential in the number of compatible tree witnesses, but
+    with a smaller base than PerfectRef — reproducing the middle column of
+    Fig. 2 / Table 1. *)
+
+open Obda_ontology
+open Obda_cq
+
+exception Limit_reached
+
+val rewrite : ?max_subsets:int -> Tbox.t -> Cq.t -> Obda_ndl.Ndl.query
+(** Raises [Limit_reached] when more than [max_subsets] independent
+    tree-witness sets would be generated (default 100_000). *)

@@ -1,0 +1,74 @@
+open Obda_syntax
+open Obda_ontology
+open Obda_cq
+open Obda_chase
+
+type t = {
+  roots : Cq.var list;
+  interior : Cq.var list;
+  atoms : Cq.atom list;
+  generators : Role.t list;
+}
+
+let pp ppf t =
+  Format.fprintf ppf "tw(roots={%s}, interior={%s}, gen={%s})"
+    (String.concat "," t.roots)
+    (String.concat "," t.interior)
+    (String.concat "," (List.map Role.to_string t.generators))
+
+(* the atoms of q with at least one variable in [interior] *)
+let witness_atoms q interior =
+  let mem v = List.mem v interior in
+  List.filter
+    (fun atom -> List.exists mem (Cq.atom_vars atom))
+    (Cq.atoms q)
+
+let neighbours_of_set q interior =
+  let mem v = List.mem v interior in
+  witness_atoms q interior
+  |> List.concat_map Cq.atom_vars
+  |> List.filter (fun v -> not (mem v))
+  |> List.sort_uniq String.compare
+
+let generators_of tbox q ~roots ~interior ~atoms =
+  if atoms = [] then []
+  else
+    let qt =
+      (* the subquery q_t, with no answer variables: pinning is done via the
+         homomorphism constraints below *)
+      Cq.restrict_to q ~answer:[] atoms
+    in
+    let depth = List.length interior + 1 in
+    List.filter
+      (fun rho ->
+        match Tbox.exists_name_opt tbox rho with
+        | None -> false
+        | Some _ ->
+          let canon = Canonical.of_concept tbox (Concept.Exists rho) ~depth in
+          let root = Canonical.root_of_concept_model canon in
+          let pin = List.map (fun v -> (v, root)) roots in
+          let admissible v e =
+            if List.mem v interior then
+              match e with Canonical.Null _ -> true | Canonical.Ind _ -> false
+            else true
+          in
+          Certain.find_hom ~pin ~admissible canon qt <> None)
+      (Tbox.roles tbox)
+
+let enumerate ?(limit = 100_000) tbox q =
+  let g = Cq.gaifman q in
+  let existential_indices =
+    List.map (Cq.var_index q) (Cq.existential_vars q)
+  in
+  let candidate_sets = Ugraph.connected_subsets g existential_indices ~limit in
+  List.filter_map
+    (fun indices ->
+      let interior =
+        List.map (Cq.var_of_index q) indices |> List.sort String.compare
+      in
+      let roots = neighbours_of_set q interior in
+      let atoms = witness_atoms q interior in
+      match generators_of tbox q ~roots ~interior ~atoms with
+      | [] -> None
+      | generators -> Some { roots; interior; atoms; generators })
+    candidate_sets

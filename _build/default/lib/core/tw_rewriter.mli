@@ -1,0 +1,16 @@
+(** The tree-witness NDL-rewriting Π^Tw of Section 3.4, for OMQs with
+    tree-shaped CQs and ontologies of arbitrary (possibly infinite) depth.
+
+    The CQ is recursively split at a balancing vertex (Lemma 14), producing
+    subqueries for the neighbours of the splitting vertex and, for every tree
+    witness whose interior contains it, for the connected components left
+    after removing the witness.  The result is an NDL-rewriting over complete
+    data instances, of polynomial size, logarithmic depth and width ≤ ℓ+1. *)
+
+open Obda_ontology
+open Obda_cq
+
+val rewrite : Tbox.t -> Cq.t -> Obda_ndl.Ndl.query
+(** Raises [Invalid_argument] if the CQ is not tree-shaped (after taking
+    connected components; disconnected tree-shaped CQs are supported by
+    conjoining component goals). *)

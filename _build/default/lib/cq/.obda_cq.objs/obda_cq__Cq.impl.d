@@ -1,0 +1,1 @@
+lib/cq/cq.ml: Format Lazy List Map Obda_syntax Printf Set String Symbol Ugraph

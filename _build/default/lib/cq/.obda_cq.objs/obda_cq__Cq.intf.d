@@ -1,0 +1,1 @@
+lib/cq/cq.mli: Format Map Obda_syntax Set Symbol Ugraph

@@ -1,0 +1,1 @@
+lib/cq/tree_decomposition.ml: Array Cq Format Hashtbl Int List Set String Ugraph

@@ -1,0 +1,1 @@
+lib/cq/tree_decomposition.mli: Cq Format Ugraph

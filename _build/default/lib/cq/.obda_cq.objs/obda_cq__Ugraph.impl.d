@@ -1,0 +1,1 @@
+lib/cq/ugraph.ml: Array Fun Hashtbl Int List Queue Set

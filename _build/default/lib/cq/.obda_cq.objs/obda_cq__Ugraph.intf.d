@@ -1,0 +1,1 @@
+lib/cq/ugraph.mli:

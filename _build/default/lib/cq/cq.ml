@@ -1,0 +1,174 @@
+open Obda_syntax
+
+type var = string
+type atom = Unary of Symbol.t * var | Binary of Symbol.t * var * var
+
+let atom_vars = function
+  | Unary (_, z) -> [ z ]
+  | Binary (_, y, z) -> if y = z then [ y ] else [ y; z ]
+
+let compare_atom a1 a2 =
+  match (a1, a2) with
+  | Unary (p, z), Unary (p', z') ->
+    let c = Symbol.compare p p' in
+    if c <> 0 then c else String.compare z z'
+  | Unary _, Binary _ -> -1
+  | Binary _, Unary _ -> 1
+  | Binary (p, y, z), Binary (p', y', z') ->
+    let c = Symbol.compare p p' in
+    if c <> 0 then c
+    else
+      let c = String.compare y y' in
+      if c <> 0 then c else String.compare z z'
+
+let pp_atom ppf = function
+  | Unary (p, z) -> Format.fprintf ppf "%a(%s)" Symbol.pp p z
+  | Binary (p, y, z) -> Format.fprintf ppf "%a(%s,%s)" Symbol.pp p y z
+
+module VarSet = Set.Make (String)
+module VarMap = Map.Make (String)
+
+type t = {
+  answer : var list;
+  atom_list : atom list;  (* sorted, deduplicated *)
+  var_list : var list;  (* sorted *)
+  index_of : int VarMap.t;
+  graph : Ugraph.t Lazy.t;
+}
+
+let build_graph var_list index_of atom_list =
+  let edges =
+    List.filter_map
+      (function
+        | Binary (_, y, z) when y <> z ->
+          Some (VarMap.find y index_of, VarMap.find z index_of)
+        | Binary _ | Unary _ -> None)
+      atom_list
+  in
+  Ugraph.make (List.length var_list) edges
+
+let make ~answer atom_list =
+  if atom_list = [] then invalid_arg "Cq.make: empty atom list";
+  let rec has_dup = function
+    | [] -> false
+    | x :: rest -> List.mem x rest || has_dup rest
+  in
+  if has_dup answer then invalid_arg "Cq.make: duplicate answer variable";
+  let var_set =
+    List.fold_left
+      (fun acc a -> List.fold_left (fun acc v -> VarSet.add v acc) acc (atom_vars a))
+      VarSet.empty atom_list
+  in
+  List.iter
+    (fun x ->
+      if not (VarSet.mem x var_set) then
+        invalid_arg
+          (Printf.sprintf "Cq.make: answer variable %s occurs in no atom" x))
+    answer;
+  let var_list = VarSet.elements var_set in
+  let index_of =
+    List.fold_left
+      (fun (m, i) v -> (VarMap.add v i m, i + 1))
+      (VarMap.empty, 0) var_list
+    |> fst
+  in
+  let atom_list = List.sort_uniq compare_atom atom_list in
+  {
+    answer;
+    atom_list;
+    var_list;
+    index_of;
+    graph = lazy (build_graph var_list index_of atom_list);
+  }
+
+let answer_vars q = q.answer
+let atoms q = q.atom_list
+let vars q = q.var_list
+let is_answer_var q v = List.mem v q.answer
+let existential_vars q = List.filter (fun v -> not (is_answer_var q v)) q.var_list
+let is_boolean q = q.answer = []
+let size q = List.length q.atom_list
+
+let unary_atoms_of q z =
+  List.filter_map
+    (function Unary (p, z') when z' = z -> Some p | Unary _ | Binary _ -> None)
+    q.atom_list
+
+let loop_atoms_of q z =
+  List.filter_map
+    (function
+      | Binary (p, y, z') when y = z && z' = z -> Some p
+      | Binary _ | Unary _ -> None)
+    q.atom_list
+
+let binary_atoms_between q u v =
+  List.filter_map
+    (function
+      | Binary (p, y, z) when (y = u && z = v) || (y = v && z = u) ->
+        Some (p, y, z)
+      | Binary _ | Unary _ -> None)
+    q.atom_list
+
+let var_index q v = VarMap.find v q.index_of
+let var_of_index q i = List.nth q.var_list i
+let gaifman q = Lazy.force q.graph
+let is_connected q = Ugraph.is_connected (gaifman q)
+let is_tree_shaped q = Ugraph.is_tree (gaifman q)
+
+let num_leaves q =
+  let g = gaifman q in
+  let count = ref 0 in
+  for v = 0 to Ugraph.n g - 1 do
+    if Ugraph.degree g v <= 1 then incr count
+  done;
+  !count
+
+let is_linear q = is_tree_shaped q && num_leaves q <= 2
+
+let restrict_to q ~answer atom_list =
+  let var_set =
+    List.fold_left
+      (fun acc a -> List.fold_left (fun acc v -> VarSet.add v acc) acc (atom_vars a))
+      VarSet.empty atom_list
+  in
+  let answer = List.filter (fun x -> VarSet.mem x var_set) answer in
+  ignore q;
+  make ~answer atom_list
+
+let connected_components q =
+  let g = gaifman q in
+  let comps = Ugraph.components g in
+  match comps with
+  | [] | [ _ ] -> [ q ]
+  | _ ->
+    List.map
+      (fun comp ->
+        let comp_vars =
+          List.fold_left
+            (fun acc i -> VarSet.add (var_of_index q i) acc)
+            VarSet.empty comp
+        in
+        let comp_atoms =
+          List.filter
+            (fun a -> List.for_all (fun v -> VarSet.mem v comp_vars) (atom_vars a))
+            q.atom_list
+        in
+        restrict_to q ~answer:q.answer comp_atoms)
+      comps
+
+module Var_map = Map.Make (String)
+module Var_set = Set.Make (String)
+
+let compare q1 q2 =
+  let c = List.compare String.compare q1.answer q2.answer in
+  if c <> 0 then c else List.compare compare_atom q1.atom_list q2.atom_list
+
+let equal q1 q2 = compare q1 q2 = 0
+
+let pp ppf q =
+  Format.fprintf ppf "q(%s) :- %a"
+    (String.concat "," q.answer)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_atom)
+    q.atom_list

@@ -1,0 +1,79 @@
+(** Conjunctive queries over unary and binary predicates.
+
+    As in the paper (Section 2), CQs contain no constants, and we regard a CQ
+    as the set of its atoms.  The Gaifman graph has the variables as vertices
+    and an edge {u,v} for every binary atom P(u,v) with u ≠ v. *)
+
+open Obda_syntax
+
+type var = string
+
+type atom =
+  | Unary of Symbol.t * var  (** A(z) *)
+  | Binary of Symbol.t * var * var  (** P(y,z) *)
+
+val atom_vars : atom -> var list
+val compare_atom : atom -> atom -> int
+val pp_atom : Format.formatter -> atom -> unit
+
+type t
+
+val make : answer:var list -> atom list -> t
+(** Raises [Invalid_argument] if the atom list is empty, an answer variable
+    occurs in no atom, or the answer list has duplicates. *)
+
+val answer_vars : t -> var list
+val atoms : t -> atom list
+val vars : t -> var list
+(** All variables, sorted. *)
+
+val existential_vars : t -> var list
+val is_answer_var : t -> var -> bool
+val is_boolean : t -> bool
+val size : t -> int
+(** Number of atoms. *)
+
+val unary_atoms_of : t -> var -> Symbol.t list
+(** The A with A(z) ∈ q for the given z. *)
+
+val loop_atoms_of : t -> var -> Symbol.t list
+(** The P with P(z,z) ∈ q for the given z. *)
+
+val binary_atoms_between : t -> var -> var -> (Symbol.t * var * var) list
+(** All binary atoms over exactly the two given (distinct) variables, with
+    their original orientation. *)
+
+(** {1 Topology} *)
+
+val var_index : t -> var -> int
+val var_of_index : t -> int -> var
+val gaifman : t -> Ugraph.t
+(** Vertices are variable indices. *)
+
+val is_connected : t -> bool
+val is_tree_shaped : t -> bool
+val num_leaves : t -> int
+(** Number of vertices of degree ≤ 1 of the Gaifman graph; meaningful for
+    tree-shaped CQs. *)
+
+val is_linear : t -> bool
+(** Tree-shaped with at most two leaves. *)
+
+val restrict_to : t -> answer:var list -> atom list -> t
+(** A subquery of this CQ with the given atoms and answer variables; answer
+    variables not occurring in the atoms are dropped. *)
+
+val connected_components : t -> t list
+(** The connected components, each with the induced answer variables.  A
+    Boolean component keeps its (empty) answer tuple.  Isolated answer
+    variables cannot arise since every variable occurs in an atom. *)
+
+module Var_map : Map.S with type key = var
+module Var_set : Set.S with type elt = var
+
+val compare : t -> t -> int
+(** Structural comparison of (answer tuple, sorted atom set) — used for
+    memoising subqueries. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,177 @@
+module IntSet = Set.Make (Int)
+
+type t = { bags : Cq.var list array; tree : Ugraph.t }
+
+let width d =
+  Array.fold_left (fun acc bag -> max acc (List.length bag)) 0 d.bags - 1
+
+let num_nodes d = Array.length d.bags
+
+(* Natural decomposition of a tree-shaped CQ: one node per Gaifman edge,
+   adjacent iff the edges share a vertex along the tree. *)
+let of_tree_cq q =
+  let g = Cq.gaifman q in
+  let edges = Ugraph.edges g in
+  match edges with
+  | [] ->
+    (* single-variable query *)
+    { bags = [| Cq.vars q |]; tree = Ugraph.make 1 [] }
+  | _ ->
+    let bags =
+      Array.of_list
+        (List.map
+           (fun (u, v) -> [ Cq.var_of_index q u; Cq.var_of_index q v ])
+           edges)
+    in
+    (* root the Gaifman tree at vertex 0; the decomposition parent of edge
+       (parent v, v) is the edge (parent (parent v), parent v). *)
+    let parent = Hashtbl.create 16 in
+    let rec dfs u p =
+      List.iter
+        (fun w ->
+          if w <> p then begin
+            Hashtbl.replace parent w u;
+            dfs w u
+          end)
+        (Ugraph.neighbours g u)
+    in
+    dfs 0 (-1);
+    let edge_index = Hashtbl.create 16 in
+    List.iteri (fun i (u, v) -> Hashtbl.replace edge_index (u, v) i) edges;
+    let index_of u v = Hashtbl.find edge_index (min u v, max u v) in
+    let root_chain = ref None in
+    let dec_edges =
+      List.filter_map
+        (fun (u, v) ->
+          (* (u,v) with child c and parent p: link to (p, parent p);
+             edges incident to the root (no grandparent) are chained *)
+          let child = if Hashtbl.find_opt parent v = Some u then v else u in
+          let par = if child = v then u else v in
+          match Hashtbl.find_opt parent par with
+          | Some grand -> Some (index_of par child, index_of grand par)
+          | None -> (
+            let i = index_of par child in
+            match !root_chain with
+            | Some j ->
+              root_chain := Some i;
+              Some (i, j)
+            | None ->
+              root_chain := Some i;
+              None))
+        edges
+    in
+    { bags; tree = Ugraph.make (Array.length bags) dec_edges }
+
+let min_fill q =
+  let g = Cq.gaifman q in
+  let n = Ugraph.n g in
+  let adj = Array.init n (fun v -> IntSet.of_list (Ugraph.neighbours g v)) in
+  let alive = Array.make n true in
+  let elim_order = Array.make n (-1) in
+  let elim_index = Array.make n (-1) in
+  let bags = Array.make n [] in
+  let fill_count v =
+    let nbrs = IntSet.elements (IntSet.filter (fun u -> alive.(u)) adj.(v)) in
+    let rec pairs acc = function
+      | [] -> acc
+      | x :: rest ->
+        pairs
+          (acc
+          + List.length (List.filter (fun y -> not (IntSet.mem y adj.(x))) rest)
+          )
+          rest
+    in
+    pairs 0 nbrs
+  in
+  for step = 0 to n - 1 do
+    (* pick the alive vertex with fewest fill-in edges *)
+    let best = ref (-1) and best_fill = ref max_int in
+    for v = 0 to n - 1 do
+      if alive.(v) then begin
+        let f = fill_count v in
+        if f < !best_fill then begin
+          best := v;
+          best_fill := f
+        end
+      end
+    done;
+    let v = !best in
+    let nbrs = IntSet.filter (fun u -> alive.(u)) adj.(v) in
+    bags.(step) <- v :: IntSet.elements nbrs;
+    elim_order.(step) <- v;
+    elim_index.(v) <- step;
+    (* make the neighbourhood a clique *)
+    IntSet.iter
+      (fun x ->
+        IntSet.iter
+          (fun y -> if x <> y then adj.(x) <- IntSet.add y adj.(x))
+          nbrs)
+      nbrs;
+    alive.(v) <- false
+  done;
+  (* connect bag(step) to the bag of its earliest-eliminated neighbour *)
+  let dec_edges = ref [] in
+  let last_root = ref None in
+  for step = 0 to n - 1 do
+    match bags.(step) with
+    | _ :: (_ :: _ as nbrs) ->
+      let target =
+        List.fold_left (fun acc u -> min acc elim_index.(u)) max_int nbrs
+      in
+      dec_edges := (step, target) :: !dec_edges
+    | _ ->
+      (* isolated at elimination time: root of its component; chain roots *)
+      (match !last_root with
+      | Some r -> dec_edges := (step, r) :: !dec_edges
+      | None -> ());
+      last_root := Some step
+  done;
+  let bags =
+    Array.map (fun bag -> List.map (Cq.var_of_index q) bag) bags
+  in
+  { bags; tree = Ugraph.make n !dec_edges }
+
+let of_cq q = if Cq.is_tree_shaped q then of_tree_cq q else min_fill q
+
+let is_valid q d =
+  let bag_sets = Array.map (fun b -> List.sort_uniq String.compare b) d.bags in
+  let covers_var v = Array.exists (fun b -> List.mem v b) bag_sets in
+  let covers_edge u v =
+    Array.exists (fun b -> List.mem u b && List.mem v b) bag_sets
+  in
+  let vars_ok = List.for_all covers_var (Cq.vars q) in
+  let atoms_ok =
+    List.for_all
+      (fun a ->
+        match a with
+        | Cq.Unary (_, z) -> covers_var z
+        | Cq.Binary (_, y, z) -> covers_edge y z)
+      (Cq.atoms q)
+  in
+  let connected_ok =
+    List.for_all
+      (fun v ->
+        let nodes =
+          Array.to_list bag_sets
+          |> List.mapi (fun i b -> (i, b))
+          |> List.filter_map (fun (i, b) -> if List.mem v b then Some i else None)
+        in
+        match Ugraph.components_within d.tree nodes with
+        | [] | [ _ ] -> true
+        | _ -> false)
+      (Cq.vars q)
+  in
+  vars_ok && atoms_ok && connected_ok && Ugraph.is_tree d.tree
+
+let treewidth_upper_bound q = width (of_cq q)
+
+let pp ppf d =
+  Array.iteri
+    (fun i bag ->
+      Format.fprintf ppf "bag %d: {%s}; " i (String.concat "," bag))
+    d.bags;
+  Format.fprintf ppf "edges: %a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (u, v) -> Format.fprintf ppf "%d-%d" u v))
+    (Ugraph.edges d.tree)

@@ -1,0 +1,29 @@
+(** Tree decompositions of CQ Gaifman graphs (Section 3.2).
+
+    A decomposition is a tree whose nodes carry bags of variables such that
+    every variable and every Gaifman edge is covered by a bag, and the nodes
+    containing any fixed variable induce a subtree. *)
+
+type t = { bags : Cq.var list array; tree : Ugraph.t }
+
+val width : t -> int
+(** max bag size − 1. *)
+
+val num_nodes : t -> int
+
+val of_cq : Cq.t -> t
+(** The natural width-1 decomposition for tree-shaped CQs (one node per
+    Gaifman edge, as in Example 8), the min-fill heuristic otherwise.  The CQ
+    must be connected. *)
+
+val min_fill : Cq.t -> t
+(** Min-fill elimination-ordering decomposition; exact on chordal graphs and
+    a good upper bound in general. *)
+
+val is_valid : Cq.t -> t -> bool
+(** Checks the three conditions of the definition plus treeness. *)
+
+val treewidth_upper_bound : Cq.t -> int
+(** Width of [of_cq]. *)
+
+val pp : Format.formatter -> t -> unit

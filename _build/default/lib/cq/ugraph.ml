@@ -1,0 +1,178 @@
+module IntSet = Set.Make (Int)
+
+type t = { n : int; adj : int list array }
+
+let make n edge_list =
+  let adj = Array.make (max n 0) [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v) ->
+      if u <> v then begin
+        let key = (min u v, max u v) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          adj.(u) <- v :: adj.(u);
+          adj.(v) <- u :: adj.(v)
+        end
+      end)
+    edge_list;
+  { n; adj }
+
+let n g = g.n
+let neighbours g v = g.adj.(v)
+let degree g v = List.length g.adj.(v)
+
+let edges g =
+  let acc = ref [] in
+  for u = 0 to g.n - 1 do
+    List.iter (fun v -> if u < v then acc := (u, v) :: !acc) g.adj.(u)
+  done;
+  List.rev !acc
+
+let has_edge g u v = List.mem v g.adj.(u)
+
+let components_within g vs =
+  let vset = IntSet.of_list vs in
+  let seen = Hashtbl.create 16 in
+  let component root =
+    let rec go acc = function
+      | [] -> acc
+      | v :: rest ->
+        if Hashtbl.mem seen v then go acc rest
+        else begin
+          Hashtbl.add seen v ();
+          let nbrs = List.filter (fun u -> IntSet.mem u vset) g.adj.(v) in
+          go (v :: acc) (List.rev_append nbrs rest)
+        end
+    in
+    go [] [ root ]
+  in
+  List.filter_map
+    (fun v ->
+      if Hashtbl.mem seen v then None
+      else Some (List.sort Int.compare (component v)))
+    (IntSet.elements vset)
+
+let components g = components_within g (List.init g.n Fun.id)
+let is_connected g = List.length (components g) <= 1
+
+let is_tree g =
+  let edge_count = List.length (edges g) in
+  is_connected g && edge_count = g.n - 1 || g.n = 0
+
+let path g src dst =
+  if src = dst then Some [ src ]
+  else begin
+    let parent = Hashtbl.create 16 in
+    Hashtbl.add parent src src;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      List.iter
+        (fun u ->
+          if not (Hashtbl.mem parent u) then begin
+            Hashtbl.add parent u v;
+            if u = dst then found := true else Queue.add u queue
+          end)
+        g.adj.(v)
+    done;
+    if not !found then None
+    else begin
+      let rec backtrack v acc =
+        if v = src then src :: acc else backtrack (Hashtbl.find parent v) (v :: acc)
+      in
+      Some (backtrack dst [])
+    end
+  end
+
+let bfs_layers g root =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.add seen root ();
+  let rec go layers frontier =
+    match frontier with
+    | [] -> List.rev layers
+    | _ ->
+      let next =
+        List.concat_map
+          (fun v ->
+            List.filter_map
+              (fun u ->
+                if Hashtbl.mem seen u then None
+                else begin
+                  Hashtbl.add seen u ();
+                  Some u
+                end)
+              g.adj.(v))
+          frontier
+      in
+      go (List.sort Int.compare frontier :: layers) next
+  in
+  go [] [ root ]
+
+let centroid g vs =
+  match vs with
+  | [] -> invalid_arg "Ugraph.centroid: empty vertex set"
+  | [ v ] -> v
+  | _ ->
+    let score v =
+      let rest = List.filter (fun u -> u <> v) vs in
+      List.fold_left
+        (fun acc comp -> max acc (List.length comp))
+        0
+        (components_within g rest)
+    in
+    let best, _ =
+      List.fold_left
+        (fun (bv, bs) v ->
+          let s = score v in
+          if s < bs then (v, s) else (bv, bs))
+        (List.hd vs, max_int)
+        vs
+    in
+    best
+
+let connected_subsets g vs ~limit =
+  let vset = IntSet.of_list vs in
+  let results = ref [] in
+  let count = ref 0 in
+  let emit s =
+    incr count;
+    if !count > limit then
+      invalid_arg "Ugraph.connected_subsets: limit exceeded";
+    results := IntSet.elements s :: !results
+  in
+  let rec enum set frontier forbidden =
+    match IntSet.min_elt_opt frontier with
+    | None -> emit set
+    | Some v ->
+      enum set (IntSet.remove v frontier) (IntSet.add v forbidden);
+      let nbrs =
+        List.filter
+          (fun u ->
+            IntSet.mem u vset
+            && (not (IntSet.mem u set))
+            && not (IntSet.mem u forbidden))
+          g.adj.(v)
+      in
+      let frontier' =
+        List.fold_left
+          (fun f u -> IntSet.add u f)
+          (IntSet.remove v frontier) nbrs
+      in
+      enum (IntSet.add v set) frontier' forbidden
+  in
+  let sorted = List.sort Int.compare (IntSet.elements vset) in
+  List.iteri
+    (fun i root ->
+      let forbidden = IntSet.of_list (List.filteri (fun j _ -> j < i) sorted) in
+      let frontier =
+        IntSet.of_list
+          (List.filter
+             (fun u -> IntSet.mem u vset && not (IntSet.mem u forbidden))
+             g.adj.(root))
+      in
+      enum (IntSet.singleton root) frontier forbidden)
+    sorted;
+  !results

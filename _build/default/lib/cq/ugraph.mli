@@ -1,0 +1,41 @@
+(** Small undirected graphs on vertices [0 .. n-1], used for Gaifman graphs
+    and tree decompositions.  Self-loops and duplicate edges are ignored. *)
+
+type t
+
+val make : int -> (int * int) list -> t
+val n : t -> int
+val neighbours : t -> int -> int list
+val degree : t -> int -> int
+val edges : t -> (int * int) list
+(** Each undirected edge once, as [(u, v)] with [u < v]. *)
+
+val has_edge : t -> int -> int -> bool
+val is_connected : t -> bool
+(** Vacuously true for the empty graph. *)
+
+val is_tree : t -> bool
+(** Connected with exactly [n - 1] edges ([n = 0] and [n = 1] are trees). *)
+
+val components : t -> int list list
+(** Connected components, each sorted. *)
+
+val components_within : t -> int list -> int list list
+(** Connected components of the subgraph induced by the given vertices. *)
+
+val path : t -> int -> int -> int list option
+(** Some simple path from the first vertex to the second (inclusive). *)
+
+val bfs_layers : t -> int -> int list list
+(** Vertices reachable from the root, grouped by distance: layer 0 is the
+    root, layer [i] the vertices at distance [i]. *)
+
+val centroid : t -> int list -> int
+(** [centroid g vs] is a vertex of the induced subtree on [vs] (which must be
+    connected and acyclic) whose removal leaves components of size ≤ ⌈|vs|/2⌉.
+    Raises [Invalid_argument] on an empty vertex list. *)
+
+val connected_subsets : t -> int list -> limit:int -> int list list
+(** All non-empty subsets of the given vertices that induce a connected
+    subgraph, each sorted.  Raises [Invalid_argument] when more than [limit]
+    subsets would be produced. *)

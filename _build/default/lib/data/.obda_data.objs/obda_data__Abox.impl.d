@@ -1,0 +1,1 @@
+lib/data/abox.ml: Concept Format Hashtbl List Obda_ontology Obda_syntax Option Role Symbol Tbox

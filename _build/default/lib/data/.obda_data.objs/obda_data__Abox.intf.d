@@ -1,0 +1,1 @@
+lib/data/abox.mli: Concept Format Obda_ontology Obda_syntax Role Symbol Tbox

@@ -1,0 +1,1 @@
+lib/data/generate.ml: Abox List Obda_syntax Printf Random Symbol

@@ -1,0 +1,1 @@
+lib/data/generate.mli: Abox Obda_syntax Symbol

@@ -1,0 +1,289 @@
+open Obda_syntax
+open Obda_ontology
+
+type const = Symbol.t
+
+type fact =
+  | Concept_assertion of Symbol.t * const
+  | Role_assertion of Symbol.t * const * const
+
+let pp_fact ppf = function
+  | Concept_assertion (a, c) -> Format.fprintf ppf "%a(%a)" Symbol.pp a Symbol.pp c
+  | Role_assertion (p, c, d) ->
+    Format.fprintf ppf "%a(%a,%a)" Symbol.pp p Symbol.pp c Symbol.pp d
+
+(* Per-predicate storage.  Unary: set of constants.  Binary: set of pairs
+   plus forward and backward adjacency. *)
+type unary_rel = unit Symbol.Tbl.t
+
+type binary_rel = {
+  pairs : (const * const, unit) Hashtbl.t;
+  fwd : const list Symbol.Tbl.t;
+  bwd : const list Symbol.Tbl.t;
+}
+
+type t = {
+  unary : unary_rel Symbol.Tbl.t;
+  binary : binary_rel Symbol.Tbl.t;
+  inds : unit Symbol.Tbl.t;
+  mutable atom_count : int;
+}
+
+let create () =
+  {
+    unary = Symbol.Tbl.create 16;
+    binary = Symbol.Tbl.create 16;
+    inds = Symbol.Tbl.create 64;
+    atom_count = 0;
+  }
+
+let note_ind a c = if not (Symbol.Tbl.mem a.inds c) then Symbol.Tbl.add a.inds c ()
+
+let add_unary a p c =
+  let rel =
+    match Symbol.Tbl.find_opt a.unary p with
+    | Some r -> r
+    | None ->
+      let r = Symbol.Tbl.create 64 in
+      Symbol.Tbl.add a.unary p r;
+      r
+  in
+  if not (Symbol.Tbl.mem rel c) then begin
+    Symbol.Tbl.add rel c ();
+    a.atom_count <- a.atom_count + 1;
+    note_ind a c
+  end
+
+let add_binary a p c d =
+  let rel =
+    match Symbol.Tbl.find_opt a.binary p with
+    | Some r -> r
+    | None ->
+      let r =
+        {
+          pairs = Hashtbl.create 64;
+          fwd = Symbol.Tbl.create 64;
+          bwd = Symbol.Tbl.create 64;
+        }
+      in
+      Symbol.Tbl.add a.binary p r;
+      r
+  in
+  if not (Hashtbl.mem rel.pairs (c, d)) then begin
+    Hashtbl.add rel.pairs (c, d) ();
+    let push tbl k v =
+      let cur = Option.value ~default:[] (Symbol.Tbl.find_opt tbl k) in
+      Symbol.Tbl.replace tbl k (v :: cur)
+    in
+    push rel.fwd c d;
+    push rel.bwd d c;
+    a.atom_count <- a.atom_count + 1;
+    note_ind a c;
+    note_ind a d
+  end
+
+let add_role a (r : Role.t) c d =
+  if Role.is_inverse r then add_binary a r.Role.base d c
+  else add_binary a r.Role.base c d
+
+let mem_unary a p c =
+  match Symbol.Tbl.find_opt a.unary p with
+  | Some rel -> Symbol.Tbl.mem rel c
+  | None -> false
+
+let mem_binary a p c d =
+  match Symbol.Tbl.find_opt a.binary p with
+  | Some rel -> Hashtbl.mem rel.pairs (c, d)
+  | None -> false
+
+let mem_role a (r : Role.t) c d =
+  if Role.is_inverse r then mem_binary a r.Role.base d c
+  else mem_binary a r.Role.base c d
+
+let individuals a =
+  Symbol.Tbl.fold (fun c () acc -> c :: acc) a.inds []
+  |> List.sort Symbol.compare
+
+let num_individuals a = Symbol.Tbl.length a.inds
+let num_atoms a = a.atom_count
+
+let unary_preds a =
+  Symbol.Tbl.fold (fun p _ acc -> p :: acc) a.unary [] |> List.sort Symbol.compare
+
+let binary_preds a =
+  Symbol.Tbl.fold (fun p _ acc -> p :: acc) a.binary []
+  |> List.sort Symbol.compare
+
+let unary_members a p =
+  match Symbol.Tbl.find_opt a.unary p with
+  | Some rel -> Symbol.Tbl.fold (fun c () acc -> c :: acc) rel []
+  | None -> []
+
+let binary_members a p =
+  match Symbol.Tbl.find_opt a.binary p with
+  | Some rel -> Hashtbl.fold (fun pr () acc -> pr :: acc) rel.pairs []
+  | None -> []
+
+let successors a p c =
+  match Symbol.Tbl.find_opt a.binary p with
+  | Some rel -> Option.value ~default:[] (Symbol.Tbl.find_opt rel.fwd c)
+  | None -> []
+
+let predecessors a p c =
+  match Symbol.Tbl.find_opt a.binary p with
+  | Some rel -> Option.value ~default:[] (Symbol.Tbl.find_opt rel.bwd c)
+  | None -> []
+
+let role_successors a (r : Role.t) c =
+  if Role.is_inverse r then predecessors a r.Role.base c
+  else successors a r.Role.base c
+
+let to_facts a =
+  let unary =
+    Symbol.Tbl.fold
+      (fun p rel acc ->
+        Symbol.Tbl.fold (fun c () acc -> Concept_assertion (p, c) :: acc) rel acc)
+      a.unary []
+  in
+  Symbol.Tbl.fold
+    (fun p rel acc ->
+      Hashtbl.fold
+        (fun (c, d) () acc -> Role_assertion (p, c, d) :: acc)
+        rel.pairs acc)
+    a.binary unary
+
+let of_facts facts =
+  let a = create () in
+  List.iter
+    (function
+      | Concept_assertion (p, c) -> add_unary a p c
+      | Role_assertion (p, c, d) -> add_binary a p c d)
+    facts;
+  a
+
+let copy a = of_facts (to_facts a)
+
+let pp ppf a =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+    pp_fact ppf (to_facts a)
+
+(* ------------------------------------------------------------------ *)
+(* Ontology interaction *)
+
+(* The basic concepts directly witnessed at [c] by the data. *)
+let seed_concepts tbox a c =
+  let from_unary =
+    List.filter_map
+      (fun p -> if mem_unary a p c then Some (Concept.Name p) else None)
+      (unary_preds a)
+  in
+  let from_binary =
+    List.concat_map
+      (fun p ->
+        let out = if successors a p c <> [] then [ Concept.Exists (Role.make p) ] else [] in
+        let inc =
+          if predecessors a p c <> [] then
+            [ Concept.Exists (Role.inv (Role.make p)) ]
+          else []
+        in
+        out @ inc)
+      (binary_preds a)
+  in
+  let from_refl =
+    List.concat_map
+      (fun r ->
+        if Tbox.reflexive tbox r then
+          [ Concept.Exists r; Concept.Exists (Role.inv r) ]
+        else [])
+      (Tbox.roles tbox)
+  in
+  (Concept.Top :: from_unary) @ from_binary @ from_refl
+
+let satisfies_concept tbox a c tau =
+  List.exists
+    (fun seed -> Tbox.subsumes tbox ~sub:seed ~sup:tau)
+    (seed_concepts tbox a c)
+
+(* T,A ⊨ ρ(c,d)? — ground role membership under the role hierarchy. *)
+let satisfies_role tbox a rho c d =
+  (c = d && Tbox.reflexive tbox rho)
+  || List.exists (fun sub -> mem_role a sub c d) (Tbox.subroles_of tbox rho)
+  || mem_role a rho c d
+
+let complete tbox a =
+  let out = copy a in
+  let inds = individuals a in
+  (* unary closure *)
+  List.iter
+    (fun c ->
+      let seeds = seed_concepts tbox a c in
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun sup ->
+              match sup with
+              | Concept.Name p -> add_unary out p c
+              | Concept.Top | Concept.Exists _ -> ())
+            (Tbox.superconcepts_of tbox seed))
+        seeds)
+    inds;
+  (* binary closure under the role hierarchy *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (c, d) ->
+          List.iter
+            (fun sup ->
+              if not (Role.equal sup (Role.make p)) then add_role out sup c d)
+            (Tbox.superroles_of tbox (Role.make p)))
+        (binary_members a p))
+    (binary_preds a);
+  (* reflexive roles: loops at every individual *)
+  List.iter
+    (fun r ->
+      if Tbox.reflexive tbox r && not (Role.is_inverse r) then
+        List.iter (fun c -> add_role out r c c) inds)
+    (Tbox.roles tbox);
+  out
+
+let is_complete tbox a =
+  let completed = complete tbox a in
+  num_atoms completed = num_atoms a
+
+let consistent tbox a =
+  let inds = individuals a in
+  let concept_clash =
+    List.exists
+      (fun (tau, tau') ->
+        List.exists
+          (fun c ->
+            satisfies_concept tbox a c tau && satisfies_concept tbox a c tau')
+          inds)
+      (Tbox.disjoint_concept_axioms tbox)
+  in
+  let role_pairs rho =
+    List.concat_map
+      (fun sub ->
+        let base = sub.Role.base in
+        List.map
+          (fun (c, d) -> if Role.is_inverse sub then (d, c) else (c, d))
+          (binary_members a base))
+      (Tbox.subroles_of tbox rho)
+  in
+  let role_clash =
+    List.exists
+      (fun (rho, rho') ->
+        (* both reflexive is also a clash on any individual *)
+        (Tbox.reflexive tbox rho && Tbox.reflexive tbox rho' && inds <> [])
+        || List.exists (fun (c, d) -> satisfies_role tbox a rho' c d) (role_pairs rho))
+      (Tbox.disjoint_role_axioms tbox)
+  in
+  let irrefl_clash =
+    List.exists
+      (fun rho ->
+        (Tbox.reflexive tbox rho && inds <> [])
+        || List.exists (fun c -> satisfies_role tbox a rho c c) inds)
+      (Tbox.irreflexive_axioms tbox)
+  in
+  not (concept_clash || role_clash || irrefl_clash)

@@ -1,0 +1,65 @@
+(** Data instances (ABoxes): finite sets of unary and binary ground atoms,
+    with indexes for evaluation. *)
+
+open Obda_syntax
+open Obda_ontology
+
+type const = Symbol.t
+
+type fact =
+  | Concept_assertion of Symbol.t * const  (** A(a) *)
+  | Role_assertion of Symbol.t * const * const  (** P(a,b) *)
+
+val pp_fact : Format.formatter -> fact -> unit
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+val of_facts : fact list -> t
+val to_facts : t -> fact list
+val add_unary : t -> Symbol.t -> const -> unit
+val add_binary : t -> Symbol.t -> const -> const -> unit
+
+val add_role : t -> Role.t -> const -> const -> unit
+(** [add_role a ρ c d] adds P(c,d) if ρ = P and P(d,c) if ρ = P⁻. *)
+
+val mem_unary : t -> Symbol.t -> const -> bool
+val mem_binary : t -> Symbol.t -> const -> const -> bool
+val mem_role : t -> Role.t -> const -> const -> bool
+
+val individuals : t -> const list
+(** ind(A), sorted. *)
+
+val num_individuals : t -> int
+val num_atoms : t -> int
+val unary_preds : t -> Symbol.t list
+val binary_preds : t -> Symbol.t list
+val unary_members : t -> Symbol.t -> const list
+val binary_members : t -> Symbol.t -> (const * const) list
+
+val successors : t -> Symbol.t -> const -> const list
+(** [{b | P(a,b) ∈ A}]. *)
+
+val predecessors : t -> Symbol.t -> const -> const list
+
+val role_successors : t -> Role.t -> const -> const list
+(** ρ-successors, resolving inverses. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Interaction with an ontology} *)
+
+val satisfies_concept : Tbox.t -> t -> const -> Concept.t -> bool
+(** [satisfies_concept T A a τ] iff T,A ⊨ τ(a) — ABox-level instance check. *)
+
+val complete : Tbox.t -> t -> t
+(** The complete (w.r.t. the TBox) extension of the instance: all entailed
+    ground atoms over ind(A) whose predicates appear in the TBox or the
+    instance are added (including the normalisation predicates A_ρ). *)
+
+val is_complete : Tbox.t -> t -> bool
+
+val consistent : Tbox.t -> t -> bool
+(** Whether (T, A) has a model, i.e. no disjointness or irreflexivity axiom
+    is violated. *)

@@ -1,0 +1,61 @@
+open Obda_syntax
+
+type graph_params = {
+  vertices : int;
+  edge_prob : float;
+  concept_prob : float;
+}
+
+let table2_params =
+  [
+    ("1.ttl", { vertices = 1_000; edge_prob = 0.050; concept_prob = 0.050 });
+    ("2.ttl", { vertices = 5_000; edge_prob = 0.002; concept_prob = 0.004 });
+    ("3.ttl", { vertices = 10_000; edge_prob = 0.002; concept_prob = 0.004 });
+    ("4.ttl", { vertices = 20_000; edge_prob = 0.002; concept_prob = 0.010 });
+  ]
+
+let vertex_name i = Symbol.intern (Printf.sprintf "v%d" i)
+
+let erdos_renyi ?(seed = 42) ~edge_pred ~concepts params =
+  let rng = Random.State.make [| seed; params.vertices |] in
+  let a = Abox.create () in
+  let v = params.vertices in
+  (* Sample the number of successors per vertex binomially via the geometric
+     skipping trick, so generation is O(edges) rather than O(V^2). *)
+  let p = params.edge_prob in
+  let log1mp = if p >= 1.0 then neg_infinity else log (1.0 -. p) in
+  for i = 0 to v - 1 do
+    let ci = vertex_name i in
+    List.iter
+      (fun concept ->
+        if Random.State.float rng 1.0 < params.concept_prob then
+          Abox.add_unary a concept ci)
+      concepts;
+    if p > 0.0 then begin
+      let j = ref (-1) in
+      let continue = ref true in
+      while !continue do
+        let r = Random.State.float rng 1.0 in
+        let skip =
+          if log1mp = neg_infinity then 1
+          else 1 + int_of_float (log (1.0 -. r) /. log1mp)
+        in
+        j := !j + skip;
+        if !j >= v then continue := false
+        else if !j <> i then Abox.add_binary a edge_pred ci (vertex_name !j)
+      done
+    end
+  done;
+  (* make sure every vertex is in ind(A) even if it got no atoms *)
+  a
+
+let scale factor params =
+  let vertices = max 2 (int_of_float (float_of_int params.vertices *. factor)) in
+  (* keep average degree V·p constant *)
+  let edge_prob =
+    min 1.0
+      (params.edge_prob *. float_of_int params.vertices /. float_of_int vertices)
+  in
+  { params with vertices; edge_prob }
+
+let vertex i = vertex_name i

@@ -1,0 +1,30 @@
+(** Random data instances for the experiments (Appendix D.2, Table 2). *)
+
+open Obda_syntax
+
+type graph_params = {
+  vertices : int;  (** V *)
+  edge_prob : float;  (** p: probability of a directed R-edge *)
+  concept_prob : float;  (** q: probability of each marker concept at a vertex *)
+}
+
+val table2_params : (string * graph_params) list
+(** The four datasets of Table 2 (names "1.ttl" … "4.ttl"). *)
+
+val erdos_renyi :
+  ?seed:int ->
+  edge_pred:Symbol.t ->
+  concepts:Symbol.t list ->
+  graph_params ->
+  Abox.t
+(** An Erdős–Rényi instance: each ordered pair (u,v), u ≠ v, carries an
+    [edge_pred] atom with probability p, and each vertex carries each of the
+    marker [concepts] with probability q.  Deterministic for a fixed seed. *)
+
+val scale : float -> graph_params -> graph_params
+(** Scale the vertex count by the factor (probabilities adjusted to keep the
+    average degree, so the graph shape is preserved at smaller size). *)
+
+val vertex : int -> Symbol.t
+(** [vertex i] is the interned name of the [i]-th generated vertex, handy in
+    tests. *)

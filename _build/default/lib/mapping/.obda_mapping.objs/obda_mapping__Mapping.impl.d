@@ -1,0 +1,1 @@
+lib/mapping/mapping.ml: Abox List Obda_data Obda_ndl Obda_syntax Printf Source Symbol

@@ -1,0 +1,1 @@
+lib/mapping/mapping.mli: Abox Obda_data Obda_ndl Obda_syntax Source Symbol

@@ -1,0 +1,1 @@
+lib/mapping/source.ml: Format List Obda_syntax Option Symbol

@@ -1,0 +1,1 @@
+lib/mapping/source.mli: Obda_syntax Symbol

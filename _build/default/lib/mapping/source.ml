@@ -1,0 +1,48 @@
+open Obda_syntax
+
+type t = {
+  rels : (Symbol.t list list ref * int) Symbol.Tbl.t;
+  consts : unit Symbol.Tbl.t;
+}
+
+let create () = { rels = Symbol.Tbl.create 16; consts = Symbol.Tbl.create 64 }
+
+let add src p tuple =
+  let n = List.length tuple in
+  (match Symbol.Tbl.find_opt src.rels p with
+  | Some (rows, arity) ->
+    if arity <> n then
+      Format.kasprintf invalid_arg
+        "Source.add: %a used with arities %d and %d" Symbol.pp p arity n;
+    rows := tuple :: !rows
+  | None -> Symbol.Tbl.add src.rels p (ref [ tuple ], n));
+  List.iter
+    (fun c -> if not (Symbol.Tbl.mem src.consts c) then Symbol.Tbl.add src.consts c ())
+    tuple
+
+let add_row src p row =
+  add src (Symbol.intern p) (List.map Symbol.intern row)
+
+let relations src =
+  Symbol.Tbl.fold (fun p _ acc -> p :: acc) src.rels []
+  |> List.sort Symbol.compare
+
+let arity src p =
+  Option.map (fun (_, n) -> n) (Symbol.Tbl.find_opt src.rels p)
+
+let tuples src p =
+  match Symbol.Tbl.find_opt src.rels p with
+  | Some (rows, _) -> List.rev !rows
+  | None -> []
+
+let constants src =
+  Symbol.Tbl.fold (fun c () acc -> c :: acc) src.consts []
+  |> List.sort Symbol.compare
+
+let num_tuples src =
+  Symbol.Tbl.fold (fun _ (rows, _) acc -> acc + List.length !rows) src.rels 0
+
+let edb_provider src p _arity =
+  match Symbol.Tbl.find_opt src.rels p with
+  | Some (rows, _) -> Some (List.rev !rows)
+  | None -> None

@@ -1,0 +1,28 @@
+(** A relational data source D: named n-ary relations over constants.
+
+    This is the "actual structure of the data" of the paper's introduction —
+    arbitrary-arity tables that end users never see; the GAV mapping
+    ({!Mapping}) connects it to the ontology vocabulary. *)
+
+open Obda_syntax
+
+type t
+
+val create : unit -> t
+
+val add : t -> Symbol.t -> Symbol.t list -> unit
+(** Add a tuple to a relation (the arity is fixed by the first tuple;
+    raises [Invalid_argument] on a mismatch). *)
+
+val add_row : t -> string -> string list -> unit
+(** [add] with string names, for convenience. *)
+
+val relations : t -> Symbol.t list
+val arity : t -> Symbol.t -> int option
+val tuples : t -> Symbol.t -> Symbol.t list list
+val constants : t -> Symbol.t list
+val num_tuples : t -> int
+
+val edb_provider : t -> Obda_syntax.Symbol.t -> int -> Symbol.t list list option
+(** For {!Obda_ndl.Eval.run}'s [?edb] argument: [Some tuples] for the
+    source's relations, [None] otherwise. *)

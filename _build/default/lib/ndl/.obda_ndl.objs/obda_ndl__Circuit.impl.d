@@ -1,0 +1,1 @@
+lib/ndl/circuit.ml: Abox Hashtbl List Ndl Obda_data Obda_syntax Option String Symbol

@@ -1,0 +1,1 @@
+lib/ndl/circuit.mli: Abox Ndl Obda_data

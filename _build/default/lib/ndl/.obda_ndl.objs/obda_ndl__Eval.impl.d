@@ -1,0 +1,1 @@
+lib/ndl/eval.ml: Abox Array Hashtbl Int List Ndl Obda_data Obda_syntax Option Printf Symbol

@@ -1,0 +1,1 @@
+lib/ndl/eval.mli: Abox Ndl Obda_data Obda_syntax Symbol

@@ -1,0 +1,1 @@
+lib/ndl/linear_eval.ml: Abox Hashtbl Int List Ndl Obda_data Obda_syntax Option Queue Symbol

@@ -1,0 +1,1 @@
+lib/ndl/ndl.ml: Format List Obda_syntax Option String Symbol

@@ -1,0 +1,1 @@
+lib/ndl/ndl.mli: Format Obda_syntax Symbol

@@ -1,0 +1,1 @@
+lib/ndl/optimize.ml: Hashtbl List Ndl Obda_syntax Option Printf Set String Symbol

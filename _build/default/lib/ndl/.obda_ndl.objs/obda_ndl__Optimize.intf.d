@@ -1,0 +1,1 @@
+lib/ndl/optimize.mli: Ndl Obda_syntax Symbol

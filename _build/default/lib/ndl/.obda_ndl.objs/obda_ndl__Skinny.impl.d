@@ -1,0 +1,1 @@
+lib/ndl/skinny.ml: Int List Ndl Obda_syntax Option Set String Symbol

@@ -1,0 +1,1 @@
+lib/ndl/skinny.mli: Ndl

@@ -1,0 +1,1 @@
+lib/ndl/star.ml: Array Concept Format List Ndl Obda_ontology Obda_syntax Option Printf Role Set String Symbol Tbox

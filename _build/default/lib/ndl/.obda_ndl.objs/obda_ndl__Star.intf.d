@@ -1,0 +1,1 @@
+lib/ndl/star.mli: Ndl Obda_ontology Tbox

@@ -1,0 +1,115 @@
+open Obda_syntax
+open Obda_data
+
+type stats = { and_gates : int; or_gates : int; inputs : int; depth : int }
+
+type ground = Symbol.t * int list
+
+let boolean (q : Ndl.query) abox =
+  if not (Ndl.is_skinny q) then invalid_arg "Circuit: program is not skinny";
+  (match Ndl.arity_of q q.Ndl.goal with
+  | Some 0 -> ()
+  | _ -> invalid_arg "Circuit: goal must be 0-ary");
+  let idb = Ndl.idb_preds q in
+  let domain =
+    List.map (fun (c : Abox.const) -> (c :> int)) (Abox.individuals abox)
+  in
+  let by_head = Symbol.Tbl.create 16 in
+  List.iter
+    (fun (c : Ndl.clause) ->
+      let cur = Option.value ~default:[] (Symbol.Tbl.find_opt by_head (fst c.Ndl.head)) in
+      Symbol.Tbl.replace by_head (fst c.Ndl.head) (c :: cur))
+    q.Ndl.clauses;
+  let memo : (ground, bool * int) Hashtbl.t = Hashtbl.create 256 in
+  let and_gates = ref 0 and or_gates = ref 0 and inputs = ref 0 in
+  (* truth and depth of an EDB input *)
+  let input_value atom env =
+    incr inputs;
+    let value t =
+      match t with
+      | Ndl.Cst c -> Some (c :> int)
+      | Ndl.Var v -> List.assoc_opt v env
+    in
+    match atom with
+    | Ndl.Eq (t1, t2) -> (
+      match (value t1, value t2) with Some a, Some b -> a = b | _ -> false)
+    | Ndl.Dom t -> (
+      match value t with Some c -> List.mem c domain | None -> false)
+    | Ndl.Pred (p, [ t ]) -> (
+      match value t with
+      | Some c -> Abox.mem_unary abox p (Symbol.unsafe_of_int c)
+      | None -> false)
+    | Ndl.Pred (p, [ t1; t2 ]) -> (
+      match (value t1, value t2) with
+      | Some c, Some d ->
+        Abox.mem_binary abox p (Symbol.unsafe_of_int c) (Symbol.unsafe_of_int d)
+      | _ -> false)
+    | Ndl.Pred _ -> false
+  in
+  (* enumerate assignments for the unbound variables of the body over the
+     active domain (bounded width keeps this small) *)
+  let rec assignments env vars k =
+    match vars with
+    | [] -> k env
+    | v :: rest ->
+      if List.mem_assoc v env then assignments env rest k
+      else List.iter (fun c -> assignments ((v, c) :: env) rest k) domain
+  in
+  let rec gate ((p, args) as g : ground) : bool * int =
+    match Hashtbl.find_opt memo g with
+    | Some r -> r
+    | None ->
+      incr or_gates;
+      let clauses = Option.value ~default:[] (Symbol.Tbl.find_opt by_head p) in
+      let best = ref false and depth = ref 0 in
+      List.iter
+        (fun (c : Ndl.clause) ->
+          (* unify the head with the ground atom *)
+          let rec unify env ts args =
+            match (ts, args) with
+            | [], [] -> Some env
+            | Ndl.Cst c' :: ts', a :: args' ->
+              if (c' :> int) = a then unify env ts' args' else None
+            | Ndl.Var v :: ts', a :: args' -> (
+              match List.assoc_opt v env with
+              | Some c' -> if c' = a then unify env ts' args' else None
+              | None -> unify ((v, a) :: env) ts' args')
+            | _ -> None
+          in
+          match unify [] (snd c.Ndl.head) args with
+          | None -> ()
+          | Some env ->
+            let body_vars =
+              List.concat_map Ndl.atom_vars c.Ndl.body
+              |> List.sort_uniq String.compare
+            in
+            assignments env body_vars (fun env' ->
+                incr and_gates;
+                let conj_value = ref true and conj_depth = ref 0 in
+                List.iter
+                  (fun atom ->
+                    match atom with
+                    | Ndl.Pred (p', ts') when Symbol.Set.mem p' idb ->
+                      let args' =
+                        List.map
+                          (fun t ->
+                            match t with
+                            | Ndl.Cst c' -> (c' :> int)
+                            | Ndl.Var v -> List.assoc v env')
+                          ts'
+                      in
+                      let v, d = gate (p', args') in
+                      conj_value := !conj_value && v;
+                      conj_depth := max !conj_depth d
+                    | _ ->
+                      if not (input_value atom env') then conj_value := false)
+                  c.Ndl.body;
+                if !conj_value then best := true;
+                depth := max !depth (1 + !conj_depth)))
+        clauses;
+      let r = (!best, 1 + !depth) in
+      Hashtbl.replace memo g r;
+      r
+  in
+  let value, depth = gate (q.Ndl.goal, []) in
+  (value, { and_gates = !and_gates; or_gates = !or_gates; inputs = !inputs; depth })

@@ -1,0 +1,26 @@
+(** The monotone Boolean circuit of Lemma 4: from a skinny NDL query and a
+    data instance, build the semi-unbounded fan-in circuit whose gates are
+    the ground atoms of the grounding (or-gates over clause bodies, and-gates
+    of fan-in ≤ 2) and evaluate it.
+
+    This realises the LOGCFL upper bound concretely: the circuit has
+    polynomially many gates and depth O(d(Π,G)), so an NAuxPDA can evaluate
+    it in logarithmic space and polynomial time (Lemmas 4–6).  Evaluation
+    agrees with the bottom-up engine. *)
+
+
+open Obda_data
+
+type stats = {
+  and_gates : int;
+  or_gates : int;
+  inputs : int;
+  depth : int;  (** circuit depth in gates *)
+}
+
+val boolean : Ndl.query -> Abox.t -> bool * stats
+(** For a skinny query with a 0-ary goal: the output of the circuit with
+    output gate G(), plus its size/depth statistics.  Raises
+    [Invalid_argument] if the program is not skinny or the goal is not
+    0-ary.  (Non-Boolean goals can be handled by grounding the answer
+    tuple; the tests use {!Skinny.transform} on Boolean rewritings.) *)

@@ -1,0 +1,367 @@
+open Obda_syntax
+open Obda_data
+
+exception Timeout
+
+(* ------------------------------------------------------------------ *)
+(* Relations *)
+
+module Key = struct
+  type t = int list
+
+  let equal = List.equal Int.equal
+  let hash = Hashtbl.hash
+end
+
+module KeyTbl = Hashtbl.Make (Key)
+
+type relation = {
+  arity : int;
+  tuples : (int array, unit) Hashtbl.t;
+  mutable indexes : (int list * int array list KeyTbl.t) list;
+      (* sorted position list -> key values -> matching tuples *)
+}
+
+let relation_create arity =
+  { arity; tuples = Hashtbl.create 64; indexes = [] }
+
+let relation_arity r = r.arity
+let relation_size r = Hashtbl.length r.tuples
+
+let relation_tuples r =
+  Hashtbl.fold (fun t () acc -> Array.to_list t :: acc) r.tuples []
+  |> List.sort (List.compare Int.compare)
+  |> List.map (List.map Symbol.unsafe_of_int)
+
+let relation_add r tuple =
+  if Hashtbl.mem r.tuples tuple then false
+  else begin
+    Hashtbl.add r.tuples tuple ();
+    (* keep existing indexes in sync *)
+    List.iter
+      (fun (positions, tbl) ->
+        let key = List.map (fun p -> tuple.(p)) positions in
+        let cur = Option.value ~default:[] (KeyTbl.find_opt tbl key) in
+        KeyTbl.replace tbl key (tuple :: cur))
+      r.indexes;
+    true
+  end
+
+let relation_index r positions =
+  match List.assoc_opt positions r.indexes with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = KeyTbl.create (max 64 (Hashtbl.length r.tuples)) in
+    Hashtbl.iter
+      (fun tuple () ->
+        let key = List.map (fun p -> tuple.(p)) positions in
+        let cur = Option.value ~default:[] (KeyTbl.find_opt tbl key) in
+        KeyTbl.replace tbl key (tuple :: cur))
+      r.tuples;
+    r.indexes <- (positions, tbl) :: r.indexes;
+    tbl
+
+let relation_lookup r positions key =
+  if positions = [] then
+    Hashtbl.fold (fun t () acc -> t :: acc) r.tuples []
+  else
+    let tbl = relation_index r positions in
+    Option.value ~default:[] (KeyTbl.find_opt tbl key)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled clauses *)
+
+type cterm = CV of int | CC of int
+
+type catom =
+  | CPred of Symbol.t * cterm array
+  | CEq of cterm * cterm
+  | CDom of cterm
+
+let compile_clause (c : Ndl.clause) =
+  let vars = Ndl.clause_vars c in
+  let index = Hashtbl.create 8 in
+  List.iteri (fun i v -> Hashtbl.replace index v i) vars;
+  let cterm = function
+    | Ndl.Var v -> CV (Hashtbl.find index v)
+    | Ndl.Cst c -> CC (c :> int)
+  in
+  let catom = function
+    | Ndl.Pred (p, ts) -> CPred (p, Array.of_list (List.map cterm ts))
+    | Ndl.Eq (t1, t2) -> CEq (cterm t1, cterm t2)
+    | Ndl.Dom t -> CDom (cterm t)
+  in
+  let head = Array.of_list (List.map cterm (snd c.head)) in
+  (List.length vars, head, List.map catom c.body)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation *)
+
+type result = {
+  answers : Symbol.t list list;
+  generated_tuples : int;
+  idb_relations : relation Symbol.Map.t;
+}
+
+type env = {
+  relations : relation Symbol.Tbl.t;  (* EDB (from the ABox) and IDB *)
+  abox : Abox.t;
+  external_edb : Symbol.t -> int -> Symbol.t list list option;
+  domain : int array;
+  domain_set : (int, unit) Hashtbl.t;
+  deadline : unit -> bool;
+  mutable ticks : int;
+}
+
+let tick env =
+  env.ticks <- env.ticks + 1;
+  if env.ticks land 0xFFF = 0 && env.deadline () then raise Timeout
+
+let get_relation env p ~arity =
+  match Symbol.Tbl.find_opt env.relations p with
+  | Some r -> r
+  | None ->
+    (* an EDB predicate: the external source first, then the ABox *)
+    let r = relation_create arity in
+    (match env.external_edb p arity with
+    | Some tuples ->
+      List.iter
+        (fun tuple ->
+          ignore
+            (relation_add r
+               (Array.of_list (List.map (fun (c : Symbol.t) -> (c :> int)) tuple))))
+        tuples
+    | None -> (
+      match arity with
+      | 1 ->
+        List.iter
+          (fun (c : Symbol.t) -> ignore (relation_add r [| (c :> int) |]))
+          (Abox.unary_members env.abox p)
+      | 2 ->
+        List.iter
+          (fun ((c : Symbol.t), (d : Symbol.t)) ->
+            ignore (relation_add r [| (c :> int); (d :> int) |]))
+          (Abox.binary_members env.abox p)
+      | 0 -> ()
+      | n -> invalid_arg (Printf.sprintf "Eval: EDB predicate of arity %d" n)));
+    Symbol.Tbl.replace env.relations p r;
+    r
+
+(* Choose a static atom order for a clause: repeatedly pick the cheapest
+   atom given the variables bound so far. *)
+let order_atoms env nvars atoms =
+  let bound = Array.make nvars false in
+  let term_bound = function CV i -> bound.(i) | CC _ -> true in
+  let score = function
+    | CEq (t1, t2) ->
+      if term_bound t1 || term_bound t2 then max_int else -1000
+    | CDom t -> if term_bound t then max_int - 1 else -100
+    | CPred (p, ts) ->
+      let bound_count =
+        Array.fold_left (fun acc t -> if term_bound t then acc + 1 else acc) 0 ts
+      in
+      let size =
+        match Symbol.Tbl.find_opt env.relations p with
+        | Some r -> relation_size r
+        | None -> 0 (* EDB not yet materialised; assume large-ish *)
+      in
+      (bound_count * 1_000_000) - min size 999_999
+  in
+  let bind_atom = function
+    | CEq (t1, t2) | CPred (_, [| t1; t2 |]) ->
+      (match t1 with CV i -> bound.(i) <- true | CC _ -> ());
+      (match t2 with CV i -> bound.(i) <- true | CC _ -> ())
+    | CDom t | CPred (_, [| t |]) -> (
+      match t with CV i -> bound.(i) <- true | CC _ -> ())
+    | CPred (_, ts) ->
+      Array.iter (function CV i -> bound.(i) <- true | CC _ -> ()) ts
+  in
+  let rec pick acc remaining =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      let best =
+        List.fold_left
+          (fun best a ->
+            match best with
+            | None -> Some a
+            | Some b -> if score a > score b then Some a else best)
+          None remaining
+      in
+      let a = Option.get best in
+      bind_atom a;
+      pick (a :: acc) (List.filter (fun a' -> a' != a) remaining)
+  in
+  pick [] atoms
+
+let eval_clause env target (c : Ndl.clause) =
+  let nvars, head, body = compile_clause c in
+  let body = order_atoms env nvars body in
+  let binding = Array.make nvars (-1) in
+  let value = function CV i -> binding.(i) | CC c -> c in
+  let is_bound = function CV i -> binding.(i) >= 0 | CC _ -> true in
+  let emit () =
+    let tuple =
+      Array.map
+        (fun t ->
+          let v = value t in
+          assert (v >= 0);
+          v)
+        head
+    in
+    ignore (relation_add target tuple)
+  in
+  let rec go atoms =
+    tick env;
+    match atoms with
+    | [] -> emit ()
+    | CEq (t1, t2) :: rest -> (
+      match (is_bound t1, is_bound t2) with
+      | true, true -> if value t1 = value t2 then go rest
+      | true, false -> (
+        match t2 with
+        | CV i ->
+          binding.(i) <- value t1;
+          go rest;
+          binding.(i) <- -1
+        | CC _ -> assert false)
+      | false, true -> (
+        match t1 with
+        | CV i ->
+          binding.(i) <- value t2;
+          go rest;
+          binding.(i) <- -1
+        | CC _ -> assert false)
+      | false, false -> (
+        (* last resort: both sides range over the active domain *)
+        match (t1, t2) with
+        | CV i, CV j ->
+          Array.iter
+            (fun c ->
+              binding.(i) <- c;
+              binding.(j) <- c;
+              go rest)
+            env.domain;
+          binding.(i) <- -1;
+          binding.(j) <- -1
+        | _ -> assert false))
+    | CDom t :: rest ->
+      if is_bound t then begin
+        (* membership in the active domain *)
+        if Hashtbl.mem env.domain_set (value t) then go rest
+      end
+      else (
+        match t with
+        | CV i ->
+          Array.iter
+            (fun c ->
+              binding.(i) <- c;
+              go rest)
+            env.domain;
+          binding.(i) <- -1
+        | CC _ -> assert false)
+    | CPred (p, ts) :: rest ->
+      let arity = Array.length ts in
+      let r = get_relation env p ~arity in
+      (* bound positions and their key *)
+      let positions = ref [] and key = ref [] in
+      Array.iteri
+        (fun i t ->
+          if is_bound t then begin
+            positions := i :: !positions;
+            key := value t :: !key
+          end)
+        ts;
+      let positions = List.rev !positions and key = List.rev !key in
+      let matches = relation_lookup r positions key in
+      List.iter
+        (fun tuple ->
+          (* bind the unbound positions, checking intra-atom repetitions *)
+          let rec bind i undo =
+            if i = arity then begin
+              go rest;
+              List.iter (fun j -> binding.(j) <- -1) undo
+            end
+            else
+              match ts.(i) with
+              | CC c -> if tuple.(i) = c then bind (i + 1) undo else List.iter (fun j -> binding.(j) <- -1) undo
+              | CV j ->
+                if binding.(j) >= 0 then
+                  if binding.(j) = tuple.(i) then bind (i + 1) undo
+                  else List.iter (fun j' -> binding.(j') <- -1) undo
+                else begin
+                  binding.(j) <- tuple.(i);
+                  bind (i + 1) (j :: undo)
+                end
+          in
+          bind 0 [])
+        matches
+  in
+  go body
+
+let run ?(deadline = fun () -> false) ?(edb = fun _ _ -> None)
+    ?(extra_domain = []) (q : Ndl.query) abox =
+  let order = Ndl.topo_order q in
+  let idb = Ndl.idb_preds q in
+  let domain =
+    Array.of_list
+      (List.sort_uniq Int.compare
+         (List.map
+            (fun (c : Abox.const) -> (c :> int))
+            (Abox.individuals abox @ extra_domain)))
+  in
+  let domain_set = Hashtbl.create (Array.length domain * 2) in
+  Array.iter (fun c -> Hashtbl.replace domain_set c ()) domain;
+  let env =
+    {
+      relations = Symbol.Tbl.create 64;
+      abox;
+      external_edb = edb;
+      domain;
+      domain_set;
+      deadline;
+      ticks = 0;
+    }
+  in
+  (* group clauses by head *)
+  let by_head = Symbol.Tbl.create 16 in
+  List.iter
+    (fun (c : Ndl.clause) ->
+      let cur = Option.value ~default:[] (Symbol.Tbl.find_opt by_head (fst c.head)) in
+      Symbol.Tbl.replace by_head (fst c.head) (c :: cur))
+    q.clauses;
+  List.iter
+    (fun p ->
+      let clauses = Option.value ~default:[] (Symbol.Tbl.find_opt by_head p) in
+      let arity =
+        match clauses with
+        | c :: _ -> List.length (snd c.Ndl.head)
+        | [] -> 0
+      in
+      let target = relation_create arity in
+      (* register first so self-references would be caught by topo_order *)
+      Symbol.Tbl.replace env.relations p target;
+      List.iter (fun c -> eval_clause env target c) (List.rev clauses))
+    order;
+  let idb_relations =
+    Symbol.Set.fold
+      (fun p acc ->
+        match Symbol.Tbl.find_opt env.relations p with
+        | Some r -> Symbol.Map.add p r acc
+        | None -> acc)
+      idb Symbol.Map.empty
+  in
+  let generated_tuples =
+    Symbol.Map.fold (fun _ r acc -> acc + relation_size r) idb_relations 0
+  in
+  let answers =
+    match Symbol.Map.find_opt q.goal idb_relations with
+    | Some r -> relation_tuples r
+    | None -> []
+  in
+  { answers; generated_tuples; idb_relations }
+
+let answers q abox = (run q abox).answers
+
+let boolean q abox =
+  match (run q abox).answers with [] -> false | _ :: _ -> true

@@ -1,0 +1,41 @@
+(** Bottom-up evaluation of nonrecursive datalog over a data instance.
+
+    Every IDB predicate is fully materialised in dependence order, exactly
+    like the RDFox configuration used in the paper's Appendix D (no magic
+    sets).  The number of generated tuples is reported, matching the
+    "generated tuples" columns of Tables 3–5. *)
+
+open Obda_syntax
+open Obda_data
+
+exception Timeout
+
+type relation
+(** A set of constant tuples of fixed arity. *)
+
+val relation_arity : relation -> int
+val relation_size : relation -> int
+val relation_tuples : relation -> Symbol.t list list
+
+type result = {
+  answers : Symbol.t list list;  (** tuples of the goal relation, sorted *)
+  generated_tuples : int;  (** Σ sizes of all materialised IDB relations *)
+  idb_relations : relation Symbol.Map.t;
+}
+
+val run :
+  ?deadline:(unit -> bool) ->
+  ?edb:(Symbol.t -> int -> Symbol.t list list option) ->
+  ?extra_domain:Symbol.t list ->
+  Ndl.query -> Abox.t -> result
+(** Raises [Invalid_argument] on a recursive program and [Timeout] whenever
+    [deadline ()] becomes true.
+
+    [edb] supplies tuples for extensional predicates not stored in the ABox
+    (e.g. the n-ary relations of a mapped data source); it is consulted
+    first, with the ABox as fallback.  [extra_domain] extends the active
+    domain (⊤) beyond ind(A). *)
+
+val answers : Ndl.query -> Abox.t -> Symbol.t list list
+val boolean : Ndl.query -> Abox.t -> bool
+(** For a 0-ary goal: whether the goal is derivable. *)

@@ -1,0 +1,210 @@
+open Obda_syntax
+open Obda_data
+
+type ground = Symbol.t * int list
+
+(* backtracking matcher for a conjunction of EDB atoms over the data *)
+let rec solutions abox domain env atoms k =
+  match atoms with
+  | [] -> k env
+  | _ ->
+    let bound_term env = function
+      | Ndl.Var v -> List.mem_assoc v env
+      | Ndl.Cst _ -> true
+    in
+    let score a =
+      List.length (List.filter (bound_term env) (Ndl.atom_terms a))
+    in
+    let atom =
+      List.fold_left
+        (fun best a ->
+          match best with
+          | None -> Some a
+          | Some b -> if score a > score b then Some a else best)
+        None atoms
+      |> Option.get
+    in
+    let rest = List.filter (fun a -> a != atom) atoms in
+    let value env = function
+      | Ndl.Var v -> List.assoc_opt v env
+      | Ndl.Cst c -> Some (c :> int)
+    in
+    let continue_with env = solutions abox domain env rest k in
+    let bind env t c =
+      match t with
+      | Ndl.Cst c' -> if (c' :> int) = c then Some env else None
+      | Ndl.Var v -> (
+        match List.assoc_opt v env with
+        | Some c' -> if c' = c then Some env else None
+        | None -> Some ((v, c) :: env))
+    in
+    (match atom with
+    | Ndl.Eq (t1, t2) -> (
+      match (value env t1, value env t2) with
+      | Some c, _ -> (
+        match bind env t2 c with Some env -> continue_with env | None -> ())
+      | None, Some d -> (
+        match bind env t1 d with Some env -> continue_with env | None -> ())
+      | None, None ->
+        List.iter
+          (fun c ->
+            match bind env t1 c with
+            | Some env1 -> (
+              match bind env1 t2 c with
+              | Some env2 -> continue_with env2
+              | None -> ())
+            | None -> ())
+          domain)
+    | Ndl.Dom t -> (
+      match value env t with
+      | Some c -> if List.mem c domain then continue_with env
+      | None ->
+        List.iter
+          (fun c ->
+            match bind env t c with
+            | Some env -> continue_with env
+            | None -> ())
+          domain)
+    | Ndl.Pred (p, [ t ]) -> (
+      match value env t with
+      | Some c ->
+        if Abox.mem_unary abox p (Symbol.unsafe_of_int c) then continue_with env
+      | None ->
+        List.iter
+          (fun c ->
+            match bind env t ((c : Symbol.t) :> int) with
+            | Some env -> continue_with env
+            | None -> ())
+          (Abox.unary_members abox p))
+    | Ndl.Pred (p, [ t1; t2 ]) -> (
+      match (value env t1, value env t2) with
+      | Some c, Some d ->
+        if Abox.mem_binary abox p (Symbol.unsafe_of_int c) (Symbol.unsafe_of_int d)
+        then continue_with env
+      | Some c, None ->
+        List.iter
+          (fun d ->
+            match bind env t2 ((d : Symbol.t) :> int) with
+            | Some env -> continue_with env
+            | None -> ())
+          (Abox.successors abox p (Symbol.unsafe_of_int c))
+      | None, Some d ->
+        List.iter
+          (fun c ->
+            match bind env t1 ((c : Symbol.t) :> int) with
+            | Some env -> continue_with env
+            | None -> ())
+          (Abox.predecessors abox p (Symbol.unsafe_of_int d))
+      | None, None ->
+        List.iter
+          (fun ((c : Symbol.t), (d : Symbol.t)) ->
+            match bind env t1 (c :> int) with
+            | Some env1 -> (
+              match bind env1 t2 (d :> int) with
+              | Some env2 -> continue_with env2
+              | None -> ())
+            | None -> ())
+          (Abox.binary_members abox p))
+    | Ndl.Pred (_, _) -> invalid_arg "Linear_eval: EDB arity > 2")
+
+let ground_head env (p, ts) : ground =
+  ( p,
+    List.map
+      (fun t ->
+        match t with
+        | Ndl.Cst c -> (c :> int)
+        | Ndl.Var v -> (
+          match List.assoc_opt v env with
+          | Some c -> c
+          | None -> invalid_arg "Linear_eval: unsafe head variable"))
+      ts )
+
+let run (q : Ndl.query) abox =
+  if not (Ndl.is_linear q) then
+    invalid_arg "Linear_eval: program is not linear";
+  let idb = Ndl.idb_preds q in
+  let domain =
+    List.map (fun (c : Abox.const) -> (c :> int)) (Abox.individuals abox)
+  in
+  let split_body (c : Ndl.clause) =
+    List.partition
+      (function Ndl.Pred (p, _) -> Symbol.Set.mem p idb | Ndl.Eq _ | Ndl.Dom _ -> false)
+      c.Ndl.body
+  in
+  (* clauses indexed by the IDB predicate they consume *)
+  let consumers : (Ndl.clause * Ndl.atom) list Symbol.Tbl.t =
+    Symbol.Tbl.create 16
+  in
+  let source_clauses = ref [] in
+  List.iter
+    (fun (c : Ndl.clause) ->
+      match split_body c with
+      | [], _ -> source_clauses := c :: !source_clauses
+      | [ (Ndl.Pred (p, _) as a) ], _ ->
+        let cur = Option.value ~default:[] (Symbol.Tbl.find_opt consumers p) in
+        Symbol.Tbl.replace consumers p ((c, a) :: cur)
+      | _ -> assert false)
+    q.Ndl.clauses;
+  let reached : (ground, unit) Hashtbl.t = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let edges = ref 0 in
+  let sources = ref 0 in
+  let push g =
+    if not (Hashtbl.mem reached g) then begin
+      Hashtbl.add reached g ();
+      Queue.add g queue
+    end
+  in
+  (* the set X: heads of IDB-free ground clauses *)
+  List.iter
+    (fun (c : Ndl.clause) ->
+      solutions abox domain [] c.Ndl.body (fun env ->
+          incr sources;
+          push (ground_head env c.Ndl.head)))
+    !source_clauses;
+  (* forward reachability *)
+  while not (Queue.is_empty queue) do
+    let p, args = Queue.pop queue in
+    List.iter
+      (fun ((c : Ndl.clause), atom) ->
+        match atom with
+        | Ndl.Pred (_, ts) ->
+          (* unify the IDB atom with the reached ground atom *)
+          let rec unify env ts args =
+            match (ts, args) with
+            | [], [] -> Some env
+            | t :: ts', a :: args' -> (
+              match t with
+              | Ndl.Cst c' -> if (c' :> int) = a then unify env ts' args' else None
+              | Ndl.Var v -> (
+                match List.assoc_opt v env with
+                | Some c' -> if c' = a then unify env ts' args' else None
+                | None -> unify ((v, a) :: env) ts' args'))
+            | _ -> None
+          in
+          (match unify [] ts args with
+          | None -> ()
+          | Some env ->
+            let _, edb = split_body c in
+            solutions abox domain env edb (fun env' ->
+                incr edges;
+                push (ground_head env' c.Ndl.head)))
+        | Ndl.Eq _ | Ndl.Dom _ -> assert false)
+      (Option.value ~default:[] (Symbol.Tbl.find_opt consumers p))
+  done;
+  (reached, !edges, !sources)
+
+let answers q abox =
+  let reached, _, _ = run q abox in
+  Hashtbl.fold
+    (fun (p, args) () acc ->
+      if Symbol.equal p q.Ndl.goal then args :: acc else acc)
+    reached []
+  |> List.sort (List.compare Int.compare)
+  |> List.map (List.map Symbol.unsafe_of_int)
+
+type graph_stats = { vertices : int; edges : int; sources : int }
+
+let grounding_graph_stats q abox =
+  let reached, edges, sources = run q abox in
+  { vertices = Hashtbl.length reached; edges; sources }

@@ -1,0 +1,24 @@
+(** Evaluation of linear NDL queries by reachability in the grounding graph
+    — the construction in the proof of Theorem 2, witnessing that linear NDL
+    of bounded width is in NL.
+
+    The vertices of the grounding graph are ground IDB atoms; there is an
+    edge from Q(c) to Q'(c') when some ground clause derives Q'(c') from
+    Q(c) and data atoms.  A goal atom holds iff it is reachable from the set
+    X of atoms derivable by IDB-free ground clauses.  Answers agree with the
+    bottom-up engine ({!Eval}); this module exists to realise the paper's
+    NL algorithm and to cross-check the engine. *)
+
+open Obda_syntax
+open Obda_data
+
+val answers : Ndl.query -> Abox.t -> Symbol.t list list
+(** Raises [Invalid_argument] if the program is not linear. *)
+
+type graph_stats = {
+  vertices : int;  (** ground IDB atoms considered *)
+  edges : int;
+  sources : int;  (** the set X of Theorem 2 *)
+}
+
+val grounding_graph_stats : Ndl.query -> Abox.t -> graph_stats

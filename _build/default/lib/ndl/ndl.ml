@@ -1,0 +1,313 @@
+open Obda_syntax
+
+type term = Var of string | Cst of Symbol.t
+
+let compare_term t1 t2 =
+  match (t1, t2) with
+  | Var v1, Var v2 -> String.compare v1 v2
+  | Var _, Cst _ -> -1
+  | Cst _, Var _ -> 1
+  | Cst c1, Cst c2 -> Symbol.compare c1 c2
+
+let pp_term ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Cst c -> Symbol.pp ppf c
+
+type atom = Pred of Symbol.t * term list | Eq of term * term | Dom of term
+
+let atom_terms = function
+  | Pred (_, ts) -> ts
+  | Eq (t1, t2) -> [ t1; t2 ]
+  | Dom t -> [ t ]
+
+let atom_vars a =
+  List.filter_map (function Var v -> Some v | Cst _ -> None) (atom_terms a)
+
+let pp_terms ppf ts =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+    pp_term ppf ts
+
+let pp_atom ppf = function
+  | Pred (p, ts) -> Format.fprintf ppf "%a(%a)" Symbol.pp p pp_terms ts
+  | Eq (t1, t2) -> Format.fprintf ppf "%a = %a" pp_term t1 pp_term t2
+  | Dom t -> Format.fprintf ppf "top(%a)" pp_term t
+
+type clause = { head : Symbol.t * term list; body : atom list }
+
+let clause_vars c =
+  let head_vars =
+    List.filter_map (function Var v -> Some v | Cst _ -> None) (snd c.head)
+  in
+  List.sort_uniq String.compare
+    (head_vars @ List.concat_map atom_vars c.body)
+
+let pp_clause ppf c =
+  let p, ts = c.head in
+  Format.fprintf ppf "%a(%a) <- %a" Symbol.pp p pp_terms ts
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_atom)
+    c.body
+
+type query = {
+  clauses : clause list;
+  goal : Symbol.t;
+  goal_args : string list;
+  params : int Symbol.Map.t;
+}
+
+let make ?(params = Symbol.Map.empty) ~goal ~goal_args clauses =
+  { clauses; goal; goal_args; params }
+
+let pp ppf q =
+  Format.fprintf ppf "goal %a(%s)@." Symbol.pp q.goal
+    (String.concat "," q.goal_args);
+  List.iter (fun c -> Format.fprintf ppf "%a@." pp_clause c) q.clauses
+
+let num_clauses q = List.length q.clauses
+
+let size q =
+  List.fold_left (fun acc c -> acc + 1 + List.length c.body) 0 q.clauses
+
+let idb_preds q =
+  List.fold_left
+    (fun acc c -> Symbol.Set.add (fst c.head) acc)
+    Symbol.Set.empty q.clauses
+
+let edb_preds q =
+  let idb = idb_preds q in
+  List.fold_left
+    (fun acc c ->
+      List.fold_left
+        (fun acc a ->
+          match a with
+          | Pred (p, _) when not (Symbol.Set.mem p idb) -> Symbol.Set.add p acc
+          | Pred _ | Eq _ | Dom _ -> acc)
+        acc c.body)
+    Symbol.Set.empty q.clauses
+
+let arity_of q p =
+  let check_atom = function
+    | Pred (p', ts) when Symbol.equal p p' -> Some (List.length ts)
+    | Pred _ | Eq _ | Dom _ -> None
+  in
+  List.find_map
+    (fun c ->
+      if Symbol.equal (fst c.head) p then Some (List.length (snd c.head))
+      else List.find_map check_atom c.body)
+    q.clauses
+
+(* dependence graph restricted to IDB predicates *)
+let idb_deps q =
+  let idb = idb_preds q in
+  let deps = Symbol.Tbl.create 16 in
+  Symbol.Set.iter (fun p -> Symbol.Tbl.replace deps p Symbol.Set.empty) idb;
+  List.iter
+    (fun c ->
+      let p = fst c.head in
+      let cur = Symbol.Tbl.find deps p in
+      let extra =
+        List.fold_left
+          (fun acc a ->
+            match a with
+            | Pred (p', _) when Symbol.Set.mem p' idb -> Symbol.Set.add p' acc
+            | Pred _ | Eq _ | Dom _ -> acc)
+          Symbol.Set.empty c.body
+      in
+      Symbol.Tbl.replace deps p (Symbol.Set.union cur extra))
+    q.clauses;
+  deps
+
+let topo_order_opt q =
+  let deps = idb_deps q in
+  let visiting = Symbol.Tbl.create 16 in
+  let done_ = Symbol.Tbl.create 16 in
+  let order = ref [] in
+  let exception Recursive in
+  let rec visit p =
+    if Symbol.Tbl.mem done_ p then ()
+    else if Symbol.Tbl.mem visiting p then raise Recursive
+    else begin
+      Symbol.Tbl.add visiting p ();
+      Symbol.Set.iter visit (Symbol.Tbl.find deps p);
+      Symbol.Tbl.remove visiting p;
+      Symbol.Tbl.add done_ p ();
+      order := p :: !order
+    end
+  in
+  try
+    Symbol.Tbl.iter (fun p _ -> visit p) deps;
+    Some (List.rev !order)
+  with Recursive -> None
+
+let is_nonrecursive q = topo_order_opt q <> None
+
+let topo_order q =
+  match topo_order_opt q with
+  | Some o -> o
+  | None -> invalid_arg "Ndl.topo_order: recursive program"
+
+let depth q =
+  let idb = idb_preds q in
+  (* clauses grouped by head *)
+  let by_head = Symbol.Tbl.create 16 in
+  List.iter
+    (fun c ->
+      let cur = Option.value ~default:[] (Symbol.Tbl.find_opt by_head (fst c.head)) in
+      Symbol.Tbl.replace by_head (fst c.head) (c :: cur))
+    q.clauses;
+  let memo = Symbol.Tbl.create 16 in
+  let rec longest p =
+    if not (Symbol.Set.mem p idb) then 0
+    else
+      match Symbol.Tbl.find_opt memo p with
+      | Some d -> d
+      | None ->
+        let clauses = Option.value ~default:[] (Symbol.Tbl.find_opt by_head p) in
+        let d =
+          List.fold_left
+            (fun acc c ->
+              List.fold_left
+                (fun acc a ->
+                  match a with
+                  | Pred (p', _) -> max acc (1 + longest p')
+                  | Eq _ | Dom _ -> acc)
+                acc c.body)
+            0 clauses
+        in
+        Symbol.Tbl.replace memo p d;
+        d
+  in
+  longest q.goal
+
+let is_linear q =
+  let idb = idb_preds q in
+  List.for_all
+    (fun c ->
+      let idb_atoms =
+        List.filter
+          (function Pred (p, _) -> Symbol.Set.mem p idb | Eq _ | Dom _ -> false)
+          c.body
+      in
+      List.length idb_atoms <= 1)
+    q.clauses
+
+let is_skinny q = List.for_all (fun c -> List.length c.body <= 2) q.clauses
+
+let max_edb_atoms_per_clause q =
+  let idb = idb_preds q in
+  List.fold_left
+    (fun acc c ->
+      let n =
+        List.length
+          (List.filter
+             (function
+               | Pred (p, _) -> not (Symbol.Set.mem p idb)
+               | Eq _ | Dom _ -> true)
+             c.body)
+      in
+      max acc n)
+    0 q.clauses
+
+let param_vars_of_atom q p ts =
+  let n = Option.value ~default:0 (Symbol.Map.find_opt p q.params) in
+  let len = List.length ts in
+  List.filteri (fun i _ -> i >= len - n) ts
+  |> List.filter_map (function Var v -> Some v | Cst _ -> None)
+
+let width q =
+  let idb = idb_preds q in
+  List.fold_left
+    (fun acc c ->
+      let p, ts = c.head in
+      let param_vars =
+        param_vars_of_atom q p ts
+        @ List.concat_map
+            (fun a ->
+              match a with
+              | Pred (p', ts') when Symbol.Set.mem p' idb ->
+                param_vars_of_atom q p' ts'
+              | Pred _ | Eq _ | Dom _ -> [])
+            c.body
+      in
+      let params = List.sort_uniq String.compare param_vars in
+      let non_params =
+        List.filter (fun v -> not (List.mem v params)) (clause_vars c)
+      in
+      max acc (List.length non_params))
+    0 q.clauses
+
+let weight q =
+  let idb = idb_preds q in
+  let order = topo_order q in
+  let by_head = Symbol.Tbl.create 16 in
+  List.iter
+    (fun c ->
+      let cur = Option.value ~default:[] (Symbol.Tbl.find_opt by_head (fst c.head)) in
+      Symbol.Tbl.replace by_head (fst c.head) (c :: cur))
+    q.clauses;
+  List.fold_left
+    (fun acc p ->
+      let clauses = Option.value ~default:[] (Symbol.Tbl.find_opt by_head p) in
+      let v =
+        List.fold_left
+          (fun acc_c c ->
+            let s =
+              List.fold_left
+                (fun s a ->
+                  match a with
+                  | Pred (p', _) when Symbol.Set.mem p' idb ->
+                    s + Option.value ~default:0 (Symbol.Map.find_opt p' acc)
+                  | Pred _ | Eq _ | Dom _ -> s)
+                0 c.body
+            in
+            max acc_c s)
+          1 clauses
+      in
+      Symbol.Map.add p v acc)
+    Symbol.Map.empty order
+
+let skinny_depth q =
+  let nu = weight q in
+  let nu_goal =
+    float_of_int (max 1 (Option.value ~default:1 (Symbol.Map.find_opt q.goal nu)))
+  in
+  let e = float_of_int (max 1 (max_edb_atoms_per_clause q)) in
+  (2.0 *. float_of_int (depth q)) +. (log nu_goal /. log 2.0) +. (log e /. log 2.0)
+
+let check q =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  (* head variables occur in bodies *)
+  List.iter
+    (fun c ->
+      let body_vars = List.concat_map atom_vars c.body in
+      List.iter
+        (function
+          | Var v ->
+            if not (List.mem v body_vars) then
+              err "head variable %s of %a does not occur in the body" v
+                Symbol.pp (fst c.head)
+          | Cst _ -> ())
+        (snd c.head))
+    q.clauses;
+  (* consistent arities *)
+  let arities = Symbol.Tbl.create 16 in
+  let note p n =
+    match Symbol.Tbl.find_opt arities p with
+    | Some n' when n <> n' -> err "predicate %a used with arities %d and %d" Symbol.pp p n n'
+    | Some _ -> ()
+    | None -> Symbol.Tbl.add arities p n
+  in
+  List.iter
+    (fun c ->
+      note (fst c.head) (List.length (snd c.head));
+      List.iter
+        (function Pred (p, ts) -> note p (List.length ts) | Eq _ | Dom _ -> ())
+        c.body)
+    q.clauses;
+  if not (is_nonrecursive q) then err "program is recursive";
+  if not (Symbol.Set.mem q.goal (idb_preds q)) then
+    err "goal %a has no defining clause" Symbol.pp q.goal;
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " es)

@@ -1,0 +1,89 @@
+(** Nonrecursive datalog (NDL) programs and queries (Section 2).
+
+    A datalog program is a finite set of clauses [head ← body] where the body
+    may contain predicate atoms, equalities, and the active-domain atom ⊤(x).
+    Predicates occurring in heads are IDB, the rest EDB.  A program is
+    nonrecursive when its dependence graph is acyclic. *)
+
+open Obda_syntax
+
+type term = Var of string | Cst of Symbol.t
+
+val compare_term : term -> term -> int
+val pp_term : Format.formatter -> term -> unit
+
+type atom =
+  | Pred of Symbol.t * term list
+  | Eq of term * term  (** z = z' *)
+  | Dom of term  (** ⊤(z): active-domain membership *)
+
+val atom_terms : atom -> term list
+val atom_vars : atom -> string list
+val pp_atom : Format.formatter -> atom -> unit
+
+type clause = { head : Symbol.t * term list; body : atom list }
+
+val clause_vars : clause -> string list
+val pp_clause : Format.formatter -> clause -> unit
+
+type query = {
+  clauses : clause list;
+  goal : Symbol.t;
+  goal_args : string list;  (** the answer variables x of G(x) *)
+  params : int Symbol.Map.t;
+      (** for ordered queries: number of trailing parameter positions of each
+          IDB predicate (absent ⇒ 0) *)
+}
+
+val make :
+  ?params:int Symbol.Map.t -> goal:Symbol.t -> goal_args:string list ->
+  clause list -> query
+
+val pp : Format.formatter -> query -> unit
+val num_clauses : query -> int
+val size : query -> int
+(** Total number of atoms (head + body) — a proxy for |Π|. *)
+
+(** {1 Analysis} *)
+
+val idb_preds : query -> Symbol.Set.t
+val edb_preds : query -> Symbol.Set.t
+val arity_of : query -> Symbol.t -> int option
+(** Arity of a predicate as used in the program. *)
+
+val is_nonrecursive : query -> bool
+
+val topo_order : query -> Symbol.t list
+(** IDB predicates, dependencies first.  Raises [Invalid_argument] if the
+    program is recursive. *)
+
+val depth : query -> int
+(** d(Π,G): longest dependence path from the goal (counting edges; EDB
+    predicates are sinks). *)
+
+val is_linear : query -> bool
+(** At most one IDB atom per body. *)
+
+val is_skinny : query -> bool
+(** At most two atoms per body. *)
+
+val max_edb_atoms_per_clause : query -> int
+
+val width : query -> int
+(** w(Π,G): maximum number of non-parameter variables in a clause, where the
+    parameter variables of a clause are those in the trailing parameter
+    positions of its head and of the IDB atoms of its body. *)
+
+val weight : query -> int Symbol.Map.t
+(** The pointwise-minimal weight function ν: ν(EDB) = 0, and for IDB Q,
+    ν(Q) = max(1, max over clauses of Σ ν(body)). *)
+
+val skinny_depth : query -> float
+(** sd(Π,G) = 2·d(Π,G) + log₂ ν(G) + log₂ eΠ (Section 3.1.2), using the
+    minimal weight function. *)
+
+(** {1 Well-formedness} *)
+
+val check : query -> (unit, string) result
+(** Head variables occur in bodies; [=] only in bodies; program nonrecursive;
+    consistent arities. *)

@@ -1,0 +1,18 @@
+(** Semantics-preserving cleanups of NDL queries.
+
+    [prune] removes clauses that can never fire (they use an IDB predicate
+    with no productive definition) and predicates unreachable from the goal —
+    the simplification used throughout Appendix A.6.
+
+    [inline_single_use] is the Tw∗ optimisation of Appendix D.4: predicates
+    defined by a single clause and used at most [max_uses] times in bodies
+    are substituted away. *)
+
+open Obda_syntax
+
+val prune : edb:(Symbol.t -> bool) -> Ndl.query -> Ndl.query
+(** [edb] recognises the extensional predicates (those allowed to have no
+    defining clause). *)
+
+val inline_single_use : ?max_uses:int -> Ndl.query -> Ndl.query
+(** Default [max_uses] is 2. *)

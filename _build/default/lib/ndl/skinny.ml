@@ -1,0 +1,118 @@
+open Obda_syntax
+
+module VarSet = Set.Make (String)
+
+let term_vars ts =
+  List.fold_left
+    (fun acc t -> match t with Ndl.Var v -> VarSet.add v acc | Ndl.Cst _ -> acc)
+    VarSet.empty ts
+
+let atom_vars a = term_vars (Ndl.atom_terms a)
+
+let atoms_vars atoms =
+  List.fold_left (fun acc a -> VarSet.union acc (atom_vars a)) VarSet.empty atoms
+
+(* a binarisation tree over atoms *)
+type tree = Leaf of Ndl.atom | Node of tree * tree
+
+let rec tree_atoms = function
+  | Leaf a -> [ a ]
+  | Node (l, r) -> tree_atoms l @ tree_atoms r
+
+let tree_vars t = atoms_vars (tree_atoms t)
+
+(* balanced tree for EDB atoms *)
+let rec balanced = function
+  | [] -> invalid_arg "Skinny.balanced: empty"
+  | [ a ] -> Leaf a
+  | atoms ->
+    let n = List.length atoms in
+    let left = List.filteri (fun i _ -> i < n / 2) atoms in
+    let right = List.filteri (fun i _ -> i >= n / 2) atoms in
+    Node (balanced left, balanced right)
+
+(* Huffman tree for IDB atoms, weighted by ν *)
+let huffman weights atoms =
+  let weight_of = function
+    | Ndl.Pred (p, _) -> max 1 (Option.value ~default:1 (Symbol.Map.find_opt p weights))
+    | Ndl.Eq _ | Ndl.Dom _ -> 1
+  in
+  let rec merge nodes =
+    match List.sort (fun (w1, _) (w2, _) -> Int.compare w1 w2) nodes with
+    | [] -> invalid_arg "Skinny.huffman: empty"
+    | [ (_, t) ] -> t
+    | (w1, t1) :: (w2, t2) :: rest -> merge ((w1 + w2, Node (t1, t2)) :: rest)
+  in
+  merge (List.map (fun a -> (weight_of a, Leaf a)) atoms)
+
+(* Emit clauses realising [tree] with head [head]; fresh predicates carry the
+   variables shared between their subtree and the outside. *)
+let realise ~params ~head_param_vars ~emit ~fresh head tree =
+  let rec go head outside_vars tree =
+    match tree with
+    | Leaf a -> emit { Ndl.head; body = [ a ] }
+    | Node (l, r) ->
+      let sub_pred name_hint subtree other_vars =
+        match subtree with
+        | Leaf a -> (a, fun () -> ())
+        | Node _ ->
+          let vs =
+            VarSet.inter (tree_vars subtree)
+              (VarSet.union other_vars outside_vars)
+          in
+          let ps, nps =
+            List.partition (fun v -> VarSet.mem v head_param_vars) (VarSet.elements vs)
+          in
+          let args = List.map (fun v -> Ndl.Var v) (nps @ ps) in
+          let p = fresh name_hint in
+          params := Symbol.Map.add p (List.length ps) !params;
+          ( Ndl.Pred (p, args),
+            fun () -> go (p, args) (VarSet.union other_vars outside_vars) subtree )
+      in
+      let la, lk = sub_pred "l" l (tree_vars r) in
+      let ra, rk = sub_pred "r" r (tree_vars l) in
+      emit { Ndl.head; body = [ la; ra ] };
+      lk ();
+      rk ()
+  in
+  let _, head_args = head in
+  go head (term_vars head_args) tree
+
+let transform (q : Ndl.query) =
+  if Ndl.is_skinny q then q
+  else begin
+    let idb = Ndl.idb_preds q in
+    let weights = Ndl.weight q in
+    let params = ref q.params in
+    let out = ref [] in
+    let emit c = out := c :: !out in
+    let fresh hint = Symbol.fresh ("sk~" ^ hint) in
+    let head_param_vars_of (c : Ndl.clause) =
+      let p, args = c.head in
+      let n = Option.value ~default:0 (Symbol.Map.find_opt p q.params) in
+      let len = List.length args in
+      List.filteri (fun i _ -> i >= len - n) args |> term_vars
+    in
+    List.iter
+      (fun (c : Ndl.clause) ->
+        if List.length c.body <= 2 then emit c
+        else begin
+          let head_param_vars = head_param_vars_of c in
+          let idb_atoms, edb_atoms =
+            List.partition
+              (function
+                | Ndl.Pred (p, _) -> Symbol.Set.mem p idb
+                | Ndl.Eq _ | Ndl.Dom _ -> false)
+              c.body
+          in
+          let tree =
+            match (idb_atoms, edb_atoms) with
+            | [], atoms -> balanced atoms
+            | atoms, [] -> huffman weights atoms
+            | _ -> Node (balanced edb_atoms, huffman weights idb_atoms)
+          in
+          realise ~params ~head_param_vars ~emit ~fresh c.head tree
+        end)
+      q.clauses;
+    { q with clauses = List.rev !out; params = !params }
+  end

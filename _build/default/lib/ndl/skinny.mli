@@ -1,0 +1,10 @@
+(** The skinny transformation of Lemma 5: any NDL query is equivalent to one
+    whose clause bodies have at most two atoms, of depth at most
+    sd(Π,G) = 2·d(Π,G) + log ν(G) + log eΠ.
+
+    IDB conjunctions are binarised along a Huffman tree over the weight
+    function ν (so the depth increase is log ν(G)); EDB conjunctions along a
+    balanced tree (log eΠ). *)
+
+val transform : Ndl.query -> Ndl.query
+(** Equivalent skinny query; no-op on already skinny programs. *)

@@ -1,0 +1,222 @@
+open Obda_syntax
+open Obda_ontology
+
+let role_atom rho t1 t2 =
+  if Role.is_inverse rho then Ndl.Pred (rho.Role.base, [ t2; t1 ])
+  else Ndl.Pred (rho.Role.base, [ t1; t2 ])
+
+let star_symbol p = Symbol.intern (Symbol.name p ^ "*")
+
+(* Defining clauses for A*(x): one per basic concept entailed to imply A. *)
+let unary_star_clauses tbox a =
+  let astar = star_symbol a in
+  let x = Ndl.Var "x" and y = Ndl.Var "y" in
+  List.filter_map
+    (fun sub ->
+      match sub with
+      | Concept.Name a' ->
+        Some { Ndl.head = (astar, [ x ]); body = [ Ndl.Pred (a', [ x ]) ] }
+      | Concept.Exists rho ->
+        Some { Ndl.head = (astar, [ x ]); body = [ role_atom rho x y ] }
+      | Concept.Top ->
+        Some { Ndl.head = (astar, [ x ]); body = [ Ndl.Dom x ] })
+    (Tbox.subconcepts_of tbox (Concept.Name a))
+
+(* Defining clauses for P*(x,y). *)
+let binary_star_clauses tbox p =
+  let pstar = star_symbol p in
+  let x = Ndl.Var "x" and y = Ndl.Var "y" in
+  let rho = Role.make p in
+  let from_roles =
+    List.map
+      (fun sub -> { Ndl.head = (pstar, [ x; y ]); body = [ role_atom sub x y ] })
+      (Tbox.subroles_of tbox rho)
+  in
+  let from_refl =
+    if Tbox.reflexive tbox rho then
+      [ { Ndl.head = (pstar, [ x; x ]); body = [ Ndl.Dom x ] } ]
+    else []
+  in
+  from_roles @ from_refl
+
+let complete_to_arbitrary tbox (q : Ndl.query) =
+  let idb = Ndl.idb_preds q in
+  let edb_with_arity =
+    List.fold_left
+      (fun acc (c : Ndl.clause) ->
+        List.fold_left
+          (fun acc atom ->
+            match atom with
+            | Ndl.Pred (p, ts) when not (Symbol.Set.mem p idb) ->
+              Symbol.Map.add p (List.length ts) acc
+            | Ndl.Pred _ | Ndl.Eq _ | Ndl.Dom _ -> acc)
+          acc c.body)
+      Symbol.Map.empty q.clauses
+  in
+  let replaced =
+    List.map
+      (fun (c : Ndl.clause) ->
+        let body =
+          List.map
+            (fun atom ->
+              match atom with
+              | Ndl.Pred (p, ts) when Symbol.Map.mem p edb_with_arity ->
+                Ndl.Pred (star_symbol p, ts)
+              | Ndl.Pred _ | Ndl.Eq _ | Ndl.Dom _ -> atom)
+            c.body
+        in
+        { c with body })
+      q.clauses
+  in
+  let star_clauses =
+    Symbol.Map.fold
+      (fun p arity acc ->
+        let cs =
+          match arity with
+          | 1 -> unary_star_clauses tbox p
+          | 2 -> binary_star_clauses tbox p
+          | _ -> invalid_arg "Star: EDB predicate of arity > 2"
+        in
+        cs @ acc)
+      edb_with_arity []
+  in
+  { q with clauses = replaced @ star_clauses }
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 3: the linearity-preserving variant *)
+
+(* the υ(E) alternatives: each is a small list of atoms over the variables of
+   E plus possibly one fresh variable *)
+let upsilon tbox fresh_var atom =
+  match atom with
+  | Ndl.Pred (a, [ z ]) ->
+    List.map
+      (fun sub ->
+        match sub with
+        | Concept.Name a' -> [ Ndl.Pred (a', [ z ]) ]
+        | Concept.Exists rho -> [ role_atom rho z (Ndl.Var (fresh_var ())) ]
+        | Concept.Top -> [ Ndl.Dom z ])
+      (Tbox.subconcepts_of tbox (Concept.Name a))
+  | Ndl.Pred (p, [ t1; t2 ]) ->
+    let rho = Role.make p in
+    let from_roles =
+      List.map (fun sub -> [ role_atom sub t1 t2 ]) (Tbox.subroles_of tbox rho)
+    in
+    let from_refl =
+      if Tbox.reflexive tbox rho then [ [ Ndl.Eq (t1, t2); Ndl.Dom t1 ] ]
+      else []
+    in
+    from_roles @ from_refl
+  | Ndl.Dom _ -> [ [ atom ] ]
+  | Ndl.Pred _ | Ndl.Eq _ ->
+    Format.kasprintf invalid_arg "Star.upsilon: unexpected atom %a" Ndl.pp_atom
+      atom
+
+module VarSet = Set.Make (String)
+
+let term_vars ts =
+  List.fold_left
+    (fun acc t -> match t with Ndl.Var v -> VarSet.add v acc | Ndl.Cst _ -> acc)
+    VarSet.empty ts
+
+let atom_var_set a = term_vars (Ndl.atom_terms a)
+let atoms_var_set atoms =
+  List.fold_left (fun acc a -> VarSet.union acc (atom_var_set a)) VarSet.empty atoms
+
+let complete_to_arbitrary_linear tbox (q : Ndl.query) =
+  if not (Ndl.is_linear q) then
+    invalid_arg "Star.complete_to_arbitrary_linear: program not linear";
+  let idb = Ndl.idb_preds q in
+  let params = ref q.params in
+  let counter = ref 0 in
+  let clause_out = ref [] in
+  let emit c = clause_out := c :: !clause_out in
+  let transform (c : Ndl.clause) =
+    let head_pred, head_args = c.head in
+    let idb_atoms, rest =
+      List.partition
+        (function
+          | Ndl.Pred (p, _) -> Symbol.Set.mem p idb
+          | Ndl.Eq _ | Ndl.Dom _ -> false)
+        c.body
+    in
+    let eq_atoms, edb_atoms =
+      List.partition (function Ndl.Eq _ -> true | _ -> false) rest
+    in
+    if edb_atoms = [] then emit c
+    else begin
+      (* parameter variables of the head: its trailing parameter positions *)
+      let n_params =
+        Option.value ~default:0 (Symbol.Map.find_opt head_pred q.params)
+      in
+      let len = List.length head_args in
+      let head_param_vars =
+        List.filteri (fun i _ -> i >= len - n_params) head_args |> term_vars
+      in
+      let head_vars = term_vars head_args in
+      let eq_vars = atoms_var_set eq_atoms in
+      let edb_arr = Array.of_list edb_atoms in
+      let n = Array.length edb_arr in
+      (* needed_after.(i): variables needed strictly after processing edb i *)
+      let needed_after = Array.make (n + 1) (VarSet.union head_vars eq_vars) in
+      for i = n - 1 downto 0 do
+        needed_after.(i) <-
+          VarSet.union needed_after.(i + 1) (atom_var_set edb_arr.(i))
+      done;
+      let fresh_var () =
+        incr counter;
+        Printf.sprintf "y~%d" !counter
+      in
+      let fresh_pred i =
+        let p = Symbol.fresh (Symbol.name head_pred ^ "~" ^ string_of_int i) in
+        p
+      in
+      (* available vars after step i: vars of I and of E_1..E_i *)
+      let rec avail i =
+        if i = 0 then atoms_var_set idb_atoms
+        else VarSet.union (avail (i - 1)) (atom_var_set edb_arr.(i - 1))
+      in
+      let args_of vset =
+        (* non-parameters first, then parameters, so trailing positions are
+           parameters *)
+        let vs = VarSet.elements vset in
+        let ps, nps = List.partition (fun v -> VarSet.mem v head_param_vars) vs in
+        (List.map (fun v -> Ndl.Var v) (nps @ ps), List.length ps)
+      in
+      let stage_pred i =
+        (* predicate carrying the join state after EDB atom i *)
+        let vset = VarSet.inter (avail i) needed_after.(i) in
+        let args, nparams = args_of vset in
+        let p = fresh_pred i in
+        params := Symbol.Map.add p nparams !params;
+        (p, args)
+      in
+      let stages = Array.init (n + 1) stage_pred in
+      (* stage 0: carry over the IDB atom (or nothing) *)
+      (match idb_atoms with
+      | [] -> ()
+      | [ i_atom ] ->
+        let p0, a0 = stages.(0) in
+        emit { Ndl.head = (p0, a0); body = [ i_atom ] }
+      | _ -> assert false);
+      (* chain steps *)
+      for i = 1 to n do
+        let pi, ai = stages.(i) in
+        let prev =
+          if i = 1 && idb_atoms = [] then []
+          else
+            let pprev, aprev = stages.(i - 1) in
+            [ Ndl.Pred (pprev, aprev) ]
+        in
+        List.iter
+          (fun alternative ->
+            emit { Ndl.head = (pi, ai); body = prev @ alternative })
+          (upsilon tbox fresh_var edb_arr.(i - 1))
+      done;
+      (* final clause: equalities *)
+      let pn, an = stages.(n) in
+      emit { Ndl.head = c.head; body = Ndl.Pred (pn, an) :: eq_atoms }
+    end
+  in
+  List.iter transform q.clauses;
+  { q with clauses = List.rev !clause_out; params = !params }

@@ -1,0 +1,15 @@
+(** From rewritings over complete data instances to rewritings over arbitrary
+    data instances.
+
+    [complete_to_arbitrary] is the generic ∗-transformation of Section 2:
+    every EDB predicate S is replaced by an IDB predicate S∗ defined by the
+    axioms of the ontology.  [complete_to_arbitrary_linear] is the
+    linearity-preserving construction of Lemma 3, which expands each EDB atom
+    into a chain of fresh predicates, increasing the width by at most 1. *)
+
+open Obda_ontology
+
+val complete_to_arbitrary : Tbox.t -> Ndl.query -> Ndl.query
+
+val complete_to_arbitrary_linear : Tbox.t -> Ndl.query -> Ndl.query
+(** Requires a linear input program; raises [Invalid_argument] otherwise. *)

@@ -1,0 +1,1 @@
+lib/ontology/tbox.ml: Concept Format Hashtbl List Obda_syntax Option Role Symbol

@@ -1,0 +1,1 @@
+lib/ontology/tbox.mli: Concept Format Obda_syntax Role Symbol

@@ -1,0 +1,398 @@
+open Obda_syntax
+
+type axiom =
+  | Concept_incl of Concept.t * Concept.t
+  | Concept_disj of Concept.t * Concept.t
+  | Role_incl of Role.t * Role.t
+  | Role_disj of Role.t * Role.t
+  | Reflexive of Role.t
+  | Irreflexive of Role.t
+
+let pp_axiom ppf = function
+  | Concept_incl (c, c') ->
+    Format.fprintf ppf "%a(x) -> %a(x)" Concept.pp c Concept.pp c'
+  | Concept_disj (c, c') ->
+    Format.fprintf ppf "%a(x), %a(x) -> false" Concept.pp c Concept.pp c'
+  | Role_incl (r, r') ->
+    Format.fprintf ppf "%a(x,y) -> %a(x,y)" Role.pp r Role.pp r'
+  | Role_disj (r, r') ->
+    Format.fprintf ppf "%a(x,y), %a(x,y) -> false" Role.pp r Role.pp r'
+  | Reflexive r -> Format.fprintf ppf "refl %a" Role.pp r
+  | Irreflexive r -> Format.fprintf ppf "irrefl %a" Role.pp r
+
+type depth = Finite of int | Infinite
+
+let pp_depth ppf = function
+  | Finite d -> Format.fprintf ppf "%d" d
+  | Infinite -> Format.fprintf ppf "inf"
+
+type t = {
+  input_axioms : axiom list;
+  normal_size : int;
+  role_set : Role.Set.t;  (* R_T, closed under inverse *)
+  concepts : Symbol.Set.t;  (* all unary predicates, incl. A_ρ *)
+  exists_names : Symbol.t Role.Map.t;
+  exists_of_name : Role.t Symbol.Map.t;
+  sup_roles : Role.Set.t Role.Map.t;  (* reflexive-transitive *)
+  sub_roles : Role.Set.t Role.Map.t;
+  reflexive_roles : Role.Set.t;
+  sup_concepts : Concept.Set.t Concept.Map.t;  (* reflexive-transitive *)
+  sub_concepts : Concept.Set.t Concept.Map.t;
+  disj_concepts : (Concept.t * Concept.t) list;
+  disj_roles : (Role.t * Role.t) list;
+  irrefl : Role.t list;
+  depth_memo : depth;
+  declared_zero : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let roles_of_axiom acc = function
+  | Concept_incl (c, c') | Concept_disj (c, c') ->
+    let add acc = function
+      | Concept.Exists r -> Role.Set.add r acc
+      | Concept.Top | Concept.Name _ -> acc
+    in
+    add (add acc c) c'
+  | Role_incl (r, r') | Role_disj (r, r') ->
+    Role.Set.add r (Role.Set.add r' acc)
+  | Reflexive r | Irreflexive r -> Role.Set.add r acc
+
+let concept_names_of_axiom acc = function
+  | Concept_incl (c, c') | Concept_disj (c, c') ->
+    let add acc = function
+      | Concept.Name a -> Symbol.Set.add a acc
+      | Concept.Top | Concept.Exists _ -> acc
+    in
+    add (add acc c) c'
+  | Role_incl _ | Role_disj _ | Reflexive _ | Irreflexive _ -> acc
+
+let exists_symbol r = Symbol.intern ("\xe2\x88\x83" ^ Role.to_string r)
+
+(* Reflexive-transitive closure of a relation given by [succs], over [nodes].
+   Returns the map node -> set of nodes reachable (including itself). *)
+let reach_closure ~compare_elt:_ ~empty ~add ~mem ~fold_set:_ nodes succs =
+  let closure_of n =
+    let rec go seen frontier =
+      match frontier with
+      | [] -> seen
+      | x :: rest ->
+        if mem x seen then go seen rest
+        else
+          let seen = add x seen in
+          go seen (List.rev_append (succs x) rest)
+    in
+    go empty [ n ]
+  in
+  List.map (fun n -> (n, closure_of n)) nodes
+
+let build axioms_in =
+  (* R_T closed under inverse *)
+  let base_roles = List.fold_left roles_of_axiom Role.Set.empty axioms_in in
+  let role_set =
+    Role.Set.fold
+      (fun r acc -> Role.Set.add r (Role.Set.add (Role.inv r) acc))
+      base_roles Role.Set.empty
+  in
+  let roles = Role.Set.elements role_set in
+  let exists_names =
+    List.fold_left
+      (fun m r -> Role.Map.add r (exists_symbol r) m)
+      Role.Map.empty roles
+  in
+  let exists_of_name =
+    Role.Map.fold
+      (fun r a m -> Symbol.Map.add a r m)
+      exists_names Symbol.Map.empty
+  in
+  (* role inclusion closure, with inverses *)
+  let role_edges = Role.Tbl.create 16 in
+  let add_role_edge r r' =
+    let l = try Role.Tbl.find role_edges r with Not_found -> [] in
+    Role.Tbl.replace role_edges r (r' :: l)
+  in
+  List.iter
+    (function
+      | Role_incl (r, r') ->
+        add_role_edge r r';
+        add_role_edge (Role.inv r) (Role.inv r')
+      | Concept_incl _ | Concept_disj _ | Role_disj _ | Reflexive _
+      | Irreflexive _ -> ())
+    axioms_in;
+  let role_succs r = try Role.Tbl.find role_edges r with Not_found -> [] in
+  let sup_roles =
+    reach_closure ~compare_elt:Role.compare ~empty:Role.Set.empty
+      ~add:Role.Set.add ~mem:Role.Set.mem ~fold_set:Role.Set.fold roles
+      role_succs
+    |> List.fold_left (fun m (r, s) -> Role.Map.add r s m) Role.Map.empty
+  in
+  let sub_roles =
+    Role.Map.fold
+      (fun r sups m ->
+        Role.Set.fold
+          (fun r' m ->
+            let cur =
+              Option.value ~default:Role.Set.empty (Role.Map.find_opt r' m)
+            in
+            Role.Map.add r' (Role.Set.add r cur) m)
+          sups m)
+      sup_roles Role.Map.empty
+  in
+  let sup_roles_of r =
+    match Role.Map.find_opt r sup_roles with
+    | Some s -> s
+    | None -> Role.Set.singleton r
+  in
+  (* reflexive roles: declared ones, their inverses, upward-closed *)
+  let reflexive_roles =
+    List.fold_left
+      (fun acc -> function
+        | Reflexive r ->
+          Role.Set.union acc
+            (Role.Set.union (sup_roles_of r) (sup_roles_of (Role.inv r)))
+        | Concept_incl _ | Concept_disj _ | Role_incl _ | Role_disj _
+        | Irreflexive _ -> acc)
+      Role.Set.empty axioms_in
+  in
+  (* concept subsumption graph *)
+  let concepts_in =
+    List.fold_left concept_names_of_axiom Symbol.Set.empty axioms_in
+  in
+  let concepts =
+    Role.Map.fold (fun _ a acc -> Symbol.Set.add a acc) exists_names concepts_in
+  in
+  let nodes =
+    Concept.Top
+    :: (Symbol.Set.elements concepts |> List.map (fun a -> Concept.Name a))
+    @ List.map (fun r -> Concept.Exists r) roles
+  in
+  let concept_edges : (Concept.t, Concept.t list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let add_cedge c c' =
+    let l = try Hashtbl.find concept_edges c with Not_found -> [] in
+    Hashtbl.replace concept_edges c (c' :: l)
+  in
+  List.iter
+    (function
+      | Concept_incl (c, c') -> add_cedge c c'
+      | Concept_disj _ | Role_incl _ | Role_disj _ | Reflexive _
+      | Irreflexive _ -> ())
+    axioms_in;
+  (* normalisation axioms A_ρ ↔ ∃ρ *)
+  Role.Map.iter
+    (fun r a ->
+      add_cedge (Concept.Name a) (Concept.Exists r);
+      add_cedge (Concept.Exists r) (Concept.Name a))
+    exists_names;
+  (* ∃ρ ⊑ ∃ρ' for ρ ⊑ ρ' *)
+  List.iter
+    (fun r ->
+      Role.Set.iter
+        (fun r' ->
+          if not (Role.equal r r') then
+            add_cedge (Concept.Exists r) (Concept.Exists r'))
+        (sup_roles_of r))
+    roles;
+  (* reflexivity: ⊤ ⊑ ∃ρ and ⊤ ⊑ ∃ρ⁻ for reflexive ρ *)
+  Role.Set.iter
+    (fun r ->
+      add_cedge Concept.Top (Concept.Exists r);
+      add_cedge Concept.Top (Concept.Exists (Role.inv r)))
+    reflexive_roles;
+  let concept_succs c =
+    let direct = try Hashtbl.find concept_edges c with Not_found -> [] in
+    (* every concept is below ⊤ *)
+    if Concept.equal c Concept.Top then direct else Concept.Top :: direct
+  in
+  let sup_concepts =
+    reach_closure ~compare_elt:Concept.compare ~empty:Concept.Set.empty
+      ~add:Concept.Set.add ~mem:Concept.Set.mem ~fold_set:Concept.Set.fold
+      nodes concept_succs
+    |> List.fold_left (fun m (c, s) -> Concept.Map.add c s m) Concept.Map.empty
+  in
+  let sub_concepts =
+    Concept.Map.fold
+      (fun c sups m ->
+        Concept.Set.fold
+          (fun c' m ->
+            let cur =
+              Option.value ~default:Concept.Set.empty (Concept.Map.find_opt c' m)
+            in
+            Concept.Map.add c' (Concept.Set.add c cur) m)
+          sups m)
+      sup_concepts Concept.Map.empty
+  in
+  let disj_concepts =
+    List.filter_map
+      (function Concept_disj (c, c') -> Some (c, c') | _ -> None)
+      axioms_in
+  in
+  let disj_roles =
+    List.filter_map
+      (function Role_disj (r, r') -> Some (r, r') | _ -> None)
+      axioms_in
+  in
+  let irrefl =
+    List.filter_map (function Irreflexive r -> Some r | _ -> None) axioms_in
+  in
+  let declared_zero =
+    List.for_all
+      (function
+        | Concept_incl (_, Concept.Exists _) | Reflexive _ -> false
+        | Concept_incl _ | Concept_disj _ | Role_incl _ | Role_disj _
+        | Irreflexive _ -> true)
+      axioms_in
+  in
+  {
+    input_axioms = axioms_in;
+    normal_size = List.length axioms_in + (2 * List.length roles);
+    role_set;
+    concepts;
+    exists_names;
+    exists_of_name;
+    sup_roles;
+    sub_roles;
+    reflexive_roles;
+    sup_concepts;
+    sub_concepts;
+    disj_concepts;
+    disj_roles;
+    irrefl;
+    depth_memo = Finite (-1) (* patched below *);
+    declared_zero;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Entailment *)
+
+let axioms t = t.input_axioms
+let size t = t.normal_size
+let roles t = Role.Set.elements t.role_set
+let concept_names t = Symbol.Set.elements t.concepts
+let exists_name t r = Role.Map.find r t.exists_names
+let exists_name_opt t r = Role.Map.find_opt r t.exists_names
+let role_of_exists_name t a = Symbol.Map.find_opt a t.exists_of_name
+let mem_role t r = Role.Set.mem r t.role_set
+
+let superconcept_set t c =
+  match Concept.Map.find_opt c t.sup_concepts with
+  | Some s -> s
+  | None -> Concept.Set.add c (Concept.Set.singleton Concept.Top)
+
+let subconcept_set t c =
+  match Concept.Map.find_opt c t.sub_concepts with
+  | Some s -> s
+  | None -> Concept.Set.singleton c
+
+let subsumes t ~sub ~sup =
+  Concept.equal sup Concept.Top
+  || Concept.equal sub sup
+  || Concept.Set.mem sup (superconcept_set t sub)
+
+let superrole_set t r =
+  match Role.Map.find_opt r t.sup_roles with
+  | Some s -> s
+  | None -> Role.Set.singleton r
+
+let subrole_set t r =
+  match Role.Map.find_opt r t.sub_roles with
+  | Some s -> s
+  | None -> Role.Set.singleton r
+
+let sub_role t ~sub ~sup =
+  Role.equal sub sup || Role.Set.mem sup (superrole_set t sub)
+
+let reflexive t r = Role.Set.mem r t.reflexive_roles
+let subconcepts_of t c = Concept.Set.elements (subconcept_set t c)
+let superconcepts_of t c = Concept.Set.elements (superconcept_set t c)
+let subroles_of t r = Role.Set.elements (subrole_set t r)
+let superroles_of t r = Role.Set.elements (superrole_set t r)
+let disjoint_concept_axioms t = t.disj_concepts
+let disjoint_role_axioms t = t.disj_roles
+let irreflexive_axioms t = t.irrefl
+
+let has_bottom t =
+  t.disj_concepts <> [] || t.disj_roles <> [] || t.irrefl <> []
+
+(* ------------------------------------------------------------------ *)
+(* W_T and depth *)
+
+let can_start t r = mem_role t r && not (reflexive t r)
+
+let can_follow t r r' =
+  can_start t r'
+  && subsumes t ~sub:(Concept.Exists (Role.inv r)) ~sup:(Concept.Exists r')
+  && not (sub_role t ~sub:r ~sup:(Role.inv r'))
+
+let compute_depth t =
+  let starts = List.filter (can_start t) (roles t) in
+  if starts = [] then Finite 0
+  else
+    (* longest path in the can_follow graph; Infinite iff it has a cycle
+       (every non-reflexive role is a start, so any cycle is reachable). *)
+    let memo = Role.Tbl.create 16 in
+    let on_stack = Role.Tbl.create 16 in
+    let exception Cycle in
+    let rec longest r =
+      match Role.Tbl.find_opt memo r with
+      | Some d -> d
+      | None ->
+        if Role.Tbl.mem on_stack r then raise Cycle;
+        Role.Tbl.add on_stack r ();
+        let best =
+          List.fold_left
+            (fun acc r' ->
+              if can_follow t r r' then max acc (longest r') else acc)
+            0 starts
+        in
+        Role.Tbl.remove on_stack r;
+        Role.Tbl.replace memo r (1 + best);
+        1 + best
+    in
+    try Finite (List.fold_left (fun acc r -> max acc (longest r)) 0 starts)
+    with Cycle -> Infinite
+
+let make axioms_in =
+  let t = build axioms_in in
+  { t with depth_memo = compute_depth t }
+
+let depth t = t.depth_memo
+let declared_depth_zero t = t.declared_zero
+
+let words_up_to t bound =
+  let starts = List.filter (can_start t) (roles t) in
+  let guard = 200_000 in
+  let rec extend acc level len =
+    if len >= bound || level = [] then acc
+    else begin
+      let next =
+        List.concat_map
+          (fun w ->
+            match w with
+            | [] -> assert false
+            | last :: _ ->
+              List.filter_map
+                (fun r' ->
+                  if can_follow t last r' then Some (r' :: w) else None)
+                starts)
+          level
+      in
+      if List.length acc + List.length next > guard then
+        invalid_arg
+          "Tbox.words_up_to: too many witness words (infinite-depth ontology?)";
+      extend (List.rev_append next acc) next (len + 1)
+    end
+  in
+  let level0 = List.map (fun r -> [ r ]) starts in
+  let words_reversed = extend level0 level0 1 in
+  List.rev_map List.rev words_reversed
+
+(* ------------------------------------------------------------------ *)
+(* Canonical-model labels *)
+
+let null_satisfies t r a =
+  subsumes t ~sub:(Concept.Exists (Role.inv r)) ~sup:(Concept.Name a)
+
+let edge_satisfies t r s = sub_role t ~sub:r ~sup:s

@@ -1,0 +1,111 @@
+(** OWL 2 QL ontologies (TBoxes), their normalisation and saturation.
+
+    A TBox is built from the axiom forms of the paper's Section 2.  [make]
+    brings the ontology into normal form by adding, for every role ρ in its
+    signature, a fresh concept name [A_ρ] with [A_ρ(x) ↔ ∃y ρ(x,y)], and
+    saturates the concept- and role-inclusion graphs so that the entailment
+    queries below run in constant-ish time. *)
+
+open Obda_syntax
+
+type axiom =
+  | Concept_incl of Concept.t * Concept.t  (** ∀x (τ(x) → τ'(x)) *)
+  | Concept_disj of Concept.t * Concept.t  (** ∀x (τ(x) ∧ τ'(x) → ⊥) *)
+  | Role_incl of Role.t * Role.t  (** ∀xy (ρ(x,y) → ρ'(x,y)) *)
+  | Role_disj of Role.t * Role.t  (** ∀xy (ρ(x,y) ∧ ρ'(x,y) → ⊥) *)
+  | Reflexive of Role.t  (** ∀x ρ(x,x) *)
+  | Irreflexive of Role.t  (** ∀x (ρ(x,x) → ⊥) *)
+
+val pp_axiom : Format.formatter -> axiom -> unit
+
+type t
+
+val make : axiom list -> t
+(** Normalise and saturate.  The input axioms need not mention the [A_ρ]
+    names; they are created here. *)
+
+val axioms : t -> axiom list
+(** The axioms as given to [make] (without normalisation axioms). *)
+
+val size : t -> int
+(** Number of axioms after normalisation, a proxy for |T|. *)
+
+val roles : t -> Role.t list
+(** R_T: the roles occurring in the ontology, closed under inverse. *)
+
+val concept_names : t -> Symbol.t list
+(** All unary predicates, including the normalisation names A_ρ. *)
+
+val exists_name : t -> Role.t -> Symbol.t
+(** [exists_name t ρ] is the normalisation name A_ρ.  Raises [Not_found] if ρ
+    is not in R_T. *)
+
+val exists_name_opt : t -> Role.t -> Symbol.t option
+
+val role_of_exists_name : t -> Symbol.t -> Role.t option
+(** Inverse of [exists_name]. *)
+
+val mem_role : t -> Role.t -> bool
+
+(** {1 Entailment} *)
+
+val subsumes : t -> sub:Concept.t -> sup:Concept.t -> bool
+(** [subsumes t ~sub ~sup] iff T ⊨ ∀x (sub(x) → sup(x)). *)
+
+val sub_role : t -> sub:Role.t -> sup:Role.t -> bool
+(** [sub_role t ~sub ~sup] iff T ⊨ ∀xy (sub(x,y) → sup(x,y)). *)
+
+val reflexive : t -> Role.t -> bool
+(** [reflexive t ρ] iff T ⊨ ∀x ρ(x,x). *)
+
+val subconcepts_of : t -> Concept.t -> Concept.t list
+(** All basic concepts B with T ⊨ B ⊑ given (including itself). *)
+
+val superconcepts_of : t -> Concept.t -> Concept.t list
+val subroles_of : t -> Role.t -> Role.t list
+val superroles_of : t -> Role.t -> Role.t list
+
+val disjoint_concept_axioms : t -> (Concept.t * Concept.t) list
+val disjoint_role_axioms : t -> (Role.t * Role.t) list
+val irreflexive_axioms : t -> Role.t list
+
+val has_bottom : t -> bool
+(** Whether the ontology contains any ⊥-axiom (disjointness/irreflexivity). *)
+
+(** {1 The witness words W_T and ontology depth} *)
+
+val can_start : t -> Role.t -> bool
+(** ρ may be a letter of a word in W_T: T ⊭ ρ(x,x). *)
+
+val can_follow : t -> Role.t -> Role.t -> bool
+(** [can_follow t ρ ρ'] iff ρρ' may appear consecutively in a word of W_T:
+    T ⊨ ∃x ρ(x,y) → ∃z ρ'(y,z), T ⊭ ρ(x,y) → ρ'(y,x), and T ⊭ ρ'(x,x). *)
+
+type depth = Finite of int | Infinite
+
+val pp_depth : Format.formatter -> depth -> unit
+val depth : t -> depth
+(** Depth via W_T: [Finite 0] if W_T is empty, [Finite d] if the longest word
+    has length d, [Infinite] if W_T is infinite. *)
+
+val declared_depth_zero : t -> bool
+(** True when no input axiom has ∃ on the right-hand side and there is no
+    reflexivity axiom — the paper's "depth 0" modulo normalisation names. *)
+
+val words_up_to : t -> int -> Role.t list list
+(** All words of W_T of length ≤ the bound (the empty word is not in W_T and
+    is not returned).  Raises [Invalid_argument] if the ontology has infinite
+    depth and the bound exceeds 10 × the number of roles (runaway guard). *)
+
+(** {1 Canonical-model labels}
+
+    Unary and binary predicates holding around labelled nulls, as in the
+    definition of C_{T,A} (Section 2). *)
+
+val null_satisfies : t -> Role.t -> Symbol.t -> bool
+(** [null_satisfies t ρ a]: the null w·ρ satisfies A, i.e.
+    T ⊨ ∃y ρ(y,x) → A(x). *)
+
+val edge_satisfies : t -> Role.t -> Role.t -> bool
+(** [edge_satisfies t ρ σ]: the edge from w to w·ρ satisfies σ, i.e.
+    T ⊨ ρ(x,y) → σ(x,y).  Same as [sub_role]. *)

@@ -1,0 +1,1 @@
+lib/parse/parse.ml: Abox Concept Cq Format List Obda_cq Obda_data Obda_mapping Obda_ndl Obda_ontology Obda_syntax Printf Role String Symbol Tbox

@@ -1,0 +1,1 @@
+lib/parse/parse.mli: Abox Cq Obda_cq Obda_data Obda_mapping Obda_ontology Tbox

@@ -1,0 +1,1 @@
+lib/reductions/cfl.mli: Abox Cq Obda_cq Obda_data Obda_ontology Tbox

@@ -1,0 +1,1 @@
+lib/reductions/clique.ml: Abox Certain Concept Cq List Obda_chase Obda_cq Obda_data Obda_ontology Obda_syntax Printf Random Role Symbol Tbox

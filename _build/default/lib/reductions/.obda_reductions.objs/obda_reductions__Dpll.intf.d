@@ -1,0 +1,1 @@
+lib/reductions/dpll.mli: Format

@@ -1,0 +1,1 @@
+lib/reductions/hitting_set.ml: Abox Certain Concept Cq Int List Obda_chase Obda_cq Obda_data Obda_ontology Obda_syntax Printf Random Role Symbol Tbox

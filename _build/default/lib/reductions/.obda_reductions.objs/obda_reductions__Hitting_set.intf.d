@@ -1,0 +1,1 @@
+lib/reductions/hitting_set.mli: Abox Cq Obda_cq Obda_data Obda_ontology Tbox

@@ -1,0 +1,1 @@
+lib/reductions/pe.ml: Abox Array Dpll Format Fun Hashtbl List Obda_data Obda_syntax Printf Sat Seq String Symbol

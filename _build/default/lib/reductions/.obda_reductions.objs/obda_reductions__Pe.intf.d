@@ -1,0 +1,1 @@
+lib/reductions/pe.mli: Abox Format Obda_data Obda_syntax

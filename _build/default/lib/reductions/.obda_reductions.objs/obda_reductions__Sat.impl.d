@@ -1,0 +1,1 @@
+lib/reductions/sat.ml: Abox Array Certain Concept Cq Dpll Int List Obda_chase Obda_cq Obda_data Obda_ontology Obda_syntax Printf Role String Symbol Tbox

@@ -1,0 +1,1 @@
+lib/reductions/sat.mli: Abox Cq Dpll Obda_cq Obda_data Obda_ontology Tbox

@@ -1,0 +1,192 @@
+open Obda_syntax
+open Obda_ontology
+open Obda_cq
+open Obda_data
+open Obda_chase
+
+type token = A1 | B1 | A2 | B2 | Open | Close | Hash
+
+let token_name = function
+  | A1 -> "a1"
+  | B1 -> "b1"
+  | A2 -> "a2"
+  | B2 -> "b2"
+  | Open -> "["
+  | Close -> "]"
+  | Hash -> "#"
+
+let tokenize s =
+  let rec go i acc =
+    if i >= String.length s then List.rev acc
+    else
+      match s.[i] with
+      | '[' -> go (i + 1) (Open :: acc)
+      | ']' -> go (i + 1) (Close :: acc)
+      | '#' -> go (i + 1) (Hash :: acc)
+      | ('a' | 'b') as c when i + 1 < String.length s -> (
+        match (c, s.[i + 1]) with
+        | 'a', '1' -> go (i + 2) (A1 :: acc)
+        | 'a', '2' -> go (i + 2) (A2 :: acc)
+        | 'b', '1' -> go (i + 2) (B1 :: acc)
+        | 'b', '2' -> go (i + 2) (B2 :: acc)
+        | _ -> invalid_arg "Cfl.tokenize: bad letter index")
+      | _ -> invalid_arg "Cfl.tokenize: bad character"
+  in
+  go 0 []
+
+let r_pred t = Symbol.intern ("Rcfl_" ^ token_name t)
+let s_pred t = Symbol.intern ("Scfl_" ^ token_name t)
+let a_pred = Symbol.intern "Acfl"
+let d_pred = Symbol.intern "Dcfl"
+let f_pred = Symbol.intern "Fcfl"
+let e_pred = Symbol.intern "Ecfl"
+let mk r = Role.make (Symbol.intern r)
+
+let sigma0 = [ A1; B1; A2; B2 ]
+
+let t_ddagger () =
+  let incl c c' = Tbox.Concept_incl (c, c') in
+  let name n = Concept.Name n in
+  let ex r = Concept.Exists r in
+  let exi r = Concept.Exists (Role.inv r) in
+  let axioms = ref [] in
+  let add a = axioms := a :: !axioms in
+  (* (11): D(x) → ∃y (R_{ai}(x,y) ∧ S_{bi}(y,x) ∧ ∃z (S_{ai}(y,z) ∧
+     R_{bi}(z,y) ∧ D(z))) for i = 1,2 *)
+  List.iter
+    (fun (ai, bi, i) ->
+      let u = mk (Printf.sprintf "ucfl%d" i) in
+      let w = mk (Printf.sprintf "wcfl%d" i) in
+      add (incl (name d_pred) (ex u));
+      add (Tbox.Role_incl (u, Role.make (r_pred ai)));
+      add (Tbox.Role_incl (u, Role.inv (Role.make (s_pred bi))));
+      add (incl (exi u) (ex w));
+      add (Tbox.Role_incl (w, Role.make (s_pred ai)));
+      add (Tbox.Role_incl (w, Role.inv (Role.make (r_pred bi))));
+      add (incl (exi w) (name d_pred)))
+    [ (A1, B1, 1); (A2, B2, 2) ];
+  (* (16) *)
+  add (incl (name a_pred) (name d_pred));
+  (* (17): D → ∃y (R_[(x,y) ∧ S_[(y,x)) *)
+  let g1 = mk "gcfl1" in
+  add (incl (name d_pred) (ex g1));
+  add (Tbox.Role_incl (g1, Role.make (r_pred Open)));
+  add (Tbox.Role_incl (g1, Role.inv (Role.make (s_pred Open))));
+  (* (18): D → ∃y (R_[ ∧ S_#⁻ ∧ ∃z (S_[ ∧ R_#⁻ ∧ F)) *)
+  let g2 = mk "gcfl2" and g3 = mk "gcfl3" in
+  add (incl (name d_pred) (ex g2));
+  add (Tbox.Role_incl (g2, Role.make (r_pred Open)));
+  add (Tbox.Role_incl (g2, Role.inv (Role.make (s_pred Hash))));
+  add (incl (exi g2) (ex g3));
+  add (Tbox.Role_incl (g3, Role.make (s_pred Open)));
+  add (Tbox.Role_incl (g3, Role.inv (Role.make (r_pred Hash))));
+  add (incl (exi g3) (name f_pred));
+  (* (19): D → ∃y (R_] ∧ S_]⁻) *)
+  let g4 = mk "gcfl4" in
+  add (incl (name d_pred) (ex g4));
+  add (Tbox.Role_incl (g4, Role.make (r_pred Close)));
+  add (Tbox.Role_incl (g4, Role.inv (Role.make (s_pred Close))));
+  (* (20): D → ∃y (R_# ∧ S_]⁻ ∧ ∃z (S_# ∧ R_]⁻ ∧ F)) *)
+  let g5 = mk "gcfl5" and g6 = mk "gcfl6" in
+  add (incl (name d_pred) (ex g5));
+  add (Tbox.Role_incl (g5, Role.make (r_pred Hash)));
+  add (Tbox.Role_incl (g5, Role.inv (Role.make (s_pred Close))));
+  add (incl (exi g5) (ex g6));
+  add (Tbox.Role_incl (g6, Role.make (s_pred Hash)));
+  add (Tbox.Role_incl (g6, Role.inv (Role.make (r_pred Close))));
+  add (incl (exi g6) (name f_pred));
+  (* (21): F → ∃y (R_c(x,y) ∧ S_c(y,x)) for c ∈ Σ₀ ∪ {#} *)
+  List.iter
+    (fun c ->
+      let f = mk ("fcfl_" ^ token_name c) in
+      add (incl (name f_pred) (ex f));
+      add (Tbox.Role_incl (f, Role.make (r_pred c)));
+      add (Tbox.Role_incl (f, Role.inv (Role.make (s_pred c)))))
+    (sigma0 @ [ Hash ]);
+  Tbox.make (List.rev !axioms)
+
+(* block-formedness (Appendix C.4) *)
+let block_formed tokens =
+  let rec go inside saw_content = function
+    | [] -> not inside
+    | Open :: rest -> if inside then false else go true false rest
+    | Close :: rest -> (
+      if (not inside) || not saw_content then false
+      else match rest with [] -> true | Open :: _ -> go false false rest | _ -> false)
+    | (A1 | B1 | A2 | B2 | Hash) :: rest ->
+      if not inside then false else go inside true rest
+  in
+  match tokens with Open :: _ -> go false false tokens | _ -> false
+
+let query_of_word word =
+  let tokens = tokenize word in
+  if tokens = [] || not (block_formed tokens) then
+    (* the error query: never satisfiable over (T‡, {A(a)}) *)
+    Cq.make ~answer:[] [ Cq.Unary (a_pred, "u0"); Cq.Unary (e_pred, "u0") ]
+  else begin
+    let atoms = ref [ Cq.Unary (a_pred, "u0") ] in
+    let n = List.length tokens in
+    List.iteri
+      (fun i c ->
+        let u = Printf.sprintf "u%d" i in
+        let v = Printf.sprintf "v%d" i in
+        let u' = Printf.sprintf "u%d" (i + 1) in
+        atoms := Cq.Binary (s_pred c, v, u') :: Cq.Binary (r_pred c, u, v) :: !atoms)
+      tokens;
+    atoms := Cq.Unary (a_pred, Printf.sprintf "u%d" n) :: !atoms;
+    Cq.make ~answer:[] (List.rev !atoms)
+  end
+
+(* B₀ membership: the two-pair Dyck language *)
+let b0_member_tokens tokens =
+  let rec go stack = function
+    | [] -> stack = []
+    | A1 :: rest -> go (1 :: stack) rest
+    | A2 :: rest -> go (2 :: stack) rest
+    | B1 :: rest -> ( match stack with 1 :: s -> go s rest | _ -> false)
+    | B2 :: rest -> ( match stack with 2 :: s -> go s rest | _ -> false)
+    | (Open | Close | Hash) :: _ -> false
+  in
+  go [] tokens
+
+let b0_member word = b0_member_tokens (tokenize word)
+
+let in_hardest_language word =
+  let tokens = tokenize word in
+  if not (block_formed tokens) then false
+  else begin
+    (* split into blocks, each block into #-separated choices *)
+    let rec blocks acc current = function
+      | [] -> List.rev acc
+      | Open :: rest -> blocks acc [] rest
+      | Close :: rest -> blocks (List.rev current :: acc) [] rest
+      | t :: rest -> blocks acc (t :: current) rest
+    in
+    let split_choices block =
+      List.fold_left
+        (fun (done_, cur) t ->
+          if t = Hash then (List.rev cur :: done_, []) else (done_, t :: cur))
+        ([], []) block
+      |> fun (done_, cur) -> List.rev (List.rev cur :: done_)
+    in
+    let choice_lists = List.map split_choices (blocks [] [] tokens) in
+    let rec search prefix = function
+      | [] -> b0_member_tokens (List.rev prefix)
+      | choices :: rest ->
+        List.exists
+          (fun choice -> search (List.rev_append choice prefix) rest)
+          choices
+    in
+    search [] choice_lists
+  end
+
+let abox () =
+  let a = Abox.create () in
+  Abox.add_unary a a_pred (Symbol.intern "a");
+  a
+
+let answer_via_omq word =
+  let t = t_ddagger () in
+  let q = query_of_word word in
+  let depth = List.length (tokenize word) + 3 in
+  Certain.boolean ~depth t (abox ()) q

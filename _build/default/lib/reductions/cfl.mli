@@ -1,0 +1,29 @@
+(** The fixed-ontology LOGCFL-hardness construction of Theorem 22: a single
+    ontology T‡ and a transducer from words w over
+    Σ = {a1,b1,a2,b2,[,],#} to linear Boolean CQs q_w such that
+    T‡, {A(a)} ⊨ q_w iff w belongs to Greibach's hardest context-free
+    language L (in Sudborough's formulation). *)
+
+open Obda_ontology
+open Obda_cq
+open Obda_data
+
+val t_ddagger : unit -> Tbox.t
+(** T‡: axioms (11) and (16)–(21) of Appendix C.4. *)
+
+val query_of_word : string -> Cq.t
+(** The linear Boolean CQ q_w.  Words use the characters 'a','b' (each
+    followed by '1' or '2'), '[', ']' and '#'.  Non-block-formed words yield
+    a query ending in the error predicate E (never satisfiable). *)
+
+val b0_member : string -> bool
+(** Membership in the base language B₀ (the two-pair Dyck language), by a
+    stack automaton. *)
+
+val in_hardest_language : string -> bool
+(** Ground-truth membership in L: parse the blocks and try every choice
+    combination (the instances used in tests are small). *)
+
+val abox : unit -> Abox.t
+val answer_via_omq : string -> bool
+(** T‡, {A(a)} ⊨ q_w via the canonical model. *)

@@ -1,0 +1,158 @@
+open Obda_syntax
+open Obda_ontology
+open Obda_cq
+open Obda_data
+open Obda_chase
+
+type pgraph = { parts : int list list; edges : (int * int) list }
+
+let num_vertices g = List.fold_left (fun acc p -> acc + List.length p) 0 g.parts
+
+let random ~seed ~part_sizes ~edge_prob =
+  let rng = Random.State.make [| seed |] in
+  let parts, _ =
+    List.fold_left
+      (fun (parts, next) size ->
+        (List.init size (fun i -> next + i) :: parts, next + size))
+      ([], 1) part_sizes
+  in
+  let parts = List.rev parts in
+  let all = List.concat parts in
+  let edges =
+    List.concat_map
+      (fun u ->
+        List.filter_map
+          (fun v ->
+            if u < v && Random.State.float rng 1.0 < edge_prob then Some (u, v)
+            else None)
+          all)
+      all
+  in
+  { parts; edges }
+
+let adjacent g u v =
+  u <> v
+  && (List.mem (u, v) g.edges || List.mem (v, u) g.edges)
+
+let has_partitioned_clique g =
+  let rec choose chosen = function
+    | [] -> true
+    | part :: rest ->
+      List.exists
+        (fun v ->
+          List.for_all (adjacent g v) chosen && choose (v :: chosen) rest)
+        part
+  in
+  choose [] g.parts
+
+(* roles and predicates *)
+let l_role k j = Role.make (Symbol.intern (Printf.sprintf "L%d_%d" k j))
+let u_role = Role.make (Symbol.intern "U")
+let y_role = Role.make (Symbol.intern "Y")
+let s_role = Role.make (Symbol.intern "S")
+let pb_role = Role.make (Symbol.intern "PB")
+let a_pred = Symbol.intern "A"
+let b_pred = Symbol.intern "B"
+
+(* vertex j occupies positions 2j-1 and 2j of each block *)
+let positions_of j = [ (2 * j) - 1; 2 * j ]
+
+let tbox g =
+  let m = num_vertices g in
+  let all = List.concat g.parts in
+  let axioms = ref [] in
+  let add a = axioms := a :: !axioms in
+  let p = List.length g.parts in
+  (* A ⊑ ∃L¹_j for v_j in the first part *)
+  List.iter
+    (fun j ->
+      add (Tbox.Concept_incl (Concept.Name a_pred, Concept.Exists (l_role 1 j))))
+    (List.nth g.parts 0);
+  List.iter
+    (fun j ->
+      (* chains within a block *)
+      for k = 1 to (2 * m) - 1 do
+        add
+          (Tbox.Concept_incl
+             (Concept.Exists (Role.inv (l_role k j)), Concept.Exists (l_role (k + 1) j)))
+      done;
+      (* every L^k_j is a U-edge pointing back up *)
+      for k = 1 to 2 * m do
+        add (Tbox.Role_incl (l_role k j, Role.inv u_role))
+      done;
+      (* S at the selected vertex's own positions *)
+      List.iter
+        (fun k -> add (Tbox.Role_incl (l_role k j, Role.inv s_role)))
+        (positions_of j);
+      (* Y at the positions of the neighbours of v_j *)
+      List.iter
+        (fun j' ->
+          if adjacent g j j' then
+            List.iter
+              (fun k -> add (Tbox.Role_incl (l_role k j, Role.inv y_role)))
+              (positions_of j'))
+        all)
+    all;
+  (* block transitions *)
+  List.iteri
+    (fun i part ->
+      if i + 1 < p then
+        let next = List.nth g.parts (i + 1) in
+        List.iter
+          (fun j ->
+            List.iter
+              (fun j' ->
+                add
+                  (Tbox.Concept_incl
+                     ( Concept.Exists (Role.inv (l_role (2 * m) j)),
+                       Concept.Exists (l_role 1 j') )))
+              next)
+          part)
+    g.parts;
+  (* end of the pth block *)
+  List.iter
+    (fun j ->
+      add
+        (Tbox.Concept_incl
+           (Concept.Exists (Role.inv (l_role (2 * m) j)), Concept.Name b_pred)))
+    (List.nth g.parts (p - 1));
+  (* B ⊑ ∃PB with PB ⊑ U and PB ⊑ U⁻: the padding loop *)
+  add (Tbox.Concept_incl (Concept.Name b_pred, Concept.Exists pb_role));
+  add (Tbox.Role_incl (pb_role, u_role));
+  add (Tbox.Role_incl (pb_role, Role.inv u_role));
+  Tbox.make (List.rev !axioms)
+
+let query g =
+  let m = num_vertices g in
+  let p = List.length g.parts in
+  let atoms = ref [ Cq.Unary (b_pred, "y") ] in
+  for i = 1 to p - 1 do
+    (* branch i: U^{2M-2} (Y Y U^{2M-2})^i S S, from y outwards *)
+    let letters =
+      List.init ((2 * m) - 2) (fun _ -> u_role)
+      @ List.concat
+          (List.init i (fun _ ->
+               [ y_role; y_role ] @ List.init ((2 * m) - 2) (fun _ -> u_role)))
+      @ [ s_role; s_role ]
+    in
+    let prev = ref "y" in
+    List.iteri
+      (fun t rho ->
+        let next = Printf.sprintf "b%d_%d" i t in
+        let base = rho.Role.base in
+        atoms := Cq.Binary (base, !prev, next) :: !atoms;
+        prev := next)
+      letters
+  done;
+  Cq.make ~answer:[] (List.rev !atoms)
+
+let omq g = (tbox g, query g)
+
+let abox () =
+  let a = Abox.create () in
+  Abox.add_unary a a_pred (Symbol.intern "a");
+  a
+
+let answer_via_omq g =
+  let t, q = omq g in
+  Certain.boolean t (abox ()) q

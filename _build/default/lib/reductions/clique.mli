@@ -1,0 +1,32 @@
+(** The W[1]-hardness reduction of Theorem 16: PartitionedClique ≤ answering
+    OMQs with bounded-leaf tree-shaped CQs.
+
+    For a graph G partitioned into V₁…V_p, the ontology T_G spawns from A(a)
+    one branch per choice of a vertex from each part (p blocks of length 2M),
+    marking selected positions with S and neighbours with Y; the CQ q_G is a
+    star with p−1 branches checking evenly-spaced Y Y markers ending in S S.
+    T_G, {A(a)} ⊨ q_G iff G has a clique with one vertex per part. *)
+
+open Obda_ontology
+open Obda_cq
+open Obda_data
+
+type pgraph = {
+  parts : int list list;  (** partition of the vertices 1..M *)
+  edges : (int * int) list;
+}
+
+val num_vertices : pgraph -> int
+
+val random : seed:int -> part_sizes:int list -> edge_prob:float -> pgraph
+
+val has_partitioned_clique : pgraph -> bool
+(** Brute force over the choice of one vertex per part. *)
+
+val omq : pgraph -> Tbox.t * Cq.t
+(** (T_G, q_G). *)
+
+val abox : unit -> Abox.t
+(** {A(a)}. *)
+
+val answer_via_omq : pgraph -> bool

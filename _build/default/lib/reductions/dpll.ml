@@ -1,0 +1,86 @@
+type lit = int
+type cnf = { nvars : int; clauses : lit list list }
+
+let pp ppf c =
+  Format.fprintf ppf "%d vars:" c.nvars;
+  List.iter
+    (fun clause ->
+      Format.fprintf ppf " (%s)"
+        (String.concat "|" (List.map string_of_int clause)))
+    c.clauses
+
+(* assignment: 0 = unassigned, 1 = true, -1 = false *)
+let rec dpll assignment clauses =
+  (* unit propagation *)
+  let value l =
+    let v = assignment.(abs l - 1) in
+    if v = 0 then 0 else if (l > 0 && v = 1) || (l < 0 && v = -1) then 1 else -1
+  in
+  let simplified =
+    List.filter_map
+      (fun clause ->
+        if List.exists (fun l -> value l = 1) clause then None
+        else Some (List.filter (fun l -> value l = 0) clause))
+      clauses
+  in
+  if simplified = [] then true
+  else if List.exists (fun c -> c = []) simplified then false
+  else
+    match List.find_opt (fun c -> List.length c = 1) simplified with
+    | Some [ l ] ->
+      assignment.(abs l - 1) <- (if l > 0 then 1 else -1);
+      let r = dpll assignment simplified in
+      if not r then assignment.(abs l - 1) <- 0;
+      r
+    | _ ->
+      let l =
+        match simplified with c :: _ -> List.hd c | [] -> assert false
+      in
+      let try_value v =
+        assignment.(abs l - 1) <- v;
+        let r = dpll assignment simplified in
+        if not r then assignment.(abs l - 1) <- 0;
+        r
+      in
+      try_value (if l > 0 then 1 else -1) || try_value (if l > 0 then -1 else 1)
+
+let solve c =
+  let assignment = Array.make (max 1 c.nvars) 0 in
+  if dpll assignment c.clauses then
+    Some (Array.map (fun v -> v = 1) assignment)
+  else None
+
+let satisfiable c = solve c <> None
+
+let remove_clauses c alpha =
+  {
+    c with
+    clauses =
+      List.filteri (fun i _ -> i >= Array.length alpha || not alpha.(i)) c.clauses;
+  }
+
+let random_3cnf ~seed ~nvars ~nclauses =
+  let rng = Random.State.make [| seed; nvars; nclauses |] in
+  let clause () =
+    List.init 3 (fun _ ->
+        let v = Random.State.int rng nvars + 1 in
+        if Random.State.bool rng then v else -v)
+  in
+  { nvars; clauses = List.init nclauses (fun _ -> clause ()) }
+
+let all_clauses_3cnf nvars =
+  let lits = List.init (2 * nvars) (fun i -> if i < nvars then i + 1 else -(i - nvars + 1)) in
+  let clauses =
+    List.concat_map
+      (fun l1 ->
+        List.concat_map
+          (fun l2 ->
+            List.filter_map
+              (fun l3 ->
+                if abs l1 < abs l2 && abs l2 < abs l3 then Some [ l1; l2; l3 ]
+                else None)
+              lits)
+          lits)
+      lits
+  in
+  { nvars; clauses }

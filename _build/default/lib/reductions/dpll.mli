@@ -1,0 +1,26 @@
+(** A small DPLL SAT solver — the substrate used to check the SAT reductions
+    of Section 5 (Theorems 17, 19, 20). *)
+
+type lit = int
+(** ±(v+1) for variable v (0-based): positive literal is v+1, negative
+    is -(v+1).  A literal is never 0. *)
+
+type cnf = { nvars : int; clauses : lit list list }
+
+val pp : Format.formatter -> cnf -> unit
+
+val satisfiable : cnf -> bool
+(** DPLL with unit propagation and pure-literal elimination. *)
+
+val solve : cnf -> bool array option
+(** A satisfying assignment if any (index = variable). *)
+
+val remove_clauses : cnf -> bool array -> cnf
+(** [remove_clauses ϕ α] is ϕ^{-α}: the clauses χ_i with α_i = true removed
+    (Section 5, Theorem 20). *)
+
+val random_3cnf : seed:int -> nvars:int -> nclauses:int -> cnf
+
+val all_clauses_3cnf : int -> cnf
+(** Every 3-clause over the given number of variables — the ϕ_k of the proof
+    of Theorem 28. *)

@@ -1,0 +1,101 @@
+open Obda_syntax
+open Obda_ontology
+open Obda_cq
+open Obda_data
+open Obda_chase
+
+type hypergraph = { n : int; edges : int list list }
+
+let random ~seed ~n ~m ~max_edge =
+  let rng = Random.State.make [| seed; n; m |] in
+  let edge () =
+    let size = 1 + Random.State.int rng (max 1 max_edge) in
+    List.init size (fun _ -> 1 + Random.State.int rng n)
+    |> List.sort_uniq Int.compare
+  in
+  { n; edges = List.init m (fun _ -> edge ()) }
+
+let has_hitting_set h ~k =
+  let rec choose from size =
+    if size = 0 then [ [] ]
+    else if from > h.n then []
+    else
+      List.map (fun s -> from :: s) (choose (from + 1) (size - 1))
+      @ choose (from + 1) size
+  in
+  List.exists
+    (fun subset ->
+      List.for_all (fun e -> List.exists (fun v -> List.mem v subset) e) h.edges)
+    (choose 1 k)
+
+(* predicate names *)
+let v_name l i = Symbol.intern (Printf.sprintf "V%d_%d" l i)
+let e_name l j = Symbol.intern (Printf.sprintf "E%d_%d" l j)
+let upsilon l i = Role.make (Symbol.intern (Printf.sprintf "ups%d_%d" l i))
+let eta l j = Role.make (Symbol.intern (Printf.sprintf "eta%d_%d" l j))
+let p_role = Role.make (Symbol.intern "P")
+
+let tbox h ~k =
+  let m = List.length h.edges in
+  let axioms = ref [] in
+  let add a = axioms := a :: !axioms in
+  for l = 1 to k do
+    (* V^{l-1}_i(x) → ∃z (P(z,x) ∧ V^l_{i'}(z))  for 0 ≤ i < i' ≤ n *)
+    for i = 0 to h.n do
+      for i' = i + 1 to h.n do
+        add (Tbox.Concept_incl (Concept.Name (v_name (l - 1) i), Concept.Exists (upsilon l i')));
+        ignore i'
+      done
+    done;
+    for i' = 1 to h.n do
+      add (Tbox.Role_incl (upsilon l i', Role.inv p_role));
+      add
+        (Tbox.Concept_incl
+           (Concept.Exists (Role.inv (upsilon l i')), Concept.Name (v_name l i')))
+    done;
+    (* V^l_i ⊑ E^l_j for v_i ∈ e_j *)
+    List.iteri
+      (fun j0 e ->
+        let j = j0 + 1 in
+        List.iter
+          (fun i ->
+            add
+              (Tbox.Concept_incl (Concept.Name (v_name l i), Concept.Name (e_name l j))))
+          e)
+      h.edges;
+    (* E^l_j(x) → ∃z (P(x,z) ∧ E^{l-1}_j(z)) *)
+    for j = 1 to m do
+      add (Tbox.Concept_incl (Concept.Name (e_name l j), Concept.Exists (eta l j)));
+      add (Tbox.Role_incl (eta l j, p_role));
+      add
+        (Tbox.Concept_incl
+           (Concept.Exists (Role.inv (eta l j)), Concept.Name (e_name (l - 1) j)))
+    done
+  done;
+  Tbox.make (List.rev !axioms)
+
+let query h ~k =
+  let m = List.length h.edges in
+  let p = Symbol.intern "P" in
+  let atoms = ref [] in
+  for j = 1 to m do
+    let z l = Printf.sprintf "z%d_%d" l j in
+    (* P(y, z^{k-1}_j) *)
+    atoms := Cq.Binary (p, "y", z (k - 1)) :: !atoms;
+    for l = 1 to k - 1 do
+      atoms := Cq.Binary (p, z l, z (l - 1)) :: !atoms
+    done;
+    atoms := Cq.Unary (e_name 0 j, z 0) :: !atoms
+  done;
+  Cq.make ~answer:[] (List.rev !atoms)
+
+let omq h ~k = (tbox h ~k, query h ~k)
+
+let abox () =
+  let a = Abox.create () in
+  Abox.add_unary a (v_name 0 0) (Symbol.intern "a");
+  a
+
+let answer_via_omq h ~k =
+  let t, q = omq h ~k in
+  Certain.boolean t (abox ()) q

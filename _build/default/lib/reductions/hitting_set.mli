@@ -1,0 +1,28 @@
+(** The W[2]-hardness reduction of Theorem 15: p-HittingSet ≤ answering
+    OMQs with ontologies of depth 2k and tree-shaped (star) CQs.
+
+    For a hypergraph H and parameter k, T^k_H generates from V⁰₀(a) a tree of
+    depth k whose branches enumerate the size-k subsets of vertices, plus
+    "pendants" for the hyperedges; the star CQ q^k_H maps into the canonical
+    model iff H has a hitting set of size k. *)
+
+open Obda_ontology
+open Obda_cq
+open Obda_data
+
+type hypergraph = { n : int; edges : int list list }
+(** Vertices are 1..n; each edge is a non-empty list of vertices. *)
+
+val random : seed:int -> n:int -> m:int -> max_edge:int -> hypergraph
+
+val has_hitting_set : hypergraph -> k:int -> bool
+(** Brute force over the size-k vertex subsets. *)
+
+val omq : hypergraph -> k:int -> Tbox.t * Cq.t
+(** (T^k_H, q^k_H). *)
+
+val abox : unit -> Abox.t
+(** {V⁰₀(a)}. *)
+
+val answer_via_omq : hypergraph -> k:int -> bool
+(** T^k_H, {V⁰₀(a)} ⊨ q^k_H, decided on the canonical model. *)

@@ -1,0 +1,256 @@
+open Obda_syntax
+open Obda_data
+
+type term = Var of string | Cst of Abox.const
+
+type t =
+  | Atom1 of Symbol.t * term
+  | Atom2 of Symbol.t * term * term
+  | Eqt of term * term
+  | And of t list
+  | Or of t list
+  | Exists of string list * t
+
+let rec size = function
+  | Atom1 _ | Atom2 _ | Eqt _ -> 1
+  | And fs | Or fs -> List.fold_left (fun acc f -> acc + size f) 1 fs
+  | Exists (_, f) -> 1 + size f
+
+let pp_term ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Cst c -> Symbol.pp ppf c
+
+let rec pp ppf = function
+  | Atom1 (a, t) -> Format.fprintf ppf "%a(%a)" Symbol.pp a pp_term t
+  | Atom2 (p, t1, t2) ->
+    Format.fprintf ppf "%a(%a,%a)" Symbol.pp p pp_term t1 pp_term t2
+  | Eqt (t1, t2) -> Format.fprintf ppf "%a = %a" pp_term t1 pp_term t2
+  | And fs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+         pp)
+      fs
+  | Or fs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+         pp)
+      fs
+  | Exists (vs, f) ->
+    Format.fprintf ppf "exists %s. %a" (String.concat "," vs) pp f
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation: a lazy stream of satisfying assignment extensions.
+   Conjunctions pick the cheapest conjunct first (fewest unbound
+   variables), which keeps the search close to linear on tree-shaped
+   subformulas; the worst case is exponential, as Theorem 21 predicts. *)
+
+let value env = function
+  | Cst c -> Some c
+  | Var v -> List.assoc_opt v env
+
+let rec unbound_count env = function
+  | Atom1 (_, t) -> ( match value env t with Some _ -> 0 | None -> 1)
+  | Atom2 (_, t1, t2) | Eqt (t1, t2) ->
+    (match value env t1 with Some _ -> 0 | None -> 1)
+    + (match value env t2 with Some _ -> 0 | None -> 1)
+  | And fs | Or fs ->
+    List.fold_left (fun acc f -> min acc (unbound_count env f)) max_int fs
+  | Exists (_, f) -> unbound_count env f
+
+let rec sat abox env formula : (string * Abox.const) list Seq.t =
+  match formula with
+  | Atom1 (a, t) -> (
+    match value env t with
+    | Some c -> if Abox.mem_unary abox a c then Seq.return env else Seq.empty
+    | None -> (
+      match t with
+      | Var v ->
+        List.to_seq (Abox.unary_members abox a)
+        |> Seq.map (fun c -> (v, c) :: env)
+      | Cst _ -> assert false))
+  | Atom2 (p, t1, t2) -> (
+    match (value env t1, value env t2) with
+    | Some c, Some d ->
+      if Abox.mem_binary abox p c d then Seq.return env else Seq.empty
+    | Some c, None -> (
+      match t2 with
+      | Var v ->
+        List.to_seq (Abox.successors abox p c) |> Seq.map (fun d -> (v, d) :: env)
+      | Cst _ -> assert false)
+    | None, Some d -> (
+      match t1 with
+      | Var v ->
+        List.to_seq (Abox.predecessors abox p d)
+        |> Seq.map (fun c -> (v, c) :: env)
+      | Cst _ -> assert false)
+    | None, None -> (
+      match (t1, t2) with
+      | Var v1, Var v2 ->
+        List.to_seq (Abox.binary_members abox p)
+        |> Seq.map (fun (c, d) ->
+               if v1 = v2 then if c = d then Some ((v1, c) :: env) else None
+               else Some ((v1, c) :: (v2, d) :: env))
+        |> Seq.filter_map Fun.id
+      | _ -> assert false))
+  | Eqt (t1, t2) -> (
+    match (value env t1, value env t2) with
+    | Some c, Some d -> if c = d then Seq.return env else Seq.empty
+    | Some c, None -> (
+      match t2 with Var v -> Seq.return ((v, c) :: env) | Cst _ -> assert false)
+    | None, Some d -> (
+      match t1 with Var v -> Seq.return ((v, d) :: env) | Cst _ -> assert false)
+    | None, None -> (
+      match (t1, t2) with
+      | Var v1, Var v2 ->
+        List.to_seq (Abox.individuals abox)
+        |> Seq.map (fun c -> (v1, c) :: (v2, c) :: env)
+      | _ -> assert false))
+  | And [] -> Seq.return env
+  | And fs ->
+    (* cheapest conjunct first, with bounded lookahead (full rescans make
+       the evaluation quadratic in the formula size) *)
+    let rec pick best best_cost i = function
+      | [] -> best
+      | f :: rest ->
+        if i >= 8 || best_cost = 0 then best
+        else
+          let c = unbound_count env f in
+          if c < best_cost then pick (Some f) c (i + 1) rest
+          else pick best best_cost (i + 1) rest
+    in
+    let f =
+      match pick None max_int 0 fs with Some f -> f | None -> List.hd fs
+    in
+    let rest = List.filter (fun g -> g != f) fs in
+    Seq.concat_map (fun env' -> sat abox env' (And rest)) (sat abox env f)
+  | Or fs -> Seq.concat_map (fun f -> sat abox env f) (List.to_seq fs)
+  | Exists (_, f) -> sat abox env f
+
+let holds abox env f =
+  match (sat abox env f) () with Seq.Nil -> false | Seq.Cons _ -> true
+
+let eval abox f = holds abox [] f
+
+(* ------------------------------------------------------------------ *)
+(* The q_m construction of Theorem 28 *)
+
+let p_minus = Symbol.intern "Pminus"
+let p_plus = Symbol.intern "Pplus"
+let b_zero = Symbol.intern "Bzero"
+
+let log2_exact m =
+  let rec go l acc =
+    if acc = m then Some l else if acc > m then None else go (l + 1) (2 * acc)
+  in
+  go 0 1
+
+let base_cnf nvars = Dpll.all_clauses_3cnf nvars
+
+let padded_m nvars =
+  let m0 = List.length (base_cnf nvars).Dpll.clauses in
+  let rec up acc = if acc >= m0 then acc else up (2 * acc) in
+  up 1
+
+let qm_clause_count ~nvars = padded_m nvars
+
+let qm_alpha_of_clause_flags ~nvars flags =
+  let m = padded_m nvars in
+  Array.init m (fun i ->
+      if i < Array.length flags then flags.(i) else true)
+
+let query_qm ~nvars =
+  if nvars < 3 then invalid_arg "Pe.query_qm: need at least 3 variables";
+  let k = nvars in
+  let cnf = base_cnf nvars in
+  let m = padded_m nvars in
+  let ell = match log2_exact m with Some l -> l | None -> assert false in
+  let clauses = Array.of_list cnf.Dpll.clauses in
+  let x = Var "x" in
+  let pm = [ p_minus; p_plus ] in
+  let p_of_bit b = if b = 0 then p_minus else p_plus in
+  let pany t1 t2 = Or (List.map (fun p -> Atom2 (p, t1, t2)) pm) in
+  (* r: one fixed-label path per clause leaf *)
+  let r_parts = ref [] in
+  let all_vars = ref [] in
+  let var name =
+    all_vars := name :: !all_vars;
+    name
+  in
+  for i = 1 to m do
+    let z = var (Printf.sprintf "z%d" i) in
+    let prev = ref x in
+    for l = 0 to ell - 1 do
+      let bit = ((i - 1) lsr l) land 1 in
+      let next = if l = ell - 1 then Var z else Var (var (Printf.sprintf "y%d_%d" i l)) in
+      r_parts := Atom2 (p_of_bit bit, !prev, next) :: !r_parts;
+      prev := next
+    done
+  done;
+  (* s: each propositional variable gets a leaf/internal mode choice *)
+  let s_parts = ref [] in
+  for i = 1 to k do
+    let xi = var (Printf.sprintf "xv%d" i) in
+    let xi' = var (Printf.sprintf "xn%d" i) in
+    let prev = ref x in
+    let last = ref x in
+    for l = 1 to ell - 1 do
+      let u = Var (var (Printf.sprintf "u%d_%d" i l)) in
+      s_parts := pany !prev u :: !s_parts;
+      prev := u;
+      last := u
+    done;
+    let choice leaf internal =
+      And
+        [ pany !last (Var leaf); pany (Var internal) !last; Atom1 (b_zero, Var leaf) ]
+    in
+    s_parts := Or [ choice xi xi'; choice xi' xi ] :: !s_parts
+  done;
+  (* t: every clause is removed or satisfied *)
+  let t_parts = ref [] in
+  for i = 1 to m do
+    let disjuncts =
+      Atom1 (b_zero, Var (Printf.sprintf "z%d" i))
+      ::
+      (if i <= Array.length clauses then
+         List.map
+           (fun lit ->
+             let v = abs lit in
+             let name =
+               if lit > 0 then Printf.sprintf "xv%d" v
+               else Printf.sprintf "xn%d" v
+             in
+             Atom1 (b_zero, Var name))
+           clauses.(i - 1)
+       else [])
+    in
+    t_parts := Or disjuncts :: !t_parts
+  done;
+  Exists (List.rev !all_vars, And (!r_parts @ !s_parts @ !t_parts))
+
+let qm_agrees ~nvars alpha =
+  let cnf = base_cnf nvars in
+  let flags = Array.sub alpha 0 (min (Array.length alpha) (List.length cnf.Dpll.clauses)) in
+  let alpha_full = qm_alpha_of_clause_flags ~nvars flags in
+  let abox = Sat.tree_instance alpha_full in
+  let expected = Dpll.satisfiable (Dpll.remove_clauses cnf flags) in
+  let got = holds abox [ ("x", Sat.tree_root) ] (query_qm ~nvars) in
+  expected = got
+
+let all_bindings abox ~vars f =
+  let inds = Abox.individuals abox in
+  let tuples = Hashtbl.create 16 in
+  Seq.iter
+    (fun env ->
+      let rec expand acc = function
+        | [] -> Hashtbl.replace tuples (List.rev acc) ()
+        | v :: rest -> (
+          match List.assoc_opt v env with
+          | Some c -> expand (c :: acc) rest
+          | None -> List.iter (fun c -> expand (c :: acc) rest) inds)
+      in
+      expand [] vars)
+    (sat abox [] f);
+  Hashtbl.fold (fun t () acc -> t :: acc) tuples []
+  |> List.sort (List.compare Symbol.compare)

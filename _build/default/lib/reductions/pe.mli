@@ -1,0 +1,51 @@
+(** Positive existential (PE) formulas and the constructions of
+    Theorems 20–21 / 28: evaluating PE-queries over the tree-shaped data
+    instances A^α_m is NP-hard, which is why small PE-rewritings of the
+    OMQs (T†, q̄_ϕ) may exist even though small polynomial-time-evaluable
+    rewritings do not (unless NP ⊆ P/poly). *)
+
+open Obda_data
+
+type term = Var of string | Cst of Abox.const
+
+type t =
+  | Atom1 of Obda_syntax.Symbol.t * term  (** A(t) *)
+  | Atom2 of Obda_syntax.Symbol.t * term * term  (** P(t,t') *)
+  | Eqt of term * term  (** t = t' (over the active domain) *)
+  | And of t list
+  | Or of t list
+  | Exists of string list * t
+
+val size : t -> int
+val pp : Format.formatter -> t -> unit
+
+val holds : Abox.t -> (string * Abox.const) list -> t -> bool
+(** Evaluation under a partial assignment of the free variables (backtracking
+    over the existentials; exponential in general — Theorem 21 says this is
+    unavoidable). *)
+
+val eval : Abox.t -> t -> bool
+(** [holds] with the empty assignment (sentences). *)
+
+val all_bindings :
+  Abox.t -> vars:string list -> t -> Abox.const list list
+(** All tuples for the listed variables in satisfying assignments, sorted and
+    deduplicated; variables left unbound by a satisfying assignment range
+    over the individuals. *)
+
+val query_qm : nvars:int -> t
+(** The PE-query q_m(x) of Theorem 28 for the 3-CNF ϕ_k containing all
+    3-clauses over [nvars] variables: over the tree instance A^α_m,
+    q_m(root) holds iff ϕ_k^{-α} is satisfiable.  Requires [nvars] ≥ 3.
+    The free variable is ["x"]. *)
+
+val qm_clause_count : nvars:int -> int
+(** m: the number of clauses of ϕ_k (padded to a power of two). *)
+
+val qm_alpha_of_clause_flags : nvars:int -> bool array -> bool array
+(** Pad a flag vector over the clauses of ϕ_k to the power-of-two length used
+    by [query_qm] (padding entries are true = "removed"). *)
+
+val qm_agrees : nvars:int -> bool array -> bool
+(** The Theorem 28 equivalence on one instance: evaluates q_m(root) over
+    A^α_m and compares with DPLL satisfiability of ϕ_k^{-α}. *)

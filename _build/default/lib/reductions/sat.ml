@@ -1,0 +1,196 @@
+open Obda_syntax
+open Obda_ontology
+open Obda_cq
+open Obda_data
+open Obda_chase
+
+let p_plus = Symbol.intern "Pplus"
+let p_minus = Symbol.intern "Pminus"
+let p_zero = Symbol.intern "Pzero"
+let a_pred = Symbol.intern "Asat"
+let b_plus = Symbol.intern "Bplus"
+let b_minus = Symbol.intern "Bminus"
+let b_zero = Symbol.intern "Bzero"
+let ups_plus = Role.make (Symbol.intern "upsPlus")
+let ups_minus = Role.make (Symbol.intern "upsMinus")
+let eta_plus = Role.make (Symbol.intern "etaPlus")
+let eta_minus = Role.make (Symbol.intern "etaMinus")
+let eta_zero = Role.make (Symbol.intern "etaZero")
+
+let t_dagger () =
+  let incl c c' = Tbox.Concept_incl (c, c') in
+  let name n = Concept.Name n in
+  let ex r = Concept.Exists r in
+  let exi r = Concept.Exists (Role.inv r) in
+  Tbox.make
+    [
+      (* A(x) → ∃y (P₊(y,x) ∧ P₀(y,x) ∧ B₋(y) ∧ A(y)) *)
+      incl (name a_pred) (ex ups_plus);
+      Tbox.Role_incl (ups_plus, Role.inv (Role.make p_plus));
+      Tbox.Role_incl (ups_plus, Role.inv (Role.make p_zero));
+      incl (exi ups_plus) (name b_minus);
+      incl (exi ups_plus) (name a_pred);
+      (* B₋(y) → ∃x' (P₋(y,x') ∧ B₀(x')) *)
+      incl (name b_minus) (ex eta_minus);
+      Tbox.Role_incl (eta_minus, Role.make p_minus);
+      incl (exi eta_minus) (name b_zero);
+      (* A(x) → ∃y (P₋(y,x) ∧ P₀(y,x) ∧ B₊(y) ∧ A(y)) *)
+      incl (name a_pred) (ex ups_minus);
+      Tbox.Role_incl (ups_minus, Role.inv (Role.make p_minus));
+      Tbox.Role_incl (ups_minus, Role.inv (Role.make p_zero));
+      incl (exi ups_minus) (name b_plus);
+      incl (exi ups_minus) (name a_pred);
+      (* B₊(y) → ∃x' (P₊(y,x') ∧ B₀(x')) *)
+      incl (name b_plus) (ex eta_plus);
+      Tbox.Role_incl (eta_plus, Role.make p_plus);
+      incl (exi eta_plus) (name b_zero);
+      (* B₀(x) → ∃y (P₊(x,y) ∧ P₋(x,y) ∧ P₀(x,y) ∧ B₀(y)) *)
+      incl (name b_zero) (ex eta_zero);
+      Tbox.Role_incl (eta_zero, Role.make p_plus);
+      Tbox.Role_incl (eta_zero, Role.make p_minus);
+      Tbox.Role_incl (eta_zero, Role.make p_zero);
+      incl (exi eta_zero) (name b_zero);
+    ]
+
+(* drop tautological clauses and duplicate literals; the encoding needs one
+   polarity per (variable, clause) *)
+let normalise_cnf (c : Dpll.cnf) =
+  let clauses =
+    List.filter_map
+      (fun clause ->
+        let clause = List.sort_uniq Int.compare clause in
+        if List.exists (fun l -> List.mem (-l) clause) clause then None
+        else Some clause)
+      c.Dpll.clauses
+  in
+  { c with Dpll.clauses }
+
+let polarity clause v =
+  (* v is 0-based *)
+  if List.mem (v + 1) clause then `Plus
+  else if List.mem (-(v + 1)) clause then `Minus
+  else `Zero
+
+let p_of = function `Plus -> p_plus | `Minus -> p_minus | `Zero -> p_zero
+
+let query_of_cnf cnf =
+  let cnf = normalise_cnf cnf in
+  let k = cnf.Dpll.nvars in
+  let atoms = ref [ Cq.Unary (a_pred, "y") ] in
+  List.iteri
+    (fun j clause ->
+      let z l = if l = k then "y" else Printf.sprintf "z%d_%d" l j in
+      for l = k downto 1 do
+        let p = p_of (polarity clause (l - 1)) in
+        atoms := Cq.Binary (p, z l, z (l - 1)) :: !atoms
+      done;
+      atoms := Cq.Unary (b_zero, z 0) :: !atoms)
+    cnf.Dpll.clauses;
+  Cq.make ~answer:[] (List.rev !atoms)
+
+let abox () =
+  let a = Abox.create () in
+  Abox.add_unary a a_pred (Symbol.intern "a");
+  a
+
+let satisfiable_via_omq cnf =
+  let cnf = normalise_cnf cnf in
+  if cnf.Dpll.clauses = [] then true
+  else
+    let t = t_dagger () in
+    let q = query_of_cnf cnf in
+    Certain.boolean ~depth:((2 * cnf.Dpll.nvars) + 2) t (abox ()) q
+
+(* ------------------------------------------------------------------ *)
+(* Theorems 19-20: q̄_ϕ over the tree instances A^α_m *)
+
+let log2_exact m =
+  let rec go l acc = if acc = m then Some l else if acc > m then None else go (l + 1) (2 * acc) in
+  go 0 1
+
+let qbar_of_cnf cnf =
+  let cnf = normalise_cnf cnf in
+  let k = cnf.Dpll.nvars in
+  let m = List.length cnf.Dpll.clauses in
+  let ell =
+    match log2_exact m with
+    | Some l -> l
+    | None -> invalid_arg "Sat.qbar_of_cnf: number of clauses must be 2^l"
+  in
+  let atoms = ref [] in
+  (* P₀(y¹,x), P₀(y²,y¹), …, P₀(y^k, y^{k-1}) *)
+  let ylevel l = if l = 0 then "x" else Printf.sprintf "yy%d" l in
+  for l = 1 to k do
+    atoms := Cq.Binary (p_zero, ylevel l, ylevel (l - 1)) :: !atoms
+  done;
+  List.iteri
+    (fun j0 clause ->
+      let j = j0 + 1 in
+      let z l =
+        if l = k then ylevel k
+        else if l >= 0 then Printf.sprintf "z%d_%d" l j
+        else Printf.sprintf "zm%d_%d" (-l) j
+      in
+      for l = k downto 1 do
+        let p = p_of (polarity clause (l - 1)) in
+        atoms := Cq.Binary (p, z l, z (l - 1)) :: !atoms
+      done;
+      (* descent guided by the bits of (j-1): bit l = 0 → P₋, 1 → P₊ *)
+      for l = 0 to ell - 1 do
+        let bit = ((j - 1) lsr l) land 1 in
+        let p = if bit = 0 then p_minus else p_plus in
+        atoms := Cq.Binary (p, z (-l), z (-l - 1)) :: !atoms
+      done;
+      atoms := Cq.Unary (b_zero, z (-ell)) :: !atoms)
+    cnf.Dpll.clauses;
+  Cq.make ~answer:[ "x" ] (List.rev !atoms)
+
+let tree_root = Symbol.intern "a"
+
+let tree_instance alpha =
+  let m = Array.length alpha in
+  let ell =
+    match log2_exact m with
+    | Some l -> l
+    | None -> invalid_arg "Sat.tree_instance: |α| must be 2^l"
+  in
+  let a = Abox.create () in
+  Abox.add_unary a a_pred tree_root;
+  let node path = if path = "" then tree_root else Symbol.intern ("n" ^ path) in
+  (* build the full binary tree: 0 = left = P₋, 1 = right = P₊ *)
+  let rec build path depth =
+    if depth < ell then begin
+      Abox.add_binary a p_minus (node path) (node (path ^ "0"));
+      Abox.add_binary a p_plus (node path) (node (path ^ "1"));
+      build (path ^ "0") (depth + 1);
+      build (path ^ "1") (depth + 1)
+    end
+  in
+  build "" 0;
+  (* leaf of clause j: bits of (j-1), LSB first (matching q̄_ϕ) *)
+  for j = 1 to m do
+    if alpha.(j - 1) then begin
+      let path =
+        String.concat ""
+          (List.init ell (fun l -> string_of_int (((j - 1) lsr l) land 1)))
+      in
+      Abox.add_unary a b_zero (node path)
+    end
+  done;
+  a
+
+let f_phi cnf alpha =
+  let cnf = normalise_cnf cnf in
+  Dpll.satisfiable (Dpll.remove_clauses cnf alpha)
+
+let qbar_answer cnf alpha =
+  let cnf = normalise_cnf cnf in
+  let q = qbar_of_cnf cnf in
+  let m = List.length cnf.Dpll.clauses in
+  let ell = match log2_exact m with Some l -> l | None -> assert false in
+  let t = t_dagger () in
+  let a = tree_instance alpha in
+  let answers =
+    Certain.answers ~depth:((2 * cnf.Dpll.nvars) + ell + 2) t a q
+  in
+  List.mem [ tree_root ] answers

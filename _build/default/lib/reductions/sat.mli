@@ -1,0 +1,41 @@
+(** The fixed-ontology NP-hardness construction of Section 5 (Theorems 17,
+    19, 20): a single infinite-depth ontology T† such that answering the
+    star-shaped Boolean OMQs (T†, q_ϕ) over {A(a)} decides satisfiability of
+    the CNF ϕ. *)
+
+open Obda_ontology
+open Obda_cq
+open Obda_data
+
+val t_dagger : unit -> Tbox.t
+(** The fixed ontology T† (in normal form, with the auxiliary roles
+    υ₊, υ₋, η₊, η₋, η₀ of the Appendix C.1 proof). *)
+
+val query_of_cnf : Dpll.cnf -> Cq.t
+(** The star-shaped Boolean CQ q_ϕ: centre A(y), one P₊/P₋/P₀-ray of length
+    k per clause, ending in B₀. *)
+
+val abox : unit -> Abox.t
+(** {A(a)}. *)
+
+val satisfiable_via_omq : Dpll.cnf -> bool
+(** T†, {A(a)} ⊨ q_ϕ, decided on the canonical model — equals
+    [Dpll.satisfiable ϕ] by Theorem 17. *)
+
+(** {1 Theorems 19–20: the modified query q̄_ϕ and the tree instances} *)
+
+val qbar_of_cnf : Dpll.cnf -> Cq.t
+(** q̄_ϕ(x) of Appendix C.2.  Requires the number of clauses to be a power of
+    two (pad with repeated clauses if needed). *)
+
+val tree_instance : bool array -> Abox.t
+(** A^α_m: the full binary tree over P₋/P₊ of depth log₂ m with A at the
+    root a and B₀ at the i-th leaf iff α_i. *)
+
+val tree_root : Abox.const
+
+val f_phi : Dpll.cnf -> bool array -> bool
+(** f_ϕ(α): satisfiability of ϕ^{-α} (via DPLL). *)
+
+val qbar_answer : Dpll.cnf -> bool array -> bool
+(** T†, A^α_m ⊨ q̄_ϕ(a) — equals [f_phi ϕ α] by Lemma 26. *)

@@ -1,0 +1,1 @@
+lib/syntax/concept.ml: Format Map Role Set Symbol

@@ -1,0 +1,1 @@
+lib/syntax/concept.mli: Format Map Role Set Symbol

@@ -1,0 +1,1 @@
+lib/syntax/role.ml: Bool Format Hashtbl Map Set String Symbol

@@ -1,0 +1,1 @@
+lib/syntax/symbol.ml: Format Hashtbl Int Map Printf Set

@@ -1,0 +1,1 @@
+lib/syntax/symbol.mli: Format Hashtbl Map Set

@@ -1,0 +1,29 @@
+type t = Top | Name of Symbol.t | Exists of Role.t
+
+let compare c1 c2 =
+  match (c1, c2) with
+  | Top, Top -> 0
+  | Top, _ -> -1
+  | _, Top -> 1
+  | Name a, Name b -> Symbol.compare a b
+  | Name _, _ -> -1
+  | _, Name _ -> 1
+  | Exists r, Exists s -> Role.compare r s
+
+let equal c1 c2 = compare c1 c2 = 0
+
+let to_string = function
+  | Top -> "top"
+  | Name a -> Symbol.name a
+  | Exists r -> "exists " ^ Role.to_string r
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,15 @@
+(** Basic concepts of OWL 2 QL: the τ(x) of the paper's grammar
+    [τ(x) ::= ⊤ | A(x) | ∃y ρ(x,y)]. *)
+
+type t =
+  | Top  (** ⊤ *)
+  | Name of Symbol.t  (** a unary predicate A *)
+  | Exists of Role.t  (** ∃y ρ(x,y) *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

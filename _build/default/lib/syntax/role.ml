@@ -1,0 +1,38 @@
+type t = { base : Symbol.t; inverse : bool }
+
+let make p = { base = p; inverse = false }
+
+let of_string s =
+  let n = String.length s in
+  if n > 1 && s.[n - 1] = '-' then
+    { base = Symbol.intern (String.sub s 0 (n - 1)); inverse = true }
+  else { base = Symbol.intern s; inverse = false }
+
+let inv r = { r with inverse = not r.inverse }
+let is_inverse r = r.inverse
+
+let compare r1 r2 =
+  match Symbol.compare r1.base r2.base with
+  | 0 -> Bool.compare r1.inverse r2.inverse
+  | c -> c
+
+let equal r1 r2 = compare r1 r2 = 0
+let hash r = (Symbol.hash r.base * 2) + if r.inverse then 1 else 0
+let to_string r = Symbol.name r.base ^ if r.inverse then "-" else ""
+let pp ppf r = Format.pp_print_string ppf (to_string r)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

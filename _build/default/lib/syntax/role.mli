@@ -1,0 +1,30 @@
+(** Roles: binary predicate names and their inverses.
+
+    Following the paper's Section 2, [RT] contains every binary predicate [P]
+    of an ontology together with its inverse [P-], and [inv] is an involution
+    ([P-- = P]). *)
+
+type t = { base : Symbol.t; inverse : bool }
+
+val make : Symbol.t -> t
+(** [make p] is the role [P] (not inverted). *)
+
+val of_string : string -> t
+(** [of_string "P"] is [P]; [of_string "P-"] is the inverse of [P]. *)
+
+val inv : t -> t
+(** [inv r] is the inverse role [r-]; [inv (inv r) = r]. *)
+
+val is_inverse : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val to_string : t -> string
+(** [P] prints as ["P"], its inverse as ["P-"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,35 @@
+type t = int
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 1024
+let names : (int, string) Hashtbl.t = Hashtbl.create 1024
+let next = ref 0
+
+let intern s =
+  match Hashtbl.find_opt table s with
+  | Some i -> i
+  | None ->
+    let i = !next in
+    incr next;
+    Hashtbl.add table s i;
+    Hashtbl.add names i s;
+    i
+
+let name i = Hashtbl.find names i
+
+let fresh prefix =
+  let rec try_at n =
+    let candidate = Printf.sprintf "%s#%d" prefix n in
+    if Hashtbl.mem table candidate then try_at (n + 1) else intern candidate
+  in
+  try_at !next
+
+let unsafe_of_int i = i
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+let pp ppf i = Format.pp_print_string ppf (name i)
+let count () = !next
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+module Tbl = Hashtbl.Make (Int)

@@ -1,0 +1,34 @@
+(** Globally interned names.
+
+    Every predicate name, role name and individual constant in the library is
+    interned to a small integer, so that relations and saturations can be
+    computed over [int] keys.  The table only grows; symbols are never
+    reclaimed. *)
+
+type t = private int
+
+val intern : string -> t
+(** [intern s] returns the unique symbol for [s], creating it if needed. *)
+
+val name : t -> string
+(** [name t] is the string that was interned. *)
+
+val fresh : string -> t
+(** [fresh prefix] interns a name of the form [prefix#n] that has not been
+    interned before.  Used for auxiliary predicates in rewritings. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val count : unit -> int
+(** Number of symbols interned so far (for diagnostics). *)
+
+val unsafe_of_int : int -> t
+(** Re-tag an integer obtained from [(s :> int)].  Only for engine internals
+    that round-trip symbols through integer-keyed stores. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

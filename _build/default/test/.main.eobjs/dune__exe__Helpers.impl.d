@@ -1,0 +1,1 @@
+test/helpers.ml: Abox Alcotest Cq List Obda_cq Obda_data Obda_ontology Obda_rewriting Obda_syntax Printf Random Role Symbol Tbox

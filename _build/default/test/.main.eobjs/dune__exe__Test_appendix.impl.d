@@ -1,0 +1,1 @@
+test/test_appendix.ml: Abox Alcotest Helpers Lazy List Obda_data Obda_ndl Obda_ontology Obda_rewriting Obda_syntax Printf Symbol

@@ -1,0 +1,1 @@
+test/test_chase.ml: Alcotest Canonical Certain Concept Helpers List Obda_chase Obda_data Obda_ontology Obda_rewriting Obda_syntax Tbox

@@ -1,0 +1,1 @@
+test/test_cq.ml: Alcotest Cq Fun Helpers List Obda_cq Printf QCheck QCheck_alcotest Random Tree_decomposition Ugraph

@@ -1,0 +1,1 @@
+test/test_data.ml: Abox Alcotest Concept Generate Helpers List Obda_data Obda_ontology Obda_syntax Tbox

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Concept Float Helpers List Obda_ndl Obda_ontology Obda_rewriting Obda_syntax QCheck QCheck_alcotest String Symbol Tbox

@@ -1,0 +1,1 @@
+test/test_internals.ml: Alcotest Cq Fun Helpers List Obda_cq Obda_ndl Obda_ontology Obda_rewriting Obda_syntax QCheck QCheck_alcotest Random Role Symbol Tbox Ugraph

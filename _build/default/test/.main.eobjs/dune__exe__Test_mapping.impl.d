@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Helpers List Mapping Obda_data Obda_mapping Obda_ndl Obda_ontology Obda_rewriting Obda_syntax Option Printf QCheck QCheck_alcotest Random Source Symbol Tbox

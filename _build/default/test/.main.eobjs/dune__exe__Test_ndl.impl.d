@@ -1,0 +1,1 @@
+test/test_ndl.ml: Alcotest Concept Helpers Obda_ndl Obda_ontology Obda_syntax Symbol Tbox

@@ -1,0 +1,1 @@
+test/test_ontology.ml: Alcotest Concept Helpers Lazy List Obda_ontology Obda_syntax Tbox

@@ -1,0 +1,1 @@
+test/test_parse.ml: Abox Alcotest Concept Cq Helpers List Obda_cq Obda_data Obda_mapping Obda_ontology Obda_parse Obda_rewriting Obda_syntax Parse Tbox

@@ -1,0 +1,1 @@
+test/test_properties.ml: Abox Alcotest Concept Cq Format Helpers List Obda_cq Obda_data Obda_ndl Obda_ontology Obda_rewriting Obda_syntax Printf QCheck QCheck_alcotest Random Role String Symbol Tbox

@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Array Cfl Clique Dpll Helpers Hitting_set List Obda_ontology Obda_reductions Obda_syntax Pe Printf QCheck QCheck_alcotest Random Sat String

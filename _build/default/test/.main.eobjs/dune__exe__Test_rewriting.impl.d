@@ -1,0 +1,1 @@
+test/test_rewriting.ml: Alcotest Concept Cq Gen Helpers List Obda_cq Obda_data Obda_ndl Obda_ontology Obda_rewriting Obda_syntax Printf QCheck QCheck_alcotest String Symbol Tbox

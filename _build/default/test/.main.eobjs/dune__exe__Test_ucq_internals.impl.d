@@ -1,0 +1,1 @@
+test/test_ucq_internals.ml: Alcotest Concept Cq Helpers List Obda_cq Obda_data Obda_ndl Obda_ontology Obda_parse Obda_rewriting Obda_syntax QCheck QCheck_alcotest Random Role Symbol Tbox

@@ -1,0 +1,81 @@
+(* Shared fixtures for the test suites. *)
+
+open Obda_syntax
+open Obda_ontology
+open Obda_cq
+open Obda_data
+
+let sym = Symbol.intern
+let role = Role.of_string
+
+(* The ontology of Example 11:
+   P(x,y) -> S(x,y),  P(x,y) -> R(y,x)   (plus normalisation axioms). *)
+let example11_tbox () =
+  Tbox.make
+    [
+      Tbox.Role_incl (role "P", role "S");
+      Tbox.Role_incl (role "P", role "R-");
+    ]
+
+(* The linear CQ of Example 8 over the word RSRRSRR:
+   q(x0,x7) :- R(x0,x1), S(x1,x2), ..., R(x6,x7). *)
+let word_cq ?(answer = `Both) letters =
+  let n = List.length letters in
+  let v i = Printf.sprintf "x%d" i in
+  let atoms =
+    List.mapi (fun i p -> Cq.Binary (sym p, v i, v (i + 1))) letters
+  in
+  let answer =
+    match answer with
+    | `Both -> [ v 0; v n ]
+    | `Boolean -> []
+    | `First -> [ v 0 ]
+  in
+  Cq.make ~answer atoms
+
+let example8_cq () = word_cq [ "R"; "S"; "R"; "R"; "S"; "R"; "R" ]
+
+(* small ABox builders *)
+let abox_of_facts facts =
+  let a = Abox.create () in
+  List.iter
+    (function
+      | `U (p, c) -> Abox.add_unary a (sym p) (sym c)
+      | `B (p, c, d) -> Abox.add_binary a (sym p) (sym c) (sym d))
+    facts;
+  a
+
+let tuple_list_testable =
+  Alcotest.(list (list string))
+
+let show_tuples ts = List.map (List.map Symbol.name) ts
+
+(* deterministic random ABox over the given unary/binary predicate names *)
+let random_abox ~seed ~consts ~unary ~binary ~unary_atoms ~binary_atoms =
+  let rng = Random.State.make [| seed |] in
+  let a = Abox.create () in
+  let const i = sym (Printf.sprintf "c%d" i) in
+  (* make sure all constants exist *)
+  for i = 0 to consts - 1 do
+    Abox.add_unary a (sym "AnyC") (const i)
+  done;
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  for _ = 1 to unary_atoms do
+    if unary <> [] then
+      Abox.add_unary a (sym (pick unary)) (const (Random.State.int rng consts))
+  done;
+  for _ = 1 to binary_atoms do
+    if binary <> [] then
+      Abox.add_binary a
+        (sym (pick binary))
+        (const (Random.State.int rng consts))
+        (const (Random.State.int rng consts))
+  done;
+  a
+
+(* answers of an OMQ under a given algorithm, as string tuples *)
+let answers_via alg omq abox =
+  show_tuples (Obda_rewriting.Omq.answer ~algorithm:alg omq abox)
+
+let certain_answers omq abox =
+  show_tuples (Obda_rewriting.Omq.answer_certain omq abox)

@@ -1,0 +1,214 @@
+(* The "Rewritings Zoo" of Appendix A.6: the paper spells out, for the OMQ of
+   Examples 8/11 (the 7-atom RSRRSRR query), a UCQ-rewriting, a
+   Log-rewriting, a Lin-rewriting and a Tw-rewriting over complete data
+   instances.  We transcribe them literally and check that, over completed
+   ABoxes, they return exactly the certain answers — and hence agree with
+   our generated rewritings. *)
+
+open Obda_syntax
+open Obda_data
+module Ndl = Obda_ndl.Ndl
+module Eval = Obda_ndl.Eval
+module Omq = Obda_rewriting.Omq
+open Helpers
+
+let v x = Ndl.Var x
+let p name ts = Ndl.Pred (sym name, ts)
+let eq a b = Ndl.Eq (v a, v b)
+
+let tbox = lazy (example11_tbox ())
+let ap () = Symbol.name (Obda_ontology.Tbox.exists_name (Lazy.force tbox) (role "P"))
+let apinv () =
+  Symbol.name (Obda_ontology.Tbox.exists_name (Lazy.force tbox) (role "P-"))
+
+(* A.6.1: the 9-CQ UCQ rewriting over complete data instances *)
+let ucq_a61 () =
+  let g body = { Ndl.head = (sym "Gzoo1", [ v "x0"; v "x7" ]); body } in
+  let rsr a b c d = [ p "R" [ v a; v b ]; p "S" [ v b; v c ]; p "R" [ v c; v d ] ] in
+  let first = [
+    rsr "x0" "x1" "x2" "x3";
+    [ p (apinv ()) [ v "x0" ]; p "R" [ v "x0"; v "x3" ] ];
+    [ p "R" [ v "x0"; v "x3" ]; p (ap ()) [ v "x3" ] ];
+  ] in
+  let second = [
+    rsr "x3" "x4" "x5" "x6";
+    [ p (apinv ()) [ v "x3" ]; p "R" [ v "x3"; v "x6" ] ];
+    [ p "R" [ v "x3"; v "x6" ]; p (ap ()) [ v "x6" ] ];
+  ] in
+  let clauses =
+    List.concat_map
+      (fun b1 -> List.map (fun b2 -> g (b1 @ b2 @ [ p "R" [ v "x6"; v "x7" ] ])) second)
+      first
+  in
+  Ndl.make ~goal:(sym "Gzoo1") ~goal_args:[ "x0"; "x7" ] clauses
+
+(* A.6.2: the 8-rule Log rewriting *)
+let log_a62 () =
+  let clauses =
+    [
+      { Ndl.head = (sym "GeT", [ v "x0"; v "x7" ]);
+        body = [ p "GD1e" [ v "x3"; v "x0" ]; p "R" [ v "x3"; v "x4" ];
+                 p "GD2e" [ v "x4"; v "x7" ] ] };
+      { Ndl.head = (sym "GeT", [ v "x0"; v "x7" ]);
+        body = [ p "GD1e" [ v "x3"; v "x0" ]; p (apinv ()) [ v "x4" ];
+                 eq "x3" "x4"; p "GD2p" [ v "x4"; v "x7" ] ] };
+      { Ndl.head = (sym "GD1e", [ v "x3"; v "x0" ]);
+        body = [ eq "x0" "x1"; p (apinv ()) [ v "x1" ]; eq "x1" "x2";
+                 p "R" [ v "x2"; v "x3" ] ] };
+      { Ndl.head = (sym "GD1e", [ v "x3"; v "x0" ]);
+        body = [ p "R" [ v "x0"; v "x1" ]; eq "x1" "x2"; p (ap ()) [ v "x2" ];
+                 eq "x2" "x3" ] };
+      { Ndl.head = (sym "GD1e", [ v "x3"; v "x0" ]);
+        body = [ p "R" [ v "x0"; v "x1" ]; p "S" [ v "x1"; v "x2" ];
+                 p "R" [ v "x2"; v "x3" ] ] };
+      { Ndl.head = (sym "GD2e", [ v "x4"; v "x7" ]);
+        body = [ eq "x4" "x5"; p (ap ()) [ v "x5" ]; eq "x5" "x6";
+                 p "R" [ v "x6"; v "x7" ] ] };
+      { Ndl.head = (sym "GD2e", [ v "x4"; v "x7" ]);
+        body = [ p "S" [ v "x4"; v "x5" ]; p "R" [ v "x5"; v "x6" ];
+                 p "R" [ v "x6"; v "x7" ] ] };
+      { Ndl.head = (sym "GD2p", [ v "x4"; v "x7" ]);
+        body = [ p (apinv ()) [ v "x4" ]; eq "x4" "x5"; p "R" [ v "x5"; v "x6" ];
+                 p "R" [ v "x6"; v "x7" ] ] };
+    ]
+  in
+  Ndl.make ~goal:(sym "GeT") ~goal_args:[ "x0"; "x7" ] clauses
+
+(* A.6.3: the 15-rule Lin rewriting (root x0) *)
+let lin_a63 () =
+  let clauses =
+    [
+      { Ndl.head = (sym "Gzl", [ v "x0"; v "x7" ]);
+        body = [ p "G0e" [ v "x0"; v "x7" ] ] };
+      { Ndl.head = (sym "G0e", [ v "x0"; v "x7" ]);
+        body = [ p "R" [ v "x0"; v "x1" ]; p "G1e" [ v "x1"; v "x7" ] ] };
+      { Ndl.head = (sym "G0e", [ v "x0"; v "x7" ]);
+        body = [ eq "x0" "x1"; p (apinv ()) [ v "x1" ]; p "G1p" [ v "x1"; v "x7" ] ] };
+      { Ndl.head = (sym "G1e", [ v "x1"; v "x7" ]);
+        body = [ p "S" [ v "x1"; v "x2" ]; p "G2e" [ v "x2"; v "x7" ] ] };
+      { Ndl.head = (sym "G1e", [ v "x1"; v "x7" ]);
+        body = [ eq "x1" "x2"; p (ap ()) [ v "x2" ]; p "G2q" [ v "x2"; v "x7" ] ] };
+      { Ndl.head = (sym "G1p", [ v "x1"; v "x7" ]);
+        body = [ p (apinv ()) [ v "x1" ]; eq "x1" "x2"; p "G2e" [ v "x2"; v "x7" ] ] };
+      { Ndl.head = (sym "G2e", [ v "x2"; v "x7" ]);
+        body = [ p "R" [ v "x2"; v "x3" ]; p "G3e" [ v "x3"; v "x7" ] ] };
+      { Ndl.head = (sym "G2q", [ v "x2"; v "x7" ]);
+        body = [ p (ap ()) [ v "x2" ]; eq "x2" "x3"; p "G3e" [ v "x3"; v "x7" ] ] };
+      { Ndl.head = (sym "G3e", [ v "x3"; v "x7" ]);
+        body = [ p "R" [ v "x3"; v "x4" ]; p "G4e" [ v "x4"; v "x7" ] ] };
+      { Ndl.head = (sym "G3e", [ v "x3"; v "x7" ]);
+        body = [ eq "x3" "x4"; p (apinv ()) [ v "x4" ]; p "G4p" [ v "x4"; v "x7" ] ] };
+      { Ndl.head = (sym "G4e", [ v "x4"; v "x7" ]);
+        body = [ p "S" [ v "x4"; v "x5" ]; p "G5e" [ v "x5"; v "x7" ] ] };
+      { Ndl.head = (sym "G4e", [ v "x4"; v "x7" ]);
+        body = [ eq "x4" "x5"; p (ap ()) [ v "x5" ]; p "G5q" [ v "x5"; v "x7" ] ] };
+      { Ndl.head = (sym "G4p", [ v "x4"; v "x7" ]);
+        body = [ p (apinv ()) [ v "x4" ]; eq "x4" "x5"; p "G5e" [ v "x5"; v "x7" ] ] };
+      { Ndl.head = (sym "G5e", [ v "x5"; v "x7" ]);
+        body = [ p "R" [ v "x5"; v "x6" ]; p "G6e" [ v "x6"; v "x7" ] ] };
+      { Ndl.head = (sym "G5q", [ v "x5"; v "x7" ]);
+        body = [ p (ap ()) [ v "x5" ]; eq "x5" "x6"; p "G6e" [ v "x6"; v "x7" ] ] };
+      { Ndl.head = (sym "G6e", [ v "x6"; v "x7" ]);
+        body = [ p "R" [ v "x6"; v "x7" ] ] };
+    ]
+  in
+  Ndl.make ~goal:(sym "Gzl") ~goal_args:[ "x0"; "x7" ] clauses
+
+(* A.6.4: the 10-rule Tw rewriting (with the two typos of the appendix
+   fixed: G35's first body is S(x3,x4),R(x4,x5)-shaped in our variable
+   naming, and G57 spans x5..x7) *)
+let tw_a64 () =
+  let clauses =
+    [
+      { Ndl.head = (sym "G07", [ v "x0"; v "x7" ]);
+        body = [ p "G03" [ v "x0"; v "x3" ]; p "G37" [ v "x3"; v "x7" ] ] };
+      { Ndl.head = (sym "G03", [ v "x0"; v "x3" ]);
+        body = [ p "R" [ v "x0"; v "x1" ]; p "G13" [ v "x1"; v "x3" ] ] };
+      { Ndl.head = (sym "G03", [ v "x0"; v "x3" ]);
+        body = [ p (apinv ()) [ v "x0" ]; eq "x0" "x2"; p "R" [ v "x2"; v "x3" ] ] };
+      { Ndl.head = (sym "G13", [ v "x1"; v "x3" ]);
+        body = [ p "S" [ v "x1"; v "x2" ]; p "R" [ v "x2"; v "x3" ] ] };
+      { Ndl.head = (sym "G13", [ v "x1"; v "x3" ]);
+        body = [ p (ap ()) [ v "x1" ]; eq "x1" "x3" ] };
+      { Ndl.head = (sym "G37", [ v "x3"; v "x7" ]);
+        body = [ p "G35" [ v "x3"; v "x5" ]; p "G57" [ v "x5"; v "x7" ] ] };
+      { Ndl.head = (sym "G37", [ v "x3"; v "x7" ]);
+        body = [ p "R" [ v "x3"; v "x4" ]; p (ap ()) [ v "x4" ]; eq "x4" "x6";
+                 p "R" [ v "x6"; v "x7" ] ] };
+      { Ndl.head = (sym "G35", [ v "x3"; v "x5" ]);
+        body = [ p "R" [ v "x3"; v "x4" ]; p "S" [ v "x4"; v "x5" ] ] };
+      { Ndl.head = (sym "G35", [ v "x3"; v "x5" ]);
+        body = [ p (apinv ()) [ v "x3" ]; eq "x3" "x5" ] };
+      { Ndl.head = (sym "G57", [ v "x5"; v "x7" ]);
+        body = [ p "R" [ v "x5"; v "x6" ]; p "R" [ v "x6"; v "x7" ] ] };
+    ]
+  in
+  Ndl.make ~goal:(sym "G07") ~goal_args:[ "x0"; "x7" ] clauses
+
+(* ------------------------------------------------------------------ *)
+
+let aboxes () =
+  let t = Lazy.force tbox in
+  [
+    abox_of_facts
+      [ `B ("R", "a", "b"); `B ("S", "b", "c"); `B ("R", "c", "d");
+        `B ("R", "d", "e"); `B ("S", "e", "f"); `B ("R", "f", "g");
+        `B ("R", "g", "h") ];
+    abox_of_facts [ `B ("P", "b", "a"); `B ("R", "b", "c"); `B ("P", "d", "c");
+                    `B ("R", "c", "e"); `B ("P", "f", "e"); `B ("R", "f", "g") ];
+    (let a = abox_of_facts [ `B ("R", "a", "b"); `B ("R", "b", "c");
+                             `B ("R", "c", "d") ] in
+     Abox.add_unary a (Obda_ontology.Tbox.exists_name t (role "P-")) (sym "a");
+     Abox.add_unary a (Obda_ontology.Tbox.exists_name t (role "P")) (sym "b");
+     Abox.add_unary a (Obda_ontology.Tbox.exists_name t (role "P-")) (sym "c");
+     a);
+    random_abox ~seed:5 ~consts:8
+      ~unary:
+        [ Symbol.name (Obda_ontology.Tbox.exists_name t (role "P"));
+          Symbol.name (Obda_ontology.Tbox.exists_name t (role "P-")) ]
+      ~binary:[ "R"; "S"; "P" ] ~unary_atoms:6 ~binary_atoms:20;
+  ]
+
+let check_zoo name make_query () =
+  let t = Lazy.force tbox in
+  let q = example8_cq () in
+  let omq = Omq.make t q in
+  let zoo = make_query () in
+  (match Ndl.check zoo with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "zoo program ill-formed: %s" e);
+  List.iteri
+    (fun i abox ->
+      let completed = Abox.complete t abox in
+      let expected = certain_answers omq abox in
+      let got = show_tuples (Eval.answers zoo completed) in
+      Alcotest.(check (list (list string)))
+        (Printf.sprintf "%s on abox %d" name i)
+        expected got)
+    (aboxes ())
+
+let clause_counts () =
+  Alcotest.(check int) "A.6.1 has 9 CQs" 9 (Ndl.num_clauses (ucq_a61 ()));
+  Alcotest.(check int) "A.6.2 has 8 rules" 8 (Ndl.num_clauses (log_a62 ()));
+  Alcotest.(check int) "A.6.3 has 16 rules (goal + 15)" 16
+    (Ndl.num_clauses (lin_a63 ()));
+  Alcotest.(check int) "A.6.4 has 10 rules" 10 (Ndl.num_clauses (tw_a64 ()));
+  (* structural claims of the appendix *)
+  Alcotest.(check bool) "A.6.3 is linear" true (Ndl.is_linear (lin_a63 ()));
+  Alcotest.(check bool) "A.6.1 is a UCQ (one goal, flat)" true
+    (Ndl.depth (ucq_a61 ()) = 1)
+
+let suites =
+  [
+    ( "appendix-a6",
+      [
+        Alcotest.test_case "clause counts" `Quick clause_counts;
+        Alcotest.test_case "A.6.1 UCQ rewriting" `Quick
+          (check_zoo "ucq" ucq_a61);
+        Alcotest.test_case "A.6.2 Log rewriting" `Quick
+          (check_zoo "log" log_a62);
+        Alcotest.test_case "A.6.3 Lin rewriting" `Quick
+          (check_zoo "lin" lin_a63);
+        Alcotest.test_case "A.6.4 Tw rewriting" `Quick (check_zoo "tw" tw_a64);
+      ] );
+  ]

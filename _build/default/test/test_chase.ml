@@ -1,0 +1,152 @@
+open Obda_syntax
+open Obda_ontology
+open Obda_chase
+open Helpers
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_canonical_elements () =
+  let t = example11_tbox () in
+  let a = abox_of_facts [ `B ("P", "c1", "c2") ] in
+  let canon = Canonical.make t a ~depth:3 in
+  (* c1 satisfies ∃P, ∃S, ∃R⁻ — but P(c1,c2) already witnesses those, and
+     nulls are generated regardless of existing witnesses (the canonical
+     model of Section 2 includes a·ρ whenever T,A ⊨ ∃y ρ(a,y)) *)
+  check "more than 2 elements" true (Canonical.num_elements canon > 2);
+  check_int "2 individuals" 2 (List.length (Canonical.individuals canon))
+
+let test_canonical_satisfaction () =
+  let t = example11_tbox () in
+  let a = abox_of_facts [ `U ("dummy", "c1") ] in
+  let ap_inv = Tbox.exists_name t (role "P-") in
+  Obda_data.Abox.add_unary a ap_inv (sym "c1");
+  let canon = Canonical.make t a ~depth:2 in
+  let root = Canonical.Ind (sym "c1") in
+  (* c1 has the null child c1·P⁻, reached downwards by P⁻, S⁻ and upwards by
+     P, S; and R(c1, c1·P⁻) holds because P⁻ ⊑ R *)
+  let succs = Canonical.role_successors canon (role "R") root in
+  (* c1 has ∃P⁻, ∃S⁻ and ∃R among its concepts; its R-successor nulls are
+     c1·P⁻ (since P⁻ ⊑ R) and c1·R *)
+  let nulls =
+    List.filter
+      (function Canonical.Null _ -> true | Canonical.Ind _ -> false)
+      succs
+  in
+  check "two null R-successors" true (List.length nulls = 2);
+  let p_child = Canonical.Null (sym "c1", [ role "P-" ]) in
+  check "c1·P⁻ among them" true
+    (List.exists (fun e -> Canonical.compare_element e p_child = 0) nulls);
+  check "S(c1·P⁻, c1)" true
+    (Canonical.binary_holds canon (sym "S") p_child root);
+  check "P(c1·P⁻, c1)" true
+    (Canonical.binary_holds canon (sym "P") p_child root);
+  check "not S(c1, c1·P⁻)" false
+    (Canonical.binary_holds canon (sym "S") root p_child);
+  check "c1·P⁻ satisfies A_P" true
+    (Canonical.unary_holds canon (Tbox.exists_name t (role "P")) p_child)
+
+let test_certain_answers_direct () =
+  let t = example11_tbox () in
+  let q = word_cq [ "R"; "S"; "R" ] in
+  (* plain data containing the full pattern *)
+  let a =
+    abox_of_facts
+      [ `B ("R", "a", "b"); `B ("S", "b", "c"); `B ("R", "c", "d") ]
+  in
+  Alcotest.(check (list (list string)))
+    "direct match"
+    [ [ "a"; "d" ] ]
+    (certain_answers (Obda_rewriting.Omq.make t q) a)
+
+let test_certain_answers_anonymous () =
+  let t = example11_tbox () in
+  let q = word_cq [ "R"; "S"; "R" ] in
+  (* A_{P⁻}(a) generates the null a·P⁻ with R(a, a·P⁻), S(a·P⁻, a); together
+     with R(a,b) this matches the query with x0=a, x3=b *)
+  let a = abox_of_facts [ `B ("R", "a", "b") ] in
+  Obda_data.Abox.add_unary a (Tbox.exists_name t (role "P-")) (sym "a");
+  Alcotest.(check (list (list string)))
+    "match through the anonymous part"
+    [ [ "a"; "b" ] ]
+    (certain_answers (Obda_rewriting.Omq.make t q) a)
+
+let test_certain_answers_ap_end () =
+  let t = example11_tbox () in
+  let q = word_cq [ "R"; "S"; "R" ] in
+  (* R(a,b) with A_P(b): null b·P gives S(b, b·P)?  No: P(b, b·P) implies
+     S(b, b·P) and R(b·P, b); query needs R(a,x1), S(x1,x2), R(x2,x3):
+     x1 = b, S(b, b·P) ✓ (x2 = null), R(null, b) ✓ x3 = b. *)
+  let a = abox_of_facts [ `B ("R", "a", "b") ] in
+  Obda_data.Abox.add_unary a (Tbox.exists_name t (role "P")) (sym "b");
+  Alcotest.(check (list (list string)))
+    "A_P at the join point"
+    [ [ "a"; "b" ] ]
+    (certain_answers (Obda_rewriting.Omq.make t q) a)
+
+let test_no_answer () =
+  let t = example11_tbox () in
+  let q = word_cq [ "R"; "S"; "R" ] in
+  let a = abox_of_facts [ `B ("R", "a", "b"); `B ("R", "b", "c") ] in
+  check_int "no answers" 0
+    (List.length (certain_answers (Obda_rewriting.Omq.make t q) a))
+
+let test_boolean () =
+  let t = example11_tbox () in
+  let q = word_cq ~answer:`Boolean [ "S"; "R" ] in
+  let a = abox_of_facts [ `B ("P", "a", "b") ] in
+  (* P(a,b) implies S(a,b) and R(b,a): S·R path a→b→a exists *)
+  check "Boolean yes" true (Certain.boolean t a q);
+  let a2 = abox_of_facts [ `B ("S", "a", "b") ] in
+  check "Boolean no" false (Certain.boolean t a2 q)
+
+let test_entailed_from_concept () =
+  let t = example11_tbox () in
+  let q = word_cq ~answer:`Boolean [ "S"; "R" ] in
+  (* from A_P(a): null a·P with S(a, aP), R(aP, a): q maps *)
+  check "entailed from A_P" true
+    (Certain.entailed_from_concept t
+       (Concept.Name (Tbox.exists_name t (role "P")))
+       q);
+  check "not entailed from A_R" false
+    (Certain.entailed_from_concept t
+       (Concept.Name (Tbox.exists_name t (role "R")))
+       q)
+
+let test_infinite_depth_chase () =
+  (* A ⊑ ∃P, ∃P⁻ ⊑ ∃P: infinite chain; certain answers still computable to
+     bounded depth *)
+  let t =
+    Tbox.make
+      [
+        Tbox.Concept_incl (Concept.Name (sym "A"), Concept.Exists (role "P"));
+        Tbox.Concept_incl (Concept.Exists (role "P-"), Concept.Exists (role "P"));
+      ]
+  in
+  let q = word_cq ~answer:`First [ "P"; "P"; "P" ] in
+  let a = abox_of_facts [ `U ("A", "a") ] in
+  Alcotest.(check (list (list string)))
+    "chain of nulls"
+    [ [ "a" ] ]
+    (certain_answers (Obda_rewriting.Omq.make t q) a)
+
+let suites =
+  [
+    ( "chase",
+      [
+        Alcotest.test_case "canonical elements" `Quick test_canonical_elements;
+        Alcotest.test_case "canonical satisfaction" `Quick
+          test_canonical_satisfaction;
+        Alcotest.test_case "certain answers (direct)" `Quick
+          test_certain_answers_direct;
+        Alcotest.test_case "certain answers (anonymous)" `Quick
+          test_certain_answers_anonymous;
+        Alcotest.test_case "certain answers (A_P end)" `Quick
+          test_certain_answers_ap_end;
+        Alcotest.test_case "no answer" `Quick test_no_answer;
+        Alcotest.test_case "boolean" `Quick test_boolean;
+        Alcotest.test_case "entailed from concept" `Quick
+          test_entailed_from_concept;
+        Alcotest.test_case "infinite chain" `Quick test_infinite_depth_chase;
+      ] );
+  ]

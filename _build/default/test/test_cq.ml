@@ -1,0 +1,150 @@
+open Obda_cq
+open Helpers
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let star_cq k =
+  (* star with centre c and k rays c -> l1..lk *)
+  let atoms =
+    List.init k (fun i -> Cq.Binary (sym "E", "c", Printf.sprintf "l%d" i))
+  in
+  Cq.make ~answer:[] atoms
+
+let cycle_cq k =
+  let v i = Printf.sprintf "v%d" (i mod k) in
+  let atoms = List.init k (fun i -> Cq.Binary (sym "E", v i, v (i + 1))) in
+  Cq.make ~answer:[] atoms
+
+let test_topology () =
+  let q = example8_cq () in
+  check "connected" true (Cq.is_connected q);
+  check "tree shaped" true (Cq.is_tree_shaped q);
+  check "linear" true (Cq.is_linear q);
+  check_int "2 leaves" 2 (Cq.num_leaves q);
+  check_int "8 vars" 8 (List.length (Cq.vars q));
+  let s = star_cq 4 in
+  check "star is a tree" true (Cq.is_tree_shaped s);
+  check_int "star has 4 leaves" 4 (Cq.num_leaves s);
+  check "star not linear" false (Cq.is_linear s);
+  let c = cycle_cq 5 in
+  check "cycle not tree shaped" false (Cq.is_tree_shaped c);
+  check "cycle connected" true (Cq.is_connected c)
+
+let test_components () =
+  let q =
+    Cq.make ~answer:[ "x" ]
+      [
+        Cq.Binary (sym "E", "x", "y");
+        Cq.Binary (sym "E", "u", "v");
+        Cq.Unary (sym "A", "u");
+      ]
+  in
+  check "disconnected" false (Cq.is_connected q);
+  let comps = Cq.connected_components q in
+  check_int "two components" 2 (List.length comps);
+  let with_x =
+    List.find (fun c -> List.mem "x" (Cq.vars c)) comps
+  in
+  check "x stays an answer variable" true (Cq.is_answer_var with_x "x");
+  let boolean = List.find (fun c -> List.mem "u" (Cq.vars c)) comps in
+  check "other component Boolean" true (Cq.is_boolean boolean)
+
+let test_make_validation () =
+  check "empty atoms rejected" true
+    (try
+       ignore (Cq.make ~answer:[] []);
+       false
+     with Invalid_argument _ -> true);
+  check "dangling answer var rejected" true
+    (try
+       ignore (Cq.make ~answer:[ "z" ] [ Cq.Unary (sym "A", "x") ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_tree_decomposition_of_tree () =
+  let q = example8_cq () in
+  let d = Tree_decomposition.of_cq q in
+  check "valid" true (Tree_decomposition.is_valid q d);
+  check_int "width 1" 1 (Tree_decomposition.width d);
+  check_int "7 bags (one per edge)" 7 (Tree_decomposition.num_nodes d)
+
+let test_tree_decomposition_cycle () =
+  let q = cycle_cq 6 in
+  let d = Tree_decomposition.of_cq q in
+  check "valid on cycle" true (Tree_decomposition.is_valid q d);
+  check_int "cycle treewidth 2" 2 (Tree_decomposition.width d)
+
+let test_tree_decomposition_clique () =
+  (* K4 has treewidth 3 *)
+  let vars = [ "a"; "b"; "c"; "d" ] in
+  let atoms =
+    List.concat_map
+      (fun u -> List.filter_map (fun v -> if u < v then Some (Cq.Binary (sym "E", u, v)) else None) vars)
+      vars
+  in
+  let q = Cq.make ~answer:[] atoms in
+  let d = Tree_decomposition.of_cq q in
+  check "valid on K4" true (Tree_decomposition.is_valid q d);
+  check_int "K4 treewidth 3" 3 (Tree_decomposition.width d)
+
+let test_centroid () =
+  let q = word_cq [ "R"; "R"; "R"; "R"; "R"; "R" ] in
+  let g = Cq.gaifman q in
+  let all = List.init 7 Fun.id in
+  let c = Ugraph.centroid g all in
+  (* the centroid of a path of 7 vertices is the middle *)
+  check_int "centroid of path" 3 c
+
+let test_connected_subsets () =
+  let q = word_cq [ "R"; "R"; "R" ] in
+  let g = Cq.gaifman q in
+  let all = List.init 4 Fun.id in
+  let subsets = Ugraph.connected_subsets g all ~limit:1000 in
+  (* a path of 4 vertices has 4 + 3 + 2 + 1 = 10 connected subsets *)
+  check_int "connected subsets of P4" 10 (List.length subsets)
+
+let test_qcheck_tree_decomposition_valid =
+  QCheck.Test.make ~count:100 ~name:"min-fill decomposition always valid"
+    QCheck.(pair (int_bound 8) (int_bound 30))
+    (fun (n, extra) ->
+      let n = n + 2 in
+      let rng = Random.State.make [| n; extra |] in
+      (* random connected graph: a random tree + [extra mod n] extra edges *)
+      let v i = Printf.sprintf "v%d" i in
+      let tree_atoms =
+        List.init (n - 1) (fun i ->
+            let parent = Random.State.int rng (i + 1) in
+            Cq.Binary (sym "E", v parent, v (i + 1)))
+      in
+      let extra_atoms =
+        List.init (extra mod n) (fun _ ->
+            Cq.Binary
+              (sym "E", v (Random.State.int rng n), v (Random.State.int rng n)))
+      in
+      let atoms =
+        List.filter
+          (function Cq.Binary (_, a, b) -> a <> b | _ -> true)
+          (tree_atoms @ extra_atoms)
+      in
+      let q = Cq.make ~answer:[] atoms in
+      Tree_decomposition.is_valid q (Tree_decomposition.of_cq q))
+
+let suites =
+  [
+    ( "cq",
+      [
+        Alcotest.test_case "topology" `Quick test_topology;
+        Alcotest.test_case "components" `Quick test_components;
+        Alcotest.test_case "validation" `Quick test_make_validation;
+        Alcotest.test_case "tree decomposition (tree)" `Quick
+          test_tree_decomposition_of_tree;
+        Alcotest.test_case "tree decomposition (cycle)" `Quick
+          test_tree_decomposition_cycle;
+        Alcotest.test_case "tree decomposition (K4)" `Quick
+          test_tree_decomposition_clique;
+        Alcotest.test_case "centroid" `Quick test_centroid;
+        Alcotest.test_case "connected subsets" `Quick test_connected_subsets;
+        QCheck_alcotest.to_alcotest test_qcheck_tree_decomposition_valid;
+      ] );
+  ]

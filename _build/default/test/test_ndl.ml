@@ -1,0 +1,276 @@
+open Obda_syntax
+open Obda_ontology
+module Ndl = Obda_ndl.Ndl
+module Eval = Obda_ndl.Eval
+module Star = Obda_ndl.Star
+module Skinny = Obda_ndl.Skinny
+module Optimize = Obda_ndl.Optimize
+open Helpers
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let v x = Ndl.Var x
+let p name ts = Ndl.Pred (sym name, ts)
+
+(* G(x) ← R(x,y) ∧ Q(x);  Q(x) ← R(y,x)   (Example 1 of the paper) *)
+let example1 =
+  Ndl.make ~goal:(sym "G1") ~goal_args:[ "x" ]
+    ~params:(Symbol.Map.singleton (sym "G1") 1 |> Symbol.Map.add (sym "Q1") 1)
+    [
+      { Ndl.head = (sym "G1", [ v "x" ]); body = [ p "R" [ v "x"; v "y" ]; p "Q1" [ v "x" ] ] };
+      { Ndl.head = (sym "Q1", [ v "x" ]); body = [ p "R" [ v "y"; v "x" ] ] };
+    ]
+
+let test_example1_analysis () =
+  check "nonrecursive" true (Ndl.is_nonrecursive example1);
+  check "linear" true (Ndl.is_linear example1);
+  check_int "width 1 (x is a parameter)" 1 (Ndl.width example1);
+  check_int "depth 2" 2 (Ndl.depth example1)
+
+let test_example1_eval () =
+  let a = abox_of_facts [ `B ("R", "c1", "c2"); `B ("R", "c2", "c1") ] in
+  let r = Eval.run example1 a in
+  Alcotest.(check (list (list string)))
+    "answers"
+    [ [ "c1" ]; [ "c2" ] ]
+    (show_tuples r.Eval.answers)
+
+let test_recursive_detected () =
+  let bad =
+    Ndl.make ~goal:(sym "G2") ~goal_args:[]
+      [
+        { Ndl.head = (sym "G2", []); body = [ p "H2" [] ] };
+        { Ndl.head = (sym "H2", []); body = [ p "G2" [] ] };
+      ]
+  in
+  check "recursive detected" false (Ndl.is_nonrecursive bad);
+  check "eval rejects recursion" true
+    (try
+       ignore (Eval.run bad (abox_of_facts []));
+       false
+     with Invalid_argument _ -> true)
+
+let test_eval_equality_and_dom () =
+  let q =
+    Ndl.make ~goal:(sym "G3") ~goal_args:[ "x"; "y" ]
+      [
+        {
+          Ndl.head = (sym "G3", [ v "x"; v "y" ]);
+          body = [ p "A" [ v "x" ]; Ndl.Eq (v "x", v "y"); Ndl.Dom (v "y") ];
+        };
+      ]
+  in
+  let a = abox_of_facts [ `U ("A", "c1"); `U ("B", "c2") ] in
+  Alcotest.(check (list (list string)))
+    "equality binds"
+    [ [ "c1"; "c1" ] ]
+    (show_tuples (Eval.answers q a))
+
+let test_eval_constants () =
+  let q =
+    Ndl.make ~goal:(sym "G4") ~goal_args:[ "x" ]
+      [
+        {
+          Ndl.head = (sym "G4", [ v "x" ]);
+          body = [ p "R" [ Ndl.Cst (sym "c1"); v "x" ] ];
+        };
+      ]
+  in
+  let a = abox_of_facts [ `B ("R", "c1", "c2"); `B ("R", "c3", "c4") ] in
+  Alcotest.(check (list (list string)))
+    "constant filter" [ [ "c2" ] ]
+    (show_tuples (Eval.answers q a))
+
+let test_eval_boolean_goal () =
+  let q =
+    Ndl.make ~goal:(sym "G5") ~goal_args:[]
+      [ { Ndl.head = (sym "G5", []); body = [ p "A" [ v "x" ] ] } ]
+  in
+  check "true" true (Eval.boolean q (abox_of_facts [ `U ("A", "c1") ]));
+  check "false" false (Eval.boolean q (abox_of_facts [ `U ("B", "c1") ]))
+
+let test_generated_tuples () =
+  let a = abox_of_facts [ `B ("R", "c1", "c2"); `B ("R", "c2", "c1") ] in
+  let r = Eval.run example1 a in
+  (* Q1 = {c1,c2}, G1 = {c1,c2} *)
+  check_int "generated tuples" 4 r.Eval.generated_tuples
+
+let test_weight_and_skinny_depth () =
+  (* chain with two IDB atoms per clause: weights grow *)
+  let clauses =
+    [
+      { Ndl.head = (sym "W0", [ v "x" ]); body = [ p "E" [ v "x" ] ] };
+      {
+        Ndl.head = (sym "W1", [ v "x" ]);
+        body = [ p "W0" [ v "x" ]; p "W0" [ v "x" ] ];
+      };
+      {
+        Ndl.head = (sym "W2", [ v "x" ]);
+        body = [ p "W1" [ v "x" ]; p "W1" [ v "x" ] ];
+      };
+    ]
+  in
+  let q = Ndl.make ~goal:(sym "W2") ~goal_args:[ "x" ] clauses in
+  let w = Ndl.weight q in
+  check_int "ν(W0)=1" 1 (Symbol.Map.find (sym "W0") w);
+  check_int "ν(W1)=2" 2 (Symbol.Map.find (sym "W1") w);
+  check_int "ν(W2)=4" 4 (Symbol.Map.find (sym "W2") w);
+  check "skinny depth finite" true (Ndl.skinny_depth q > 0.0)
+
+let test_skinny_transform_equivalence () =
+  (* wide clause: G(x) ← A(x) ∧ R(x,y) ∧ S(y,z) ∧ B(z) ∧ Q(x) ∧ Q2(z) *)
+  let clauses =
+    [
+      {
+        Ndl.head = (sym "G6", [ v "x" ]);
+        body =
+          [
+            p "A" [ v "x" ];
+            p "R" [ v "x"; v "y" ];
+            p "S" [ v "y"; v "z" ];
+            p "B" [ v "z" ];
+            p "Q6" [ v "x" ];
+            p "Q7" [ v "z" ];
+          ];
+      };
+      { Ndl.head = (sym "Q6", [ v "x" ]); body = [ p "A" [ v "x" ] ] };
+      { Ndl.head = (sym "Q7", [ v "x" ]); body = [ p "B" [ v "x" ] ] };
+    ]
+  in
+  let q = Ndl.make ~goal:(sym "G6") ~goal_args:[ "x" ] clauses in
+  let sk = Skinny.transform q in
+  check "result is skinny" true (Ndl.is_skinny sk);
+  check "depth within skinny bound" true
+    (float_of_int (Ndl.depth sk) <= Ndl.skinny_depth q +. 1.0);
+  for seed = 0 to 9 do
+    let a =
+      random_abox ~seed ~consts:6 ~unary:[ "A"; "B" ] ~binary:[ "R"; "S" ]
+        ~unary_atoms:8 ~binary_atoms:12
+    in
+    Alcotest.(check (list (list string)))
+      "same answers"
+      (show_tuples (Eval.answers q a))
+      (show_tuples (Eval.answers sk a))
+  done
+
+let test_prune () =
+  let clauses =
+    [
+      { Ndl.head = (sym "G8", [ v "x" ]); body = [ p "A" [ v "x" ] ] };
+      (* dead: references an IDB predicate with no definition *)
+      { Ndl.head = (sym "G8", [ v "x" ]); body = [ p "Dead8" [ v "x" ] ] };
+      (* unreachable from the goal *)
+      { Ndl.head = (sym "Orphan8", [ v "x" ]); body = [ p "A" [ v "x" ] ] };
+    ]
+  in
+  let q = Ndl.make ~goal:(sym "G8") ~goal_args:[ "x" ] clauses in
+  let edb pr = Symbol.equal pr (sym "A") in
+  let pruned = Optimize.prune ~edb q in
+  check_int "one clause remains" 1 (Ndl.num_clauses pruned)
+
+let test_inline () =
+  let clauses =
+    [
+      {
+        Ndl.head = (sym "G9", [ v "x"; v "y" ]);
+        body = [ p "H9" [ v "x"; v "z" ]; p "R" [ v "z"; v "y" ] ];
+      };
+      {
+        Ndl.head = (sym "H9", [ v "x"; v "z" ]);
+        body = [ p "R" [ v "x"; v "w" ]; p "R" [ v "w"; v "z" ] ];
+      };
+    ]
+  in
+  let q = Ndl.make ~goal:(sym "G9") ~goal_args:[ "x"; "y" ] clauses in
+  let inlined = Optimize.inline_single_use q in
+  check_int "single clause after inlining" 1 (Ndl.num_clauses inlined);
+  for seed = 0 to 9 do
+    let a =
+      random_abox ~seed ~consts:5 ~unary:[] ~binary:[ "R" ] ~unary_atoms:0
+        ~binary_atoms:10
+    in
+    Alcotest.(check (list (list string)))
+      "same answers"
+      (show_tuples (Eval.answers q a))
+      (show_tuples (Eval.answers inlined a))
+  done
+
+let test_star_generic () =
+  let t =
+    Tbox.make
+      [
+        Tbox.Concept_incl (Concept.Name (sym "B"), Concept.Name (sym "A"));
+        Tbox.Role_incl (role "P", role "R");
+      ]
+  in
+  let q =
+    Ndl.make ~goal:(sym "G10") ~goal_args:[ "x" ]
+      [
+        {
+          Ndl.head = (sym "G10", [ v "x" ]);
+          body = [ p "A" [ v "x" ]; p "R" [ v "x"; v "y" ] ];
+        };
+      ]
+  in
+  let starred = Star.complete_to_arbitrary t q in
+  let a = abox_of_facts [ `U ("B", "c1"); `B ("P", "c1", "c2") ] in
+  Alcotest.(check (list (list string)))
+    "complete-level program misses"
+    []
+    (show_tuples (Eval.answers q a));
+  Alcotest.(check (list (list string)))
+    "starred program answers"
+    [ [ "c1" ] ]
+    (show_tuples (Eval.answers starred a))
+
+let test_star_linear () =
+  let t =
+    Tbox.make
+      [
+        Tbox.Concept_incl (Concept.Name (sym "B"), Concept.Name (sym "A"));
+        Tbox.Concept_incl (Concept.Exists (role "P-"), Concept.Name (sym "A"));
+        Tbox.Role_incl (role "P", role "R");
+      ]
+  in
+  let q =
+    Ndl.make ~goal:(sym "G11") ~goal_args:[ "x" ]
+      ~params:(Symbol.Map.singleton (sym "G11") 1)
+      [
+        {
+          Ndl.head = (sym "G11", [ v "x" ]);
+          body = [ p "A" [ v "x" ]; p "R" [ v "x"; v "y" ] ];
+        };
+      ]
+  in
+  let starred = Star.complete_to_arbitrary_linear t q in
+  check "still linear" true (Ndl.is_linear starred);
+  check "width grows by at most 1" true
+    (Ndl.width starred <= Ndl.width q + 1 + 1);
+  let a = abox_of_facts [ `B ("P", "c2", "c1"); `B ("P", "c1", "c3") ] in
+  (* A(c1) via ∃P⁻ ⊑ A, R(c1,c3) via P ⊑ R *)
+  Alcotest.(check (list (list string)))
+    "lemma 3 program answers"
+    [ [ "c1" ] ]
+    (show_tuples (Eval.answers starred a))
+
+let suites =
+  [
+    ( "ndl",
+      [
+        Alcotest.test_case "example 1 analysis" `Quick test_example1_analysis;
+        Alcotest.test_case "example 1 evaluation" `Quick test_example1_eval;
+        Alcotest.test_case "recursion detection" `Quick test_recursive_detected;
+        Alcotest.test_case "equality and domain atoms" `Quick
+          test_eval_equality_and_dom;
+        Alcotest.test_case "constants" `Quick test_eval_constants;
+        Alcotest.test_case "boolean goal" `Quick test_eval_boolean_goal;
+        Alcotest.test_case "generated tuples" `Quick test_generated_tuples;
+        Alcotest.test_case "weight function" `Quick test_weight_and_skinny_depth;
+        Alcotest.test_case "skinny transform" `Quick
+          test_skinny_transform_equivalence;
+        Alcotest.test_case "prune" `Quick test_prune;
+        Alcotest.test_case "inline (Tw*)" `Quick test_inline;
+        Alcotest.test_case "star (generic)" `Quick test_star_generic;
+        Alcotest.test_case "star (linear, Lemma 3)" `Quick test_star_linear;
+      ] );
+  ]

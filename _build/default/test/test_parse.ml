@@ -1,0 +1,161 @@
+open Obda_syntax
+open Obda_ontology
+open Obda_cq
+open Obda_data
+open Obda_parse
+open Helpers
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let example11_text =
+  {|
+# the ontology of Example 11
+P(x,y) -> S(x,y)
+P(x,y) -> R(y,x)
+|}
+
+let test_parse_example11 () =
+  let t = Parse.ontology_of_string example11_text in
+  check "P ⊑ S" true (Tbox.sub_role t ~sub:(role "P") ~sup:(role "S"));
+  check "P ⊑ R⁻" true (Tbox.sub_role t ~sub:(role "P") ~sup:(role "R-"));
+  check "depth 1" true (Tbox.depth t = Tbox.Finite 1)
+
+let test_parse_concepts () =
+  let t =
+    Parse.ontology_of_string
+      {|
+A(x) -> B(x)
+A(x) -> P(x,_)
+P(_,x) -> C(x)
+Q(x,_) -> P(x,_)
+refl W
+A(x), C(x) -> false
+P(x,y), Q(x,y) -> false
+irrefl V
+|}
+  in
+  check "A ⊑ B" true
+    (Tbox.subsumes t ~sub:(Concept.Name (sym "A")) ~sup:(Concept.Name (sym "B")));
+  check "A ⊑ ∃P" true
+    (Tbox.subsumes t ~sub:(Concept.Name (sym "A")) ~sup:(Concept.Exists (role "P")));
+  check "∃P⁻ ⊑ C" true
+    (Tbox.subsumes t ~sub:(Concept.Exists (role "P-")) ~sup:(Concept.Name (sym "C")));
+  check "∃Q ⊑ ∃P" true
+    (Tbox.subsumes t ~sub:(Concept.Exists (role "Q")) ~sup:(Concept.Exists (role "P")));
+  check "refl W" true (Tbox.reflexive t (role "W"));
+  check_int "2 bottom axioms + irrefl" 3
+    (List.length (Tbox.disjoint_concept_axioms t)
+    + List.length (Tbox.disjoint_role_axioms t)
+    + List.length (Tbox.irreflexive_axioms t))
+
+let test_parse_inverse_role_incl () =
+  let t = Parse.ontology_of_string "P(x,y) -> R(y,x)\n" in
+  check "P ⊑ R⁻" true (Tbox.sub_role t ~sub:(role "P") ~sup:(role "R-"));
+  check "P⁻ ⊑ R" true (Tbox.sub_role t ~sub:(role "P-") ~sup:(role "R"))
+
+let test_parse_query () =
+  let q = Parse.query_of_string "q(x0,x2) <- R(x0,x1), S(x1,x2), A(x1)" in
+  check_int "3 atoms" 3 (Cq.size q);
+  check "answer vars" true (Cq.answer_vars q = [ "x0"; "x2" ]);
+  check "tree" true (Cq.is_tree_shaped q);
+  let b = Parse.query_of_string "q() <- A(x), R(x,_)" in
+  check "boolean" true (Cq.is_boolean b);
+  check_int "underscore becomes a variable" 2 (List.length (Cq.vars b))
+
+let test_parse_data () =
+  let a = Parse.data_of_string "A(c1). R(c1,c2).\nB(c2) R(c2,c3)" in
+  check_int "4 atoms" 4 (Abox.num_atoms a);
+  check "R(c2,c3)" true (Abox.mem_binary a (sym "R") (sym "c2") (sym "c3"))
+
+let test_roundtrip () =
+  let t = example11_tbox () in
+  let t' = Parse.ontology_of_string (Parse.ontology_to_string t) in
+  check "axiom count preserved" true
+    (List.length (Tbox.axioms t) = List.length (Tbox.axioms t'));
+  let q = example8_cq () in
+  let q' = Parse.query_of_string (Parse.query_to_string q) in
+  check "query round-trip" true (Cq.compare q q' = 0);
+  let a = abox_of_facts [ `U ("A", "c1"); `B ("R", "c1", "c2") ] in
+  let a' = Parse.data_of_string (Parse.data_to_string a) in
+  check_int "data round-trip" (Abox.num_atoms a) (Abox.num_atoms a')
+
+let test_parse_errors () =
+  let fails f =
+    try
+      ignore (f ());
+      false
+    with Parse.Parse_error _ -> true
+  in
+  check "garbage rejected" true
+    (fails (fun () -> Parse.ontology_of_string "A(x) ->"));
+  check "bad arity" true
+    (fails (fun () -> Parse.ontology_of_string "A(x,y,z) -> B(x)"));
+  check "unknown construct" true
+    (fails (fun () -> Parse.query_of_string "not a query"))
+
+let test_end_to_end () =
+  (* parse everything and answer through the full pipeline *)
+  let t = Parse.ontology_of_string example11_text in
+  let q = Parse.query_of_string "q(x0,x3) <- R(x0,x1), S(x1,x2), R(x2,x3)" in
+  let a = Parse.data_of_string "P(b,a) R(b,c) P(d,c)" in
+  let omq = Obda_rewriting.Omq.make t q in
+  let expected = certain_answers omq a in
+  Alcotest.(check (list (list string)))
+    "pipeline agrees with chase" expected
+    (answers_via Obda_rewriting.Omq.Tw omq a)
+
+let test_parse_mapping () =
+  let m =
+    Parse.mapping_of_string
+      {|
+# comments work here too
+Employee(x) <- employees(x,n,d,m)
+worksOn(x,p) <- contracts(x,p,_), active(p)
+|}
+  in
+  check_int "two rules" 2 (List.length m);
+  check "validates" true (Obda_mapping.Mapping.validate m = Ok ());
+  let src =
+    Parse.source_of_string
+      "employees(e1,ada,research,e2). contracts(e1,warp,lead)
+active(warp)"
+  in
+  check_int "three relations" 3
+    (List.length (Obda_mapping.Source.relations src));
+  let md = Obda_mapping.Mapping.materialise m src in
+  check "Employee(e1)" true (Abox.mem_unary md (sym "Employee") (sym "e1"));
+  check "worksOn(e1,warp)" true
+    (Abox.mem_binary md (sym "worksOn") (sym "e1") (sym "warp"))
+
+let test_parse_mapping_errors () =
+  let fails f =
+    try
+      ignore (f ());
+      false
+    with Parse.Parse_error _ | Invalid_argument _ -> true
+  in
+  check "missing arrow" true
+    (fails (fun () -> Parse.mapping_of_string "Employee(x) employees(x)"));
+  check "dangling head var" true
+    (fails (fun () -> Parse.mapping_of_string "Employee(y) <- employees(x)"));
+  check "source rows must be ground-ish" true
+    (fails (fun () -> Parse.source_of_string "t(a,"))
+
+let suites =
+  [
+    ( "parse",
+      [
+        Alcotest.test_case "example 11" `Quick test_parse_example11;
+        Alcotest.test_case "concept axioms" `Quick test_parse_concepts;
+        Alcotest.test_case "inverse role inclusion" `Quick
+          test_parse_inverse_role_incl;
+        Alcotest.test_case "query" `Quick test_parse_query;
+        Alcotest.test_case "data" `Quick test_parse_data;
+        Alcotest.test_case "round-trip" `Quick test_roundtrip;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+        Alcotest.test_case "end to end" `Quick test_end_to_end;
+        Alcotest.test_case "mapping files" `Quick test_parse_mapping;
+        Alcotest.test_case "mapping errors" `Quick test_parse_mapping_errors;
+      ] );
+  ]

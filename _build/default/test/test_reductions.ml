@@ -1,0 +1,284 @@
+open Obda_reductions
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* DPLL *)
+
+let test_dpll_basics () =
+  check "empty cnf sat" true (Dpll.satisfiable { Dpll.nvars = 2; clauses = [] });
+  check "unit sat" true (Dpll.satisfiable { Dpll.nvars = 1; clauses = [ [ 1 ] ] });
+  check "contradiction" false
+    (Dpll.satisfiable { Dpll.nvars = 1; clauses = [ [ 1 ]; [ -1 ] ] });
+  check "2-sat chain" true
+    (Dpll.satisfiable
+       { Dpll.nvars = 3; clauses = [ [ 1; 2 ]; [ -1; 3 ]; [ -2; -3 ] ] });
+  check "pigeonhole-ish unsat" false
+    (Dpll.satisfiable
+       {
+         Dpll.nvars = 2;
+         clauses = [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ]; [ -1; -2 ] ];
+       })
+
+let brute_force_sat (c : Dpll.cnf) =
+  let n = c.Dpll.nvars in
+  let rec try_assign i assignment =
+    if i = n then
+      List.for_all
+        (fun clause ->
+          List.exists
+            (fun l ->
+              let v = assignment.(abs l - 1) in
+              if l > 0 then v else not v)
+            clause)
+        c.Dpll.clauses
+    else
+      List.exists
+        (fun b ->
+          assignment.(i) <- b;
+          try_assign (i + 1) assignment)
+        [ true; false ]
+  in
+  try_assign 0 (Array.make (max n 1) false)
+
+let test_dpll_vs_brute =
+  QCheck.Test.make ~count:200 ~name:"DPLL agrees with brute force"
+    QCheck.(triple (int_bound 10_000) (int_range 1 5) (int_bound 12))
+    (fun (seed, nvars, nclauses) ->
+      let cnf = Dpll.random_3cnf ~seed ~nvars ~nclauses in
+      Dpll.satisfiable cnf = brute_force_sat cnf)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 15: hitting set *)
+
+let test_hitting_set_brute () =
+  let h = { Hitting_set.n = 4; edges = [ [ 1; 3 ]; [ 2; 3 ]; [ 1; 2 ] ] } in
+  check "hitting set of size 2 exists" true (Hitting_set.has_hitting_set h ~k:2);
+  check "no hitting set of size 1" false (Hitting_set.has_hitting_set h ~k:1);
+  let h2 = { Hitting_set.n = 3; edges = [ [ 1 ]; [ 2 ]; [ 3 ] ] } in
+  check "disjoint singletons need k=3" false
+    (Hitting_set.has_hitting_set h2 ~k:2)
+
+let test_hitting_set_omq_example () =
+  (* the example from the proof of Theorem 15 *)
+  let h = { Hitting_set.n = 3; edges = [ [ 1; 3 ]; [ 2; 3 ]; [ 1; 2 ] ] } in
+  check "paper example: k=2 yes" true (Hitting_set.answer_via_omq h ~k:2);
+  check "brute force agrees" true (Hitting_set.has_hitting_set h ~k:2)
+
+let test_hitting_set_reduction =
+  QCheck.Test.make ~count:25 ~name:"Theorem 15: OMQ answer ≡ hitting set"
+    QCheck.(quad (int_bound 10_000) (int_range 2 4) (int_range 1 3) (int_range 1 2))
+    (fun (seed, n, m, k) ->
+      QCheck.assume (n >= 2 && m >= 1 && k >= 1 && k <= n);
+      let h = Hitting_set.random ~seed ~n ~m ~max_edge:3 in
+      Hitting_set.answer_via_omq h ~k = Hitting_set.has_hitting_set h ~k)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 16: partitioned clique *)
+
+let test_clique_brute () =
+  let g =
+    { Clique.parts = [ [ 1; 2 ]; [ 3 ]; [ 4; 5 ] ];
+      edges = [ (1, 3); (3, 5); (1, 5) ] }
+  in
+  check "clique {1,3,5}" true (Clique.has_partitioned_clique g);
+  let g' = { g with Clique.edges = [ (1, 3); (3, 5) ] } in
+  check "no clique without (1,5)" false (Clique.has_partitioned_clique g')
+
+let test_clique_reduction_example () =
+  (* the example from the proof: V1={1,2}, V2={3}, V3={4,5},
+     E={{1,3},{3,5}}: no triangle (1-5 and 3-4 missing, 3-5 present but
+     1-5 absent) *)
+  let g =
+    { Clique.parts = [ [ 1; 2 ]; [ 3 ] ]; edges = [ (1, 3) ] }
+  in
+  check "p=2 clique exists" true (Clique.has_partitioned_clique g);
+  check "OMQ agrees (yes)" true (Clique.answer_via_omq g);
+  let g' = { g with Clique.edges = [] } in
+  check "p=2 no edge" false (Clique.has_partitioned_clique g');
+  check "OMQ agrees (no)" false (Clique.answer_via_omq g')
+
+let test_clique_reduction =
+  QCheck.Test.make ~count:8 ~name:"Theorem 16: OMQ answer ≡ partitioned clique"
+    QCheck.(pair (int_bound 10_000) (int_range 0 100))
+    (fun (seed, pct) ->
+      let g =
+        Clique.random ~seed ~part_sizes:[ 2; 2 ]
+          ~edge_prob:(float_of_int pct /. 100.)
+      in
+      Clique.answer_via_omq g = Clique.has_partitioned_clique g)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 17: SAT via the fixed ontology T† *)
+
+let test_sat_paper_example () =
+  (* ϕ = (p1 ∨ p2) ∧ ¬p1 — satisfiable *)
+  let cnf = { Dpll.nvars = 2; clauses = [ [ 1; 2 ]; [ -1 ] ] } in
+  check "satisfiable" true (Dpll.satisfiable cnf);
+  check "OMQ says yes" true (Sat.satisfiable_via_omq cnf);
+  (* p1 ∧ ¬p1 — unsatisfiable *)
+  let cnf2 = { Dpll.nvars = 1; clauses = [ [ 1 ]; [ -1 ] ] } in
+  check "OMQ says no" false (Sat.satisfiable_via_omq cnf2)
+
+let test_sat_reduction =
+  QCheck.Test.make ~count:15 ~name:"Theorem 17: OMQ answer ≡ satisfiability"
+    QCheck.(triple (int_bound 10_000) (int_range 1 3) (int_range 1 4))
+    (fun (seed, nvars, nclauses) ->
+      let cnf = Dpll.random_3cnf ~seed ~nvars ~nclauses in
+      Sat.satisfiable_via_omq cnf = Dpll.satisfiable cnf)
+
+let test_t_dagger_infinite () =
+  check "T† has infinite depth" true
+    (Obda_ontology.Tbox.depth (Sat.t_dagger ()) = Obda_ontology.Tbox.Infinite)
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 26: q̄_ϕ over tree instances *)
+
+let test_qbar_lemma26 =
+  QCheck.Test.make ~count:10 ~name:"Lemma 26: q̄ϕ answer ≡ f_ϕ(α)"
+    QCheck.(pair (int_bound 10_000) (int_bound 15))
+    (fun (seed, alpha_bits) ->
+      (* fixed small CNF with exactly 4 non-tautological clauses over 2 vars *)
+      let cnf =
+        { Dpll.nvars = 2; clauses = [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ]; [ -1; -2 ] ] }
+      in
+      ignore seed;
+      let alpha = Array.init 4 (fun i -> (alpha_bits lsr i) land 1 = 1) in
+      Sat.qbar_answer cnf alpha = Sat.f_phi cnf alpha)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 22: the hardest CFL via T‡ *)
+
+let test_b0 () =
+  check "a1b1 ∈ B0" true (Cfl.b0_member "a1b1");
+  check "a1a2b2b1 ∈ B0" true (Cfl.b0_member "a1a2b2b1");
+  check "a1b1a2b2 ∈ B0" true (Cfl.b0_member "a1b1a2b2");
+  check "a1b2 ∉ B0" false (Cfl.b0_member "a1b2");
+  check "a1 ∉ B0" false (Cfl.b0_member "a1");
+  check "b1a1 ∉ B0" false (Cfl.b0_member "b1a1");
+  check "ε ∈ B0" true (Cfl.b0_member "")
+
+let test_hardest_language_paper_examples () =
+  (* (12)–(15) from Appendix C.4 *)
+  check "(12) [a1a2#b2b1] ∉ L" false (Cfl.in_hardest_language "[a1a2#b2b1]");
+  check "(13) [a1a2#b2b1][b2b1] ∈ L" true
+    (Cfl.in_hardest_language "[a1a2#b2b1][b2b1]");
+  check "(14) [a1a2#b2b1][a1b1] ∉ L" false
+    (Cfl.in_hardest_language "[a1a2#b2b1][a1b1]");
+  check "(15) [#a1a2#b2b1][a1b1] ∈ L" true
+    (Cfl.in_hardest_language "[#a1a2#b2b1][a1b1]")
+
+let test_cfl_omq_small () =
+  List.iter
+    (fun (w, expected) ->
+      check
+        (Printf.sprintf "OMQ on %s" w)
+        expected (Cfl.answer_via_omq w);
+      check
+        (Printf.sprintf "ground truth on %s" w)
+        expected (Cfl.in_hardest_language w))
+    [
+      ("[a1b1]", true);
+      ("[a1#b1]", false);
+      ("[a1][b1]", true);
+      ("[a2][b1]", false);
+      ("[a1b1#a2]", true);
+      (* "[#a1]" is in L: x = ε, y = ε ∈ B0, z = #a1 *)
+      ("[#a1]", true);
+      ("[#a1][#b1]", true);
+      ("a1b1", false);
+      ("[a1b1", false);
+    ]
+
+let test_t_ddagger_infinite () =
+  check "T‡ has infinite depth" true
+    (Obda_ontology.Tbox.depth (Cfl.t_ddagger ()) = Obda_ontology.Tbox.Infinite)
+
+let test_cfl_reduction =
+  QCheck.Test.make ~count:20 ~name:"Theorem 22: OMQ answer ≡ w ∈ L"
+    QCheck.(pair (int_bound 100_000) (int_range 1 3))
+    (fun (seed, blocks) ->
+      let rng = Random.State.make [| seed |] in
+      let letters = [ "a1"; "b1"; "a2"; "b2"; "#" ] in
+      let block () =
+        let len = 1 + Random.State.int rng 3 in
+        "["
+        ^ String.concat ""
+            (List.init len (fun _ ->
+                 List.nth letters (Random.State.int rng 5)))
+        ^ "]"
+      in
+      let w = String.concat "" (List.init blocks (fun _ -> block ())) in
+      Cfl.answer_via_omq w = Cfl.in_hardest_language w)
+
+let suites =
+  [
+    ( "reductions",
+      [
+        Alcotest.test_case "DPLL basics" `Quick test_dpll_basics;
+        QCheck_alcotest.to_alcotest test_dpll_vs_brute;
+        Alcotest.test_case "hitting set brute force" `Quick
+          test_hitting_set_brute;
+        Alcotest.test_case "hitting set OMQ (paper example)" `Quick
+          test_hitting_set_omq_example;
+        QCheck_alcotest.to_alcotest test_hitting_set_reduction;
+        Alcotest.test_case "clique brute force" `Quick test_clique_brute;
+        Alcotest.test_case "clique OMQ (examples)" `Quick
+          test_clique_reduction_example;
+        QCheck_alcotest.to_alcotest test_clique_reduction;
+        Alcotest.test_case "SAT OMQ (paper example)" `Quick
+          test_sat_paper_example;
+        QCheck_alcotest.to_alcotest test_sat_reduction;
+        Alcotest.test_case "T† infinite depth" `Quick test_t_dagger_infinite;
+        QCheck_alcotest.to_alcotest test_qbar_lemma26;
+        Alcotest.test_case "B0 membership" `Quick test_b0;
+        Alcotest.test_case "hardest language (paper examples)" `Quick
+          test_hardest_language_paper_examples;
+        Alcotest.test_case "CFL OMQ (small words)" `Quick test_cfl_omq_small;
+        Alcotest.test_case "T‡ infinite depth" `Quick test_t_ddagger_infinite;
+        QCheck_alcotest.to_alcotest test_cfl_reduction;
+      ] );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Theorems 21 / 28: PE-queries over the tree instances *)
+
+let test_pe_eval_basics () =
+  let a =
+    Helpers.abox_of_facts
+      [ `U ("A", "c1"); `B ("R", "c1", "c2"); `B ("R", "c2", "c3") ]
+  in
+  let sym = Obda_syntax.Symbol.intern in
+  check "atom holds" true (Pe.eval a (Pe.Atom1 (sym "A", Pe.Cst (sym "c1"))));
+  check "exists chain" true
+    (Pe.eval a
+       (Pe.Exists
+          ( [ "x"; "y" ],
+            Pe.And
+              [
+                Pe.Atom2 (sym "R", Pe.Var "x", Pe.Var "y");
+                Pe.Atom2 (sym "R", Pe.Var "y", Pe.Var "z");
+                Pe.Atom1 (sym "A", Pe.Var "x");
+              ] )));
+  check "disjunction" true
+    (Pe.eval a
+       (Pe.Or
+          [ Pe.Atom1 (sym "B", Pe.Cst (sym "c1")); Pe.Atom1 (sym "A", Pe.Cst (sym "c1")) ]));
+  check "failure" false
+    (Pe.eval a (Pe.Atom2 (sym "R", Pe.Cst (sym "c3"), Pe.Cst (sym "c1"))))
+
+let test_qm_theorem28 =
+  QCheck.Test.make ~count:12 ~name:"Theorem 28: q_m over A^α_m ≡ SAT(ϕ_k^-α)"
+    QCheck.(int_bound 255)
+    (fun bits ->
+      let flags = Array.init 8 (fun i -> (bits lsr i) land 1 = 1) in
+      Pe.qm_agrees ~nvars:3 flags)
+
+let pe_suite =
+  ( "pe",
+    [
+      Alcotest.test_case "PE evaluation basics" `Quick test_pe_eval_basics;
+      QCheck_alcotest.to_alcotest test_qm_theorem28;
+    ] )
+
+let suites = suites @ [ pe_suite ]
