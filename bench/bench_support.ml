@@ -10,6 +10,8 @@ module Omq = Obda_rewriting.Omq
 module Ndl = Obda_ndl.Ndl
 module Eval = Obda_ndl.Eval
 module Optimize = Obda_ndl.Optimize
+module Budget = Obda_runtime.Budget
+module Error = Obda_runtime.Error
 
 (* ------------------------------------------------------------------ *)
 (* The ontology of Example 11 and the three query sequences of Fig. 2 *)
@@ -65,39 +67,45 @@ let eval_algorithms =
 exception Skipped of string
 
 (* rewriting over arbitrary data instances, like the systems compared in the
-   paper; [max_cqs] bounds the UCQ baselines (their 15-minute timeouts) *)
-let rewrite ?(max_cqs = 20_000) alg omq =
-  match alg with
-  | Clipper_star -> (
-    try Obda_rewriting.Ucq_rewriter.rewrite ~max_cqs omq.Omq.tbox omq.Omq.cq
-    with Obda_rewriting.Ucq_rewriter.Limit_reached -> raise (Skipped "limit"))
-  | Rapid_star -> (
-    (* condensation is quadratic in the number of CQs: bail out like Rapid's
-       timeouts in the paper *)
-    try
+   paper; [max_cqs] bounds the UCQ baselines (their 15-minute timeouts) and
+   [budget] bounds one case so a runaway rewriting yields a table cell, not
+   a dead harness *)
+let rewrite ?budget ?(max_cqs = 20_000) alg omq =
+  try
+    match alg with
+    | Clipper_star ->
+      Obda_rewriting.Ucq_rewriter.rewrite ?budget ~max_cqs omq.Omq.tbox
+        omq.Omq.cq
+    | Rapid_star ->
+      (* condensation is quadratic in the number of CQs: bail out like Rapid's
+         timeouts in the paper *)
       let cqs =
-        Obda_rewriting.Ucq_rewriter.rewrite_cqs ~max_cqs omq.Omq.tbox omq.Omq.cq
+        Obda_rewriting.Ucq_rewriter.rewrite_cqs ?budget ~max_cqs omq.Omq.tbox
+          omq.Omq.cq
       in
       if List.length cqs > 1200 then raise (Skipped "too many CQs to condense")
       else
-        Obda_rewriting.Ucq_rewriter.rewrite_condensed ~max_cqs omq.Omq.tbox
-          omq.Omq.cq
-    with Obda_rewriting.Ucq_rewriter.Limit_reached -> raise (Skipped "limit"))
-  | Presto_star -> (
-    try
+        Obda_rewriting.Ucq_rewriter.rewrite_condensed ?budget ~max_cqs
+          omq.Omq.tbox omq.Omq.cq
+    | Presto_star ->
       let complete_level =
-        Obda_rewriting.Presto_like.rewrite ~max_subsets:max_cqs omq.Omq.tbox
-          omq.Omq.cq
+        Obda_rewriting.Presto_like.rewrite ?budget ~max_subsets:max_cqs
+          omq.Omq.tbox omq.Omq.cq
       in
       Obda_ndl.Star.complete_to_arbitrary omq.Omq.tbox complete_level
-    with Obda_rewriting.Presto_like.Limit_reached -> raise (Skipped "limit"))
-  | Lin -> Omq.rewrite Omq.Lin omq
-  | Log -> Omq.rewrite Omq.Log omq
-  | Tw -> Omq.rewrite Omq.Tw omq
-  | Tw_star -> Optimize.inline_single_use (Omq.rewrite Omq.Tw omq)
+    | Lin -> Omq.rewrite ?budget Omq.Lin omq
+    | Log -> Omq.rewrite ?budget Omq.Log omq
+    | Tw -> Omq.rewrite ?budget Omq.Tw omq
+    | Tw_star -> Optimize.inline_single_use (Omq.rewrite ?budget Omq.Tw omq)
+  with
+  | Obda_rewriting.Ucq_rewriter.Limit_reached
+  | Obda_rewriting.Presto_like.Limit_reached -> raise (Skipped "limit")
+  | Error.Obda_error (Error.Budget_exhausted _) -> raise (Skipped "timeout")
+  | Error.Obda_error (Error.Not_applicable _) -> raise (Skipped "n/a")
 
-let rewriting_size ?max_cqs alg omq =
-  try Some (Ndl.num_clauses (rewrite ?max_cqs alg omq)) with Skipped _ -> None
+let rewriting_size ?budget ?max_cqs alg omq =
+  try Some (Ndl.num_clauses (rewrite ?budget ?max_cqs alg omq))
+  with Skipped _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Datasets of Table 2 *)
@@ -125,20 +133,26 @@ type eval_outcome =
   | Not_available of string
 
 let evaluate ~timeout query abox =
+  (* both the legacy deadline thunk and a per-case budget: the budget also
+     caps evaluation phases that predate the thunk's check sites *)
+  let budget = Budget.create ~timeout () in
   let t0 = Unix.gettimeofday () in
   let deadline () = Unix.gettimeofday () -. t0 > timeout in
   try
-    let r = Eval.run ~deadline query abox in
+    let r = Eval.run ~budget ~deadline query abox in
     Ok_result
       {
         time = Unix.gettimeofday () -. t0;
         answers = List.length r.Eval.answers;
         tuples = r.Eval.generated_tuples;
       }
-  with Eval.Timeout -> Timed_out timeout
+  with
+  | Eval.Timeout | Error.Obda_error (Error.Budget_exhausted _) ->
+    Timed_out timeout
+  | Error.Obda_error e -> Not_available (Error.class_name e)
 
 let evaluate_alg ~timeout ?max_cqs alg omq abox =
-  match rewrite ?max_cqs alg omq with
+  match rewrite ~budget:(Budget.create ~timeout ()) ?max_cqs alg omq with
   | exception Skipped why -> Not_available why
   | query -> evaluate ~timeout query abox
 
@@ -151,7 +165,9 @@ let print_row widths cells =
       (fun w c -> if String.length c >= w then c else String.make (w - String.length c) ' ' ^ c)
       widths cells
   in
-  print_endline (String.concat "  " padded)
+  print_endline (String.concat "  " padded);
+  (* flush per row: a crashed or killed case must not lose the table so far *)
+  flush stdout
 
 let print_header title =
   print_newline ();
@@ -167,5 +183,5 @@ let cell_of_outcome field = function
     | `Time -> Printf.sprintf "%.3f" r.time
     | `Answers -> string_of_int r.answers
     | `Tuples -> string_of_int r.tuples)
-  | Timed_out t -> ( match field with `Time -> Printf.sprintf ">%g" t | _ -> "-")
+  | Timed_out _ -> ( match field with `Time -> "timeout" | _ -> "-")
   | Not_available _ -> "-"

@@ -104,7 +104,11 @@ let table1 () =
             (fun alg ->
               if Hashtbl.mem dead alg then "-"
               else
-                match rewriting_size ~max_cqs:!max_cqs alg omq with
+                match
+                  rewriting_size
+                    ~budget:(Obda_runtime.Budget.create ~timeout:!timeout ())
+                    ~max_cqs:!max_cqs alg omq
+                with
                 | Some k -> string_of_int k
                 | None ->
                   Hashtbl.replace dead alg ();
@@ -164,7 +168,11 @@ let eval_table ~table_no ~letters () =
             (fun alg ->
               if Hashtbl.mem dead alg then (alg, None)
               else
-                match rewrite ~max_cqs:!max_cqs alg omq with
+                match
+                  rewrite
+                    ~budget:(Obda_runtime.Budget.create ~timeout:!timeout ())
+                    ~max_cqs:!max_cqs alg omq
+                with
                 | query -> (alg, Some query)
                 | exception Skipped _ ->
                   Hashtbl.replace dead alg ();
@@ -571,4 +579,16 @@ let () =
   let to_run =
     if !chosen = [] then List.map fst experiments else List.rev !chosen
   in
-  List.iter (fun name -> (List.assoc name experiments) ()) to_run
+  (* one broken experiment must not take down the remaining tables *)
+  List.iter
+    (fun name ->
+      try (List.assoc name experiments) ()
+      with exn ->
+        flush stdout;
+        let msg =
+          match Obda_runtime.Error.of_exn exn with
+          | Some e -> Obda_runtime.Error.to_string e
+          | None -> Printexc.to_string exn
+        in
+        Printf.printf "experiment %s aborted: %s\n%!" name msg)
+    to_run

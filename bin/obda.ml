@@ -5,6 +5,8 @@ open Cmdliner
 module Omq = Obda_rewriting.Omq
 module Ndl = Obda_ndl.Ndl
 module Parse = Obda_parse.Parse
+module Error = Obda_runtime.Error
+module Budget = Obda_runtime.Budget
 
 let algorithm_conv =
   let parse s =
@@ -50,14 +52,60 @@ let load_omq ontology query =
   let cq = Parse.query_of_file query in
   Omq.make tbox cq
 
+(* The first stderr line is the machine-readable rendering
+   ([class=... key=value ...]); parse errors additionally get a human caret
+   display of the offending line. *)
+let report_error e =
+  Printf.eprintf "obda: %s\n" (Error.to_string e);
+  (match e with
+  | Error.Parse_error { loc; source_line = Some src; _ } ->
+    Printf.eprintf "  | %s\n" src;
+    (match loc.Error.column with
+    | Some c when c >= 1 -> Printf.eprintf "  | %s^\n" (String.make (c - 1) ' ')
+    | _ -> ())
+  | _ -> ());
+  exit (Error.exit_code e)
+
 let handle_errors f =
   try f () with
-  | Parse.Parse_error msg ->
-    Printf.eprintf "parse error: %s\n" msg;
-    exit 1
-  | Invalid_argument msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 1
+  | exn -> (
+    match Error.of_exn exn with
+    | Some e -> report_error e
+    | None -> report_error (Error.Internal (Printexc.to_string exn)))
+
+(* Shared resource-budget flags; every limit violation exits with code 4. *)
+let budget_term =
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock allowance for the whole request.  Exceeding it \
+             terminates with exit code 4.")
+  in
+  let max_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Cap on the work units (chase firings, rewriting expansions, \
+             evaluation joins) the request may perform.")
+  in
+  let max_size =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-size" ] ~docv:"N"
+          ~doc:
+            "Cap on the output units (clauses, tuples, chase elements) the \
+             request may produce.")
+  in
+  let make timeout max_steps max_size =
+    Budget.create ?timeout ?max_steps ?max_size ()
+  in
+  Term.(const make $ timeout $ max_steps $ max_size)
 
 (* ------------------------------------------------------------------ *)
 
@@ -81,7 +129,7 @@ let classify_cmd =
     Term.(const run $ ontology_arg $ query_arg)
 
 let rewrite_cmd =
-  let run ontology query algorithm over_complete stats =
+  let run ontology query algorithm over_complete stats budget =
     handle_errors (fun () ->
         let omq = load_omq ontology query in
         let alg =
@@ -89,13 +137,11 @@ let rewrite_cmd =
           | Some a -> a
           | None -> if Obda_cq.Cq.is_tree_shaped omq.Omq.cq then Omq.Tw else Omq.Log
         in
-        if not (Omq.applicable alg omq) then begin
-          Printf.eprintf "algorithm %s is not applicable to this OMQ\n"
-            (Omq.algorithm_name alg);
-          exit 1
-        end;
+        if not (Omq.applicable alg omq) then
+          Error.not_applicable ~algorithm:(Omq.algorithm_name alg)
+            "side conditions do not hold for this OMQ";
         let over = if over_complete then `Complete else `Arbitrary in
-        let q = Omq.rewrite ~over alg omq in
+        let q = Omq.rewrite ~budget ~over alg omq in
         Format.printf "%a" Ndl.pp q;
         if stats then
           Format.printf
@@ -118,12 +164,14 @@ let rewrite_cmd =
     Term.(
       const run $ ontology_arg $ query_arg
       $ algorithm_arg ~default:None
-      $ over_complete $ stats)
+      $ over_complete $ stats $ budget_term)
 
 let answer_cmd =
-  let run ontology query data mapping source algorithm use_chase =
+  let run ontology query data mapping source algorithm use_chase budget
+      fallback fail_inconsistent =
     handle_errors (fun () ->
         let omq = load_omq ontology query in
+        let on_inconsistent = if fail_inconsistent then `Error else `All_tuples in
         let answers =
           match (mapping, source) with
           | Some mf, Some sf ->
@@ -137,14 +185,34 @@ let answer_cmd =
               | None ->
                 if Obda_cq.Cq.is_tree_shaped omq.Omq.cq then Omq.Tw else Omq.Log
             in
-            let rewriting = Omq.rewrite alg omq in
+            let rewriting = Omq.rewrite ~budget alg omq in
             Obda_mapping.Mapping.answers_virtual m rewriting src
           | None, None -> (
             match data with
             | Some d ->
               let abox = Parse.data_of_file d in
-              if use_chase then Omq.answer_certain omq abox
-              else Omq.answer ?algorithm omq abox
+              if use_chase then
+                Omq.answer_certain ~budget ~on_inconsistent omq abox
+              else if fallback then begin
+                let chain = Option.map Omq.default_chain algorithm in
+                let r =
+                  Omq.answer_with_fallback ~budget ?chain ~on_inconsistent omq
+                    abox
+                in
+                List.iter
+                  (fun (a : Omq.attempt) ->
+                    Printf.eprintf "# fallback: %s failed: %s\n"
+                      (Omq.algorithm_name a.Omq.algorithm)
+                      (Error.to_string a.Omq.error))
+                  r.Omq.attempts;
+                (match (r.Omq.answered_by, r.Omq.attempts) with
+                | Some alg, _ :: _ ->
+                  Printf.eprintf "# fallback: answered by %s\n"
+                    (Omq.algorithm_name alg)
+                | _ -> ());
+                r.Omq.answers
+              end
+              else Omq.answer ~budget ~on_inconsistent ?algorithm omq abox
             | None ->
               prerr_endline "answer: provide -d, or --mapping with --source";
               exit 1)
@@ -186,6 +254,24 @@ let answer_cmd =
       & info [ "s"; "source" ] ~docv:"FILE"
           ~doc:"Relational source file (used with --mapping).")
   in
+  let fallback =
+    Arg.(
+      value & flag
+      & info [ "fallback" ]
+          ~doc:
+            "When the requested algorithm is not applicable or runs out of \
+             budget, fall back to the always-applicable baselines (with -d).  \
+             The attempts are reported on stderr as comment lines.")
+  in
+  let fail_inconsistent =
+    Arg.(
+      value & flag
+      & info [ "fail-inconsistent" ]
+          ~doc:
+            "Exit with code 5 when the data is inconsistent with the \
+             ontology, instead of returning every tuple over the active \
+             domain (the paper's convention).")
+  in
   Cmd.v
     (Cmd.info "answer"
        ~doc:
@@ -194,7 +280,7 @@ let answer_cmd =
     Term.(
       const run $ ontology_arg $ query_arg $ data_opt $ mapping $ source
       $ algorithm_arg ~default:None
-      $ use_chase)
+      $ use_chase $ budget_term $ fallback $ fail_inconsistent)
 
 let stats_cmd =
   let run ontology =
@@ -245,11 +331,11 @@ let gen_data_cmd =
     Term.(const run $ vertices $ edge_prob $ concept_prob $ seed)
 
 let chase_cmd =
-  let run ontology data depth =
+  let run ontology data depth budget =
     handle_errors (fun () ->
         let tbox = Parse.ontology_of_file ontology in
         let abox = Parse.data_of_file data in
-        let canon = Obda_chase.Canonical.make tbox abox ~depth in
+        let canon = Obda_chase.Canonical.make ~budget tbox abox ~depth in
         Format.printf "canonical model to depth %d: %d elements@." depth
           (Obda_chase.Canonical.num_elements canon);
         List.iter
@@ -272,7 +358,7 @@ let chase_cmd =
   Cmd.v
     (Cmd.info "chase"
        ~doc:"Print the canonical model C_{T,A} to a bounded null depth.")
-    Term.(const run $ ontology_arg $ data_arg $ depth)
+    Term.(const run $ ontology_arg $ data_arg $ depth $ budget_term)
 
 let main =
   Cmd.group

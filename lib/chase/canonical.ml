@@ -1,6 +1,7 @@
 open Obda_syntax
 open Obda_ontology
 open Obda_data
+module Budget = Obda_runtime.Budget
 
 type element = Ind of Abox.const | Null of Abox.const * Role.t list
 
@@ -30,15 +31,21 @@ type t = {
   root : Abox.const option;  (* for [of_concept] *)
 }
 
-let generate_elements tbox complete depth =
+let generate_elements ~budget tbox complete depth =
   let inds = Abox.individuals complete in
+  let made a w =
+    (* one chase step and one materialised element per null *)
+    Budget.step budget;
+    Budget.grow budget;
+    Null (a, w)
+  in
   let starts a =
     List.filter_map
       (fun r ->
         if
           Tbox.can_start tbox r
           && Abox.satisfies_concept tbox complete a (Concept.Exists r)
-        then Some (Null (a, [ r ]))
+        then Some (made a [ r ])
         else None)
       (Tbox.roles tbox)
   in
@@ -47,7 +54,7 @@ let generate_elements tbox complete depth =
     | Null (a, (last :: _ as w)) ->
       List.filter_map
         (fun r ->
-          if Tbox.can_follow tbox last r then Some (Null (a, r :: w)) else None)
+          if Tbox.can_follow tbox last r then Some (made a (r :: w)) else None)
         (Tbox.roles tbox)
     | Null (_, []) -> assert false
   in
@@ -60,19 +67,19 @@ let generate_elements tbox complete depth =
   in
   List.map (fun a -> Ind a) inds @ go (List.rev level0) level0 1
 
-let make tbox abox ~depth =
+let make ?(budget = Budget.none) tbox abox ~depth =
   let complete = Abox.complete tbox abox in
   {
     tbox;
     complete;
     depth;
-    all_elements = generate_elements tbox complete depth;
+    all_elements = generate_elements ~budget tbox complete depth;
     root = None;
   }
 
 let concept_root_name = lazy (Symbol.intern "@root")
 
-let of_concept tbox concept ~depth =
+let of_concept ?budget tbox concept ~depth =
   let a = Lazy.force concept_root_name in
   let abox = Abox.create () in
   (match concept with
@@ -84,7 +91,7 @@ let of_concept tbox concept ~depth =
     | Some ar -> Abox.add_unary abox ar a
     | None -> Abox.add_role abox r a (Symbol.intern "@aux"))
   | Concept.Top -> Abox.add_unary abox (Symbol.intern "@top_marker") a);
-  let c = make tbox abox ~depth in
+  let c = make ?budget tbox abox ~depth in
   { c with root = Some a }
 
 let root_of_concept_model t =

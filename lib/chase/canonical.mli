@@ -23,8 +23,13 @@ val pp_element : Format.formatter -> element -> unit
 
 type t
 
-val make : Tbox.t -> Abox.t -> depth:int -> t
-val of_concept : Tbox.t -> Concept.t -> depth:int -> t
+val make : ?budget:Obda_runtime.Budget.t -> Tbox.t -> Abox.t -> depth:int -> t
+(** Materialisation counts one budget step (and one unit of output size) per
+    labelled null, so a deep chase under a step or size budget raises
+    [Budget_exhausted] instead of exhausting memory. *)
+
+val of_concept :
+  ?budget:Obda_runtime.Budget.t -> Tbox.t -> Concept.t -> depth:int -> t
 (** [of_concept T τ ~depth] is C_{T,{A(a)}} for a single fresh individual
     asserted to satisfy τ (τ a concept name or ∃ρ). *)
 

@@ -1,5 +1,6 @@
 open Obda_syntax
 open Obda_cq
+module Budget = Obda_runtime.Budget
 
 type assignment = (Cq.var * Canonical.element) list
 
@@ -29,7 +30,8 @@ let variable_order q =
   done;
   Array.of_list (List.rev !order)
 
-let search ?(pin = []) ?(admissible = fun _ _ -> true) canon q ~on_solution =
+let search ?(budget = Budget.none) ?(pin = []) ?(admissible = fun _ _ -> true)
+    canon q ~on_solution =
   let order = variable_order q in
   let n = Array.length order in
   let assignment : (Cq.var, Canonical.element) Hashtbl.t = Hashtbl.create 16 in
@@ -95,6 +97,7 @@ let search ?(pin = []) ?(admissible = fun _ _ -> true) canon q ~on_solution =
       let v = order.(i) in
       List.iter
         (fun e ->
+          Budget.step budget;
           if (not !stop) && ok_locally v e && ok_with_assigned v e then begin
             Hashtbl.replace assignment v e;
             go (i + 1);
@@ -113,9 +116,9 @@ let find_hom ?pin ?admissible canon q =
       stop := true);
   !result
 
-let all_answer_tuples canon q =
+let all_answer_tuples ?budget canon q =
   let tuples = Hashtbl.create 16 in
-  search canon q ~on_solution:(fun assignment _stop ->
+  search ?budget canon q ~on_solution:(fun assignment _stop ->
       let tuple =
         List.map
           (fun x ->
@@ -142,16 +145,16 @@ let default_depth tbox q =
   | Obda_ontology.Tbox.Finite d -> min d base
   | Obda_ontology.Tbox.Infinite -> base
 
-let answers ?depth tbox abox q =
+let answers ?budget ?depth tbox abox q =
   let depth =
     match depth with Some d -> d | None -> default_depth tbox q
   in
-  let canon = Canonical.make tbox abox ~depth in
-  all_answer_tuples canon q
+  let canon = Canonical.make ?budget tbox abox ~depth in
+  all_answer_tuples ?budget canon q
 
-let boolean ?depth tbox abox q =
+let boolean ?budget ?depth tbox abox q =
   if not (Cq.is_boolean q) then invalid_arg "Certain.boolean: non-Boolean CQ";
-  answers ?depth tbox abox q <> []
+  answers ?budget ?depth tbox abox q <> []
 
 let certain tbox abox q tuple = List.mem tuple (answers tbox abox q)
 

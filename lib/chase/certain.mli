@@ -21,17 +21,25 @@ val find_hom :
     variables to individuals, each pinned variable to its given element, and
     every variable to an [admissible] element. *)
 
-val all_answer_tuples : Canonical.t -> Cq.t -> Symbol.t list list
+val all_answer_tuples :
+  ?budget:Obda_runtime.Budget.t -> Canonical.t -> Cq.t -> Symbol.t list list
 (** All certain answers (tuples over ind(A)), sorted and deduplicated. *)
 
-val answers : ?depth:int -> Tbox.t -> Abox.t -> Cq.t -> Symbol.t list list
+val answers :
+  ?budget:Obda_runtime.Budget.t ->
+  ?depth:int ->
+  Tbox.t ->
+  Abox.t ->
+  Cq.t ->
+  Symbol.t list list
 (** [answers T A q]: the certain answers to the OMQ (T,q) over A, computed on
     the canonical model materialised to depth
     min(depth(T), |var(q)| + |R_T|), which is sufficient; [depth] may lower
     it when a smaller bound is known.  For Boolean q the result is [[[]]] for
     "yes" and [[]] for "no". *)
 
-val boolean : ?depth:int -> Tbox.t -> Abox.t -> Cq.t -> bool
+val boolean :
+  ?budget:Obda_runtime.Budget.t -> ?depth:int -> Tbox.t -> Abox.t -> Cq.t -> bool
 (** T,A ⊨ q for Boolean q (raises [Invalid_argument] on non-Boolean q). *)
 
 val certain : Tbox.t -> Abox.t -> Cq.t -> Symbol.t list -> bool

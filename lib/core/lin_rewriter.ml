@@ -3,6 +3,8 @@ open Obda_ontology
 open Obda_cq
 module Ndl = Obda_ndl.Ndl
 module Optimize = Obda_ndl.Optimize
+module Budget = Obda_runtime.Budget
+module Error = Obda_runtime.Error
 
 let type_guard = 100_000
 
@@ -17,7 +19,8 @@ let slice_types tbox q cands vars =
     List.fold_left (fun acc l -> acc * max 1 (List.length l)) 1 per_var
   in
   if count > type_guard then
-    invalid_arg "Lin_rewriter: too many slice types (raise the depth bound?)";
+    Error.not_applicable ~algorithm:"Lin"
+      "slice type space exceeds %d (ontology too deep for this CQ)" type_guard;
   let rec product acc = function
     | [] -> [ acc ]
     | (z, ws) :: rest ->
@@ -43,14 +46,14 @@ let pair_compatible tbox q slice_n ty =
           else true)
     (Cq.atoms q)
 
-let rewrite ?root tbox q =
+let rewrite ?(budget = Budget.none) ?root tbox q =
   if not (Cq.is_tree_shaped q && Cq.is_connected q) then
-    invalid_arg "Lin_rewriter.rewrite: CQ must be tree-shaped and connected";
+    Error.not_applicable ~algorithm:"Lin" "CQ must be tree-shaped and connected";
   let d =
     match Tbox.depth tbox with
     | Tbox.Finite d -> d
     | Tbox.Infinite ->
-      invalid_arg "Lin_rewriter.rewrite: ontology of infinite depth"
+      Error.not_applicable ~algorithm:"Lin" "ontology of infinite depth"
   in
   let root =
     match root with
@@ -99,6 +102,8 @@ let rewrite ?root tbox q =
   in
   let clauses = ref [] in
   let emit head body =
+    Budget.step budget;
+    Budget.grow ~by:(1 + List.length body) budget;
     (* head variables must occur in the body; pad with active-domain atoms *)
     let body_vars = List.concat_map Ndl.atom_vars body in
     let missing =
@@ -116,6 +121,7 @@ let rewrite ?root tbox q =
       (fun w ->
         List.iter
           (fun s ->
+            Budget.step budget;
             let union =
               Cq.Var_map.union (fun _ a _ -> Some a) w s
             in

@@ -10,6 +10,13 @@
 open Obda_ontology
 open Obda_cq
 
-val rewrite : ?root:Cq.var -> Tbox.t -> Cq.t -> Obda_ndl.Ndl.query
-(** Raises [Invalid_argument] if the CQ is not tree-shaped and connected, or
-    if the ontology has infinite depth. *)
+val rewrite :
+  ?budget:Obda_runtime.Budget.t ->
+  ?root:Cq.var ->
+  Tbox.t ->
+  Cq.t ->
+  Obda_ndl.Ndl.query
+(** Raises [Obda_runtime.Error.Obda_error (Not_applicable _)] if the CQ is
+    not tree-shaped and connected, if the ontology has infinite depth, or if
+    the slice type space is too large; [Budget_exhausted] when clause
+    generation outgrows [budget]. *)

@@ -3,6 +3,8 @@ open Obda_ontology
 open Obda_cq
 module Ndl = Obda_ndl.Ndl
 module Optimize = Obda_ndl.Optimize
+module Budget = Obda_runtime.Budget
+module Error = Obda_runtime.Error
 
 let type_guard = 100_000
 
@@ -14,6 +16,7 @@ type ctx = {
   dec : Tree_decomposition.t;
   cands : Word_type.word list;
   x : Cq.var list;
+  budget : Budget.t;
   (* atom index -> bags covering it *)
   coverage : int list array;
   atoms : Cq.atom array;
@@ -97,6 +100,8 @@ let splitter ctx d =
       |> fst)
 
 let emit ctx head body =
+  Budget.step ctx.budget;
+  Budget.grow ~by:(1 + List.length body) ctx.budget;
   let body_vars = List.concat_map Ndl.atom_vars body in
   let missing =
     List.filter_map
@@ -120,7 +125,9 @@ let bag_types ctx w bag_vars =
   let count =
     List.fold_left (fun acc (_, l) -> acc * max 1 (List.length l)) 1 per_var
   in
-  if count > type_guard then invalid_arg "Log_rewriter: too many bag types";
+  if count > type_guard then
+    Error.not_applicable ~algorithm:"Log"
+      "bag type space exceeds %d (ontology too deep for this CQ)" type_guard;
   let fixed =
     List.fold_left
       (fun acc v ->
@@ -171,6 +178,7 @@ let rec pred_for ctx d w =
     let made = ref false in
     List.iter
       (fun s ->
+        Budget.step ctx.budget;
         let union = Cq.Var_map.union (fun _ a _ -> Some a) s w in
         (* one body per child subtree, if all children are productive *)
         let rec child_calls acc = function
@@ -200,14 +208,14 @@ let rec pred_for ctx d w =
     if !made then ctx.params <- Symbol.Map.add p (List.length xd) ctx.params;
     result
 
-let rewrite ?decomposition tbox q =
+let rewrite ?(budget = Budget.none) ?decomposition tbox q =
   if not (Cq.is_connected q) then
-    invalid_arg "Log_rewriter.rewrite: CQ must be connected";
+    Error.not_applicable ~algorithm:"Log" "CQ must be connected";
   let d_depth =
     match Tbox.depth tbox with
     | Tbox.Finite d -> d
     | Tbox.Infinite ->
-      invalid_arg "Log_rewriter.rewrite: ontology of infinite depth"
+      Error.not_applicable ~algorithm:"Log" "ontology of infinite depth"
   in
   let dec =
     match decomposition with
@@ -241,6 +249,7 @@ let rewrite ?decomposition tbox q =
       dec;
       cands = Word_type.candidates tbox ~max_depth:d_depth;
       x = Cq.answer_vars q;
+      budget;
       coverage;
       atoms;
       clauses = [];

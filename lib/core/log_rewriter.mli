@@ -11,6 +11,12 @@ open Obda_ontology
 open Obda_cq
 
 val rewrite :
-  ?decomposition:Tree_decomposition.t -> Tbox.t -> Cq.t -> Obda_ndl.Ndl.query
-(** Raises [Invalid_argument] if the CQ is not connected or the ontology has
-    infinite depth. *)
+  ?budget:Obda_runtime.Budget.t ->
+  ?decomposition:Tree_decomposition.t ->
+  Tbox.t ->
+  Cq.t ->
+  Obda_ndl.Ndl.query
+(** Raises [Obda_runtime.Error.Obda_error (Not_applicable _)] if the CQ is
+    not connected, the ontology has infinite depth, or the bag type space is
+    too large; [Budget_exhausted] when clause generation outgrows
+    [budget]. *)

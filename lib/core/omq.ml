@@ -6,6 +6,8 @@ open Obda_chase
 module Ndl = Obda_ndl.Ndl
 module Eval = Obda_ndl.Eval
 module Star = Obda_ndl.Star
+module Budget = Obda_runtime.Budget
+module Error = Obda_runtime.Error
 
 type t = { tbox : Tbox.t; cq : Cq.t }
 
@@ -116,35 +118,35 @@ let componentwise rewrite_one omq =
     in
     Ndl.make ~params ~goal ~goal_args clauses
 
-let rewrite ?(over = `Arbitrary) ?(consistency = false) alg omq =
+let rewrite ?budget ?(over = `Arbitrary) ?(consistency = false) alg omq =
   let base =
     match (alg, over) with
     | (Ucq | Ucq_condensed), _ ->
       (* PerfectRef rewrites over arbitrary instances natively *)
-      if alg = Ucq then Ucq_rewriter.rewrite omq.tbox omq.cq
-      else Ucq_rewriter.rewrite_condensed omq.tbox omq.cq
-    | Tw, `Complete -> componentwise (Tw_rewriter.rewrite omq.tbox) omq
-    | Lin, `Complete -> componentwise (Lin_rewriter.rewrite omq.tbox) omq
-    | Log, `Complete -> componentwise (Log_rewriter.rewrite omq.tbox) omq
+      if alg = Ucq then Ucq_rewriter.rewrite ?budget omq.tbox omq.cq
+      else Ucq_rewriter.rewrite_condensed ?budget omq.tbox omq.cq
+    | Tw, `Complete -> componentwise (Tw_rewriter.rewrite ?budget omq.tbox) omq
+    | Lin, `Complete -> componentwise (Lin_rewriter.rewrite ?budget omq.tbox) omq
+    | Log, `Complete -> componentwise (Log_rewriter.rewrite ?budget omq.tbox) omq
     | Presto_like, `Complete ->
-      componentwise (Presto_like.rewrite omq.tbox) omq
+      componentwise (Presto_like.rewrite ?budget omq.tbox) omq
     | Lin, `Arbitrary ->
       (* Lemma 3 preserves linearity per component; the conjunction clause
          joining the components is IDB-only, so it needs no transformation *)
       componentwise
         (fun c ->
           Star.complete_to_arbitrary_linear omq.tbox
-            (Lin_rewriter.rewrite omq.tbox c))
+            (Lin_rewriter.rewrite ?budget omq.tbox c))
         omq
     | Tw, `Arbitrary ->
       Star.complete_to_arbitrary omq.tbox
-        (componentwise (Tw_rewriter.rewrite omq.tbox) omq)
+        (componentwise (Tw_rewriter.rewrite ?budget omq.tbox) omq)
     | Log, `Arbitrary ->
       Star.complete_to_arbitrary omq.tbox
-        (componentwise (Log_rewriter.rewrite omq.tbox) omq)
+        (componentwise (Log_rewriter.rewrite ?budget omq.tbox) omq)
     | Presto_like, `Arbitrary ->
       Star.complete_to_arbitrary omq.tbox
-        (componentwise (Presto_like.rewrite omq.tbox) omq)
+        (componentwise (Presto_like.rewrite ?budget omq.tbox) omq)
   in
   if consistency && over = `Arbitrary then
     Consistency.guard_rewriting omq.tbox base
@@ -160,19 +162,97 @@ let all_tuples abox arity =
   in
   tuples arity
 
-let answer ?algorithm omq abox =
+let default_algorithm omq = if Cq.is_tree_shaped omq.cq then Tw else Log
+
+let inconsistent_answers ~on_inconsistent omq abox =
+  match on_inconsistent with
+  | `All_tuples -> all_tuples abox (List.length (Cq.answer_vars omq.cq))
+  | `Error ->
+    raise
+      (Error.Obda_error
+         (Error.Inconsistent_data
+            { reason = "the data violates a disjointness axiom of the ontology" }))
+
+let answer ?budget ?(on_inconsistent = `All_tuples) ?algorithm omq abox =
   let alg =
-    match algorithm with
-    | Some a -> a
-    | None -> if Cq.is_tree_shaped omq.cq then Tw else Log
+    match algorithm with Some a -> a | None -> default_algorithm omq
   in
   if not (Abox.consistent omq.tbox abox) then
-    all_tuples abox (List.length (Cq.answer_vars omq.cq))
+    inconsistent_answers ~on_inconsistent omq abox
   else
-    let q = rewrite ~over:`Arbitrary alg omq in
-    Eval.answers q abox
+    let q = rewrite ?budget ~over:`Arbitrary alg omq in
+    Eval.answers ?budget q abox
 
-let answer_certain omq abox =
+let answer_certain ?budget ?(on_inconsistent = `All_tuples) omq abox =
   if not (Abox.consistent omq.tbox abox) then
-    all_tuples abox (List.length (Cq.answer_vars omq.cq))
-  else Certain.answers omq.tbox abox omq.cq
+    inconsistent_answers ~on_inconsistent omq abox
+  else Certain.answers ?budget omq.tbox abox omq.cq
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation: an ordered chain of algorithms, each tried under a
+   fresh step/size budget (the wall-clock deadline is shared), falling
+   through on Not_applicable and Budget_exhausted. *)
+
+type attempt = { algorithm : algorithm; error : Error.t }
+
+type fallback_answer = {
+  answers : Symbol.t list list;
+  answered_by : algorithm option;
+      (** [None] when the inconsistency convention produced the answers
+          without running any rewriting *)
+  attempts : attempt list;  (** failed attempts, in chain order *)
+}
+
+let default_chain preferred =
+  let tail =
+    List.filter
+      (fun a -> a <> preferred)
+      [ Presto_like; Ucq_condensed; Ucq ]
+  in
+  preferred :: tail
+
+let answer_with_fallback ?(budget = Budget.none) ?chain
+    ?(on_inconsistent = `All_tuples) omq abox =
+  let chain =
+    match chain with
+    | Some c ->
+      if c = [] then invalid_arg "Omq.answer_with_fallback: empty chain";
+      c
+    | None -> default_chain (default_algorithm omq)
+  in
+  if not (Abox.consistent omq.tbox abox) then
+    {
+      answers = inconsistent_answers ~on_inconsistent omq abox;
+      answered_by = None;
+      attempts = [];
+    }
+  else
+    let rec try_chain attempts = function
+      | [] ->
+        (* every algorithm failed: re-raise the last error *)
+        (match attempts with
+        | { error; _ } :: _ -> raise (Error.Obda_error error)
+        | [] -> assert false)
+      | alg :: rest -> (
+        (* a fresh step/size allowance per attempt; the deadline is shared,
+           so falling back never extends the request's total time budget *)
+        let b = Budget.sub budget in
+        match
+          if not (applicable alg omq) then
+            Error.not_applicable ~algorithm:(algorithm_name alg)
+              "side conditions do not hold for this OMQ"
+          else
+            let q = rewrite ~budget:b ~over:`Arbitrary alg omq in
+            Eval.answers ~budget:b q abox
+        with
+        | answers ->
+          {
+            answers;
+            answered_by = Some alg;
+            attempts = List.rev attempts;
+          }
+        | exception Error.Obda_error ((Error.Not_applicable _ | Error.Budget_exhausted _) as error)
+          ->
+          try_chain ({ algorithm = alg; error } :: attempts) rest)
+    in
+    try_chain [] chain

@@ -43,6 +43,7 @@ val classify : t -> classification
 val pp_classification : Format.formatter -> classification -> unit
 
 val rewrite :
+  ?budget:Obda_runtime.Budget.t ->
   ?over:[ `Complete | `Arbitrary ] ->
   ?consistency:bool ->
   algorithm -> t -> Obda_ndl.Ndl.query
@@ -51,17 +52,56 @@ val rewrite :
     passed through the ∗-transformation (the linearity-preserving Lemma 3
     construction for Lin) when [`Arbitrary] is requested.
 
+    When the algorithm's side conditions fail, raises
+    [Obda_runtime.Error.Obda_error (Not_applicable _)]; when clause
+    generation outgrows [budget], [Budget_exhausted].
+
     With [~consistency:true] (and [`Arbitrary]), the ⊥-axioms of the
     ontology are compiled in following the remark at the end of Section 2:
     the program outputs every tuple over the active domain when (T,A) is
     inconsistent, so [Eval] alone computes certain answers on any data. *)
 
 val answer :
+  ?budget:Obda_runtime.Budget.t ->
+  ?on_inconsistent:[ `All_tuples | `Error ] ->
   ?algorithm:algorithm -> t -> Abox.t -> Symbol.t list list
 (** Certain answers via rewriting + NDL evaluation.  Defaults to [Tw] for
     tree-shaped CQs and [Log] otherwise.  If (T,A) is inconsistent, every
     tuple over ind(A) is returned (of the answer arity), per the convention
-    at the end of Section 2. *)
+    at the end of Section 2 — or, with [~on_inconsistent:`Error],
+    [Obda_error (Inconsistent_data _)] is raised instead. *)
 
-val answer_certain : t -> Abox.t -> Symbol.t list list
+val answer_certain :
+  ?budget:Obda_runtime.Budget.t ->
+  ?on_inconsistent:[ `All_tuples | `Error ] ->
+  t -> Abox.t -> Symbol.t list list
 (** Ground-truth answers via the canonical model (chase), for testing. *)
+
+(** {2 Graceful degradation} *)
+
+type attempt = { algorithm : algorithm; error : Obda_runtime.Error.t }
+
+type fallback_answer = {
+  answers : Symbol.t list list;
+  answered_by : algorithm option;
+      (** [None] when the inconsistency convention produced the answers
+          without running any rewriting *)
+  attempts : attempt list;  (** failed attempts, in chain order *)
+}
+
+val default_chain : algorithm -> algorithm list
+(** The preferred algorithm followed by the always-applicable baselines:
+    Presto*(TW), then the UCQ engines. *)
+
+val answer_with_fallback :
+  ?budget:Obda_runtime.Budget.t ->
+  ?chain:algorithm list ->
+  ?on_inconsistent:[ `All_tuples | `Error ] ->
+  t -> Abox.t -> fallback_answer
+(** Try each algorithm of [chain] (default
+    [default_chain] of the OMQ's preferred algorithm) in order.  An attempt
+    that raises [Not_applicable] or [Budget_exhausted] is recorded and the
+    next algorithm is tried under a fresh step/size allowance; the wall-clock
+    deadline of [budget] is shared across attempts, so fallback never
+    extends a request's total time allowance.  If every algorithm fails, the
+    last error is re-raised. *)

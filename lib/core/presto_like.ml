@@ -3,6 +3,7 @@ open Obda_ontology
 open Obda_cq
 open Obda_chase
 module Ndl = Obda_ndl.Ndl
+module Budget = Obda_runtime.Budget
 
 exception Limit_reached
 
@@ -13,11 +14,12 @@ let disjoint_atoms t1 t2 =
        t1)
 
 (* all subsets of pairwise atom-disjoint witnesses *)
-let independent_subsets ~limit witnesses =
+let independent_subsets ~budget ~limit witnesses =
   let count = ref 0 in
   let rec go chosen = function
     | [] ->
       incr count;
+      Budget.step budget;
       if !count > limit then raise Limit_reached;
       [ chosen ]
     | (t : Tree_witness.t) :: rest ->
@@ -28,7 +30,7 @@ let independent_subsets ~limit witnesses =
   in
   go [] witnesses
 
-let rewrite ?(max_subsets = 100_000) tbox q =
+let rewrite ?(budget = Budget.none) ?(max_subsets = 100_000) tbox q =
   let witnesses =
     Tree_witness.enumerate tbox q
     |> List.filter (fun (t : Tree_witness.t) -> t.roots <> [])
@@ -77,9 +79,10 @@ let rewrite ?(max_subsets = 100_000) tbox q =
       candidates
   end;
   (* one goal clause per independent set of witnesses *)
-  let subsets = independent_subsets ~limit:max_subsets witnesses in
+  let subsets = independent_subsets ~budget ~limit:max_subsets witnesses in
   List.iter
     (fun subset ->
+      Budget.grow budget;
       let covered =
         List.concat_map (fun (t : Tree_witness.t) -> t.atoms) subset
       in

@@ -12,6 +12,13 @@ open Obda_cq
 
 exception Limit_reached
 
-val rewrite : ?max_subsets:int -> Tbox.t -> Cq.t -> Obda_ndl.Ndl.query
+val rewrite :
+  ?budget:Obda_runtime.Budget.t ->
+  ?max_subsets:int ->
+  Tbox.t ->
+  Cq.t ->
+  Obda_ndl.Ndl.query
 (** Raises [Limit_reached] when more than [max_subsets] independent
-    tree-witness sets would be generated (default 100_000). *)
+    tree-witness sets would be generated (default 100_000), and
+    [Obda_runtime.Error.Obda_error (Budget_exhausted _)] when the given
+    budget is spent first. *)

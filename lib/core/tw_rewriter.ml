@@ -3,11 +3,14 @@ open Obda_ontology
 open Obda_cq
 open Obda_chase
 module Ndl = Obda_ndl.Ndl
+module Budget = Obda_runtime.Budget
+module Error = Obda_runtime.Error
 module CqMap = Map.Make (Cq)
 
 type state = {
   tbox : Tbox.t;
   x0 : Cq.var list;  (* the answer variables of the original OMQ *)
+  budget : Budget.t;
   mutable preds : Symbol.t CqMap.t;
   mutable clauses : Ndl.clause list;
   mutable params : int Symbol.Map.t;
@@ -25,7 +28,10 @@ let args_of st q =
   let ps, nps = List.partition (fun v -> List.mem v st.x0) xs in
   (nps @ ps, List.length ps)
 
-let emit st c = st.clauses <- c :: st.clauses
+let emit st c =
+  Budget.step st.budget;
+  Budget.grow ~by:(1 + List.length c.Ndl.body) st.budget;
+  st.clauses <- c :: st.clauses
 
 (* the splitting vertex z_q: a balancing existential variable (Lemma 14,
    restricted to existential candidates so that recursion always shrinks) *)
@@ -173,17 +179,18 @@ and build st q p =
         (unary_pred_candidates st q)
   end
 
-let rewrite tbox q0 =
+let rewrite ?(budget = Budget.none) tbox q0 =
   let components = Cq.connected_components q0 in
   List.iter
     (fun c ->
       if not (Cq.is_tree_shaped c) then
-        invalid_arg "Tw_rewriter.rewrite: CQ is not tree-shaped")
+        Error.not_applicable ~algorithm:"Tw" "CQ is not tree-shaped")
     components;
   let st =
     {
       tbox;
       x0 = Cq.answer_vars q0;
+      budget;
       preds = CqMap.empty;
       clauses = [];
       params = Symbol.Map.empty;

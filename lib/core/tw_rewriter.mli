@@ -10,7 +10,9 @@
 open Obda_ontology
 open Obda_cq
 
-val rewrite : Tbox.t -> Cq.t -> Obda_ndl.Ndl.query
-(** Raises [Invalid_argument] if the CQ is not tree-shaped (after taking
-    connected components; disconnected tree-shaped CQs are supported by
-    conjoining component goals). *)
+val rewrite :
+  ?budget:Obda_runtime.Budget.t -> Tbox.t -> Cq.t -> Obda_ndl.Ndl.query
+(** Raises [Obda_runtime.Error.Obda_error (Not_applicable _)] if the CQ is
+    not tree-shaped (after taking connected components; disconnected
+    tree-shaped CQs are supported by conjoining component goals), and
+    [Budget_exhausted] when clause generation outgrows [budget]. *)

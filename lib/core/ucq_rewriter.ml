@@ -2,6 +2,7 @@ open Obda_syntax
 open Obda_ontology
 open Obda_cq
 module Ndl = Obda_ndl.Ndl
+module Budget = Obda_runtime.Budget
 
 exception Limit_reached
 
@@ -150,7 +151,7 @@ let reductions w =
       | _ -> None)
     (pairs [] w.atoms)
 
-let rewrite_wcqs ?(max_cqs = 100_000) tbox q =
+let rewrite_wcqs ?(budget = Budget.none) ?(max_cqs = 100_000) tbox q =
   let counter = ref 0 in
   let seen = Hashtbl.create 256 in
   let out = ref [] in
@@ -159,6 +160,7 @@ let rewrite_wcqs ?(max_cqs = 100_000) tbox q =
     let w = canonicalize w in
     if w.atoms <> [] && not (Hashtbl.mem seen w) then begin
       if Hashtbl.length seen >= max_cqs then raise Limit_reached;
+      Budget.grow ~by:(List.length w.atoms) budget;
       Hashtbl.add seen w ();
       out := w :: !out;
       Queue.add w queue
@@ -166,6 +168,7 @@ let rewrite_wcqs ?(max_cqs = 100_000) tbox q =
   in
   push { answer = Cq.answer_vars q; atoms = Cq.atoms q };
   while not (Queue.is_empty queue) do
+    Budget.step budget;
     let w = Queue.pop queue in
     List.iter
       (fun atom -> List.iter push (atom_rewritings tbox counter w atom))
@@ -174,7 +177,7 @@ let rewrite_wcqs ?(max_cqs = 100_000) tbox q =
   done;
   List.rev !out
 
-let rewrite_cqs ?max_cqs tbox q =
+let rewrite_cqs ?budget ?max_cqs tbox q =
   List.filter_map
     (fun w ->
       (* queries whose head repeats a variable have no Cq.t form *)
@@ -184,7 +187,7 @@ let rewrite_cqs ?max_cqs tbox q =
       in
       if distinct w.answer then Some (Cq.make ~answer:w.answer w.atoms)
       else None)
-    (rewrite_wcqs ?max_cqs tbox q)
+    (rewrite_wcqs ?budget ?max_cqs tbox q)
 
 let ndl_of_wcqs q wcqs =
   let goal = Symbol.fresh "GUcq" in
@@ -206,7 +209,8 @@ let ndl_of_wcqs q wcqs =
   let params = Symbol.Map.singleton goal (List.length goal_args) in
   Ndl.make ~params ~goal ~goal_args clauses
 
-let rewrite ?max_cqs tbox q = ndl_of_wcqs q (rewrite_wcqs ?max_cqs tbox q)
+let rewrite ?budget ?max_cqs tbox q =
+  ndl_of_wcqs q (rewrite_wcqs ?budget ?max_cqs tbox q)
 
 (* ------------------------------------------------------------------ *)
 (* CQ subsumption *)
@@ -262,13 +266,14 @@ let subsumes q1 q2 =
     (Cq.answer_vars q1, Cq.atoms q1)
     (Cq.answer_vars q2, Cq.atoms q2)
 
-let condense wcqs =
+let condense ?(budget = Budget.none) wcqs =
   let arr = Array.of_list wcqs in
   let n = Array.length arr in
   let dropped = Array.make n false in
   let raw i = (arr.(i).answer, arr.(i).atoms) in
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
+      Budget.step budget;
       if i <> j && (not dropped.(i)) && not dropped.(j) then
         if subsumes_raw (raw j) (raw i) then
           if subsumes_raw (raw i) (raw j) then begin
@@ -279,5 +284,5 @@ let condense wcqs =
   done;
   Array.to_list arr |> List.filteri (fun i _ -> not dropped.(i))
 
-let rewrite_condensed ?max_cqs tbox q =
-  ndl_of_wcqs q (condense (rewrite_wcqs ?max_cqs tbox q))
+let rewrite_condensed ?budget ?max_cqs tbox q =
+  ndl_of_wcqs q (condense ?budget (rewrite_wcqs ?budget ?max_cqs tbox q))

@@ -13,17 +13,28 @@ open Obda_cq
 
 exception Limit_reached
 
-val rewrite_cqs : ?max_cqs:int -> Tbox.t -> Cq.t -> Cq.t list
+val rewrite_cqs :
+  ?budget:Obda_runtime.Budget.t -> ?max_cqs:int -> Tbox.t -> Cq.t -> Cq.t list
 (** The CQs of the UCQ-rewriting (the input CQ included) that have distinct
     answer variables; CQs where reduce unified two distinguished variables
     (they repeat a head variable) are only representable in the NDL form and
     are omitted here.  Raises [Limit_reached] beyond [max_cqs]
     (default 100_000). *)
 
-val rewrite : ?max_cqs:int -> Tbox.t -> Cq.t -> Obda_ndl.Ndl.query
+val rewrite :
+  ?budget:Obda_runtime.Budget.t ->
+  ?max_cqs:int ->
+  Tbox.t ->
+  Cq.t ->
+  Obda_ndl.Ndl.query
 (** [rewrite_cqs] as an NDL query (the Clipper* baseline). *)
 
-val rewrite_condensed : ?max_cqs:int -> Tbox.t -> Cq.t -> Obda_ndl.Ndl.query
+val rewrite_condensed :
+  ?budget:Obda_runtime.Budget.t ->
+  ?max_cqs:int ->
+  Tbox.t ->
+  Cq.t ->
+  Obda_ndl.Ndl.query
 (** Like [rewrite], but prunes CQs subsumed by another CQ of the union
     (the Rapid* baseline — Rapid performs similar minimisations). *)
 

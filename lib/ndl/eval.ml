@@ -1,5 +1,6 @@
 open Obda_syntax
 open Obda_data
+module Budget = Obda_runtime.Budget
 
 exception Timeout
 
@@ -110,11 +111,13 @@ type env = {
   domain : int array;
   domain_set : (int, unit) Hashtbl.t;
   deadline : unit -> bool;
+  budget : Budget.t;
   mutable ticks : int;
 }
 
 let tick env =
   env.ticks <- env.ticks + 1;
+  Budget.step env.budget;
   if env.ticks land 0xFFF = 0 && env.deadline () then raise Timeout
 
 let get_relation env p ~arity =
@@ -209,7 +212,7 @@ let eval_clause env target (c : Ndl.clause) =
           v)
         head
     in
-    ignore (relation_add target tuple)
+    if relation_add target tuple then Budget.grow env.budget
   in
   let rec go atoms =
     tick env;
@@ -299,8 +302,8 @@ let eval_clause env target (c : Ndl.clause) =
   in
   go body
 
-let run ?(deadline = fun () -> false) ?(edb = fun _ _ -> None)
-    ?(extra_domain = []) (q : Ndl.query) abox =
+let run ?(budget = Budget.none) ?(deadline = fun () -> false)
+    ?(edb = fun _ _ -> None) ?(extra_domain = []) (q : Ndl.query) abox =
   let order = Ndl.topo_order q in
   let idb = Ndl.idb_preds q in
   let domain =
@@ -320,6 +323,7 @@ let run ?(deadline = fun () -> false) ?(edb = fun _ _ -> None)
       domain;
       domain_set;
       deadline;
+      budget;
       ticks = 0;
     }
   in
@@ -361,7 +365,7 @@ let run ?(deadline = fun () -> false) ?(edb = fun _ _ -> None)
   in
   { answers; generated_tuples; idb_relations }
 
-let answers q abox = (run q abox).answers
+let answers ?budget q abox = (run ?budget q abox).answers
 
 let boolean q abox =
   match (run q abox).answers with [] -> false | _ :: _ -> true

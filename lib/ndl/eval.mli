@@ -24,6 +24,7 @@ type result = {
 }
 
 val run :
+  ?budget:Obda_runtime.Budget.t ->
   ?deadline:(unit -> bool) ->
   ?edb:(Symbol.t -> int -> Symbol.t list list option) ->
   ?extra_domain:Symbol.t list ->
@@ -31,11 +32,17 @@ val run :
 (** Raises [Invalid_argument] on a recursive program and [Timeout] whenever
     [deadline ()] becomes true.
 
+    [budget] is checked on every matcher step (a budget step per visited
+    search node, a size unit per materialised tuple); exhaustion raises
+    [Obda_runtime.Error.Obda_error (Budget_exhausted _)].  The legacy
+    [deadline] thunk is kept for callers that manage their own clock.
+
     [edb] supplies tuples for extensional predicates not stored in the ABox
     (e.g. the n-ary relations of a mapped data source); it is consulted
     first, with the ABox as fallback.  [extra_domain] extends the active
     domain (⊤) beyond ind(A). *)
 
-val answers : Ndl.query -> Abox.t -> Symbol.t list list
+val answers :
+  ?budget:Obda_runtime.Budget.t -> Ndl.query -> Abox.t -> Symbol.t list list
 val boolean : Ndl.query -> Abox.t -> bool
 (** For a 0-ary goal: whether the goal is derivable. *)

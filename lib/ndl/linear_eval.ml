@@ -1,10 +1,13 @@
 open Obda_syntax
 open Obda_data
+module Budget = Obda_runtime.Budget
+module Error = Obda_runtime.Error
 
 type ground = Symbol.t * int list
 
 (* backtracking matcher for a conjunction of EDB atoms over the data *)
-let rec solutions abox domain env atoms k =
+let rec solutions ?(budget = Budget.none) abox domain env atoms k =
+  Budget.step budget;
   match atoms with
   | [] -> k env
   | _ ->
@@ -29,7 +32,7 @@ let rec solutions abox domain env atoms k =
       | Ndl.Var v -> List.assoc_opt v env
       | Ndl.Cst c -> Some (c :> int)
     in
-    let continue_with env = solutions abox domain env rest k in
+    let continue_with env = solutions ~budget abox domain env rest k in
     let bind env t c =
       match t with
       | Ndl.Cst c' -> if (c' :> int) = c then Some env else None
@@ -119,9 +122,9 @@ let ground_head env (p, ts) : ground =
           | None -> invalid_arg "Linear_eval: unsafe head variable"))
       ts )
 
-let run (q : Ndl.query) abox =
+let run ?(budget = Budget.none) (q : Ndl.query) abox =
   if not (Ndl.is_linear q) then
-    invalid_arg "Linear_eval: program is not linear";
+    Error.not_applicable ~algorithm:"Linear_eval" "program is not linear";
   let idb = Ndl.idb_preds q in
   let domain =
     List.map (fun (c : Abox.const) -> (c :> int)) (Abox.individuals abox)
@@ -151,6 +154,7 @@ let run (q : Ndl.query) abox =
   let sources = ref 0 in
   let push g =
     if not (Hashtbl.mem reached g) then begin
+      Budget.grow budget;
       Hashtbl.add reached g ();
       Queue.add g queue
     end
@@ -158,12 +162,13 @@ let run (q : Ndl.query) abox =
   (* the set X: heads of IDB-free ground clauses *)
   List.iter
     (fun (c : Ndl.clause) ->
-      solutions abox domain [] c.Ndl.body (fun env ->
+      solutions ~budget abox domain [] c.Ndl.body (fun env ->
           incr sources;
           push (ground_head env c.Ndl.head)))
     !source_clauses;
   (* forward reachability *)
   while not (Queue.is_empty queue) do
+    Budget.step budget;
     let p, args = Queue.pop queue in
     List.iter
       (fun ((c : Ndl.clause), atom) ->
@@ -186,7 +191,7 @@ let run (q : Ndl.query) abox =
           | None -> ()
           | Some env ->
             let _, edb = split_body c in
-            solutions abox domain env edb (fun env' ->
+            solutions ~budget abox domain env edb (fun env' ->
                 incr edges;
                 push (ground_head env' c.Ndl.head)))
         | Ndl.Eq _ | Ndl.Dom _ -> assert false)
@@ -194,8 +199,8 @@ let run (q : Ndl.query) abox =
   done;
   (reached, !edges, !sources)
 
-let answers q abox =
-  let reached, _, _ = run q abox in
+let answers ?budget q abox =
+  let reached, _, _ = run ?budget q abox in
   Hashtbl.fold
     (fun (p, args) () acc ->
       if Symbol.equal p q.Ndl.goal then args :: acc else acc)

@@ -12,8 +12,11 @@
 open Obda_syntax
 open Obda_data
 
-val answers : Ndl.query -> Abox.t -> Symbol.t list list
-(** Raises [Invalid_argument] if the program is not linear. *)
+val answers :
+  ?budget:Obda_runtime.Budget.t -> Ndl.query -> Abox.t -> Symbol.t list list
+(** Raises [Obda_runtime.Error.Obda_error (Not_applicable _)] if the program
+    is not linear, and [Budget_exhausted] when the reachability frontier
+    outgrows the given budget. *)
 
 type graph_stats = {
   vertices : int;  (** ground IDB atoms considered *)

@@ -3,10 +3,43 @@ open Obda_ontology
 open Obda_cq
 open Obda_data
 
-exception Parse_error of string
+module Error = Obda_runtime.Error
 
-let fail line fmt =
-  Format.kasprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s))) fmt
+let fail line fmt = Error.parse_error ~line fmt
+let fail_at line column fmt = Error.parse_error ~line ~column fmt
+
+let lines_of s = String.split_on_char '\n' s
+
+(* Annotate parse errors escaping [f] with the file name and the verbatim
+   offending line, neither of which the line-level parsers know about.
+   [Invalid_argument] from the AST smart constructors (duplicate answer
+   variables in [Cq.make], clashing arities in [Tbox.make]…) is an input
+   problem too, so it joins the parse class rather than escaping as an
+   internal error. *)
+let with_source ?file s f =
+  try f () with
+  | Error.Obda_error (Error.Parse_error { loc; msg; source_line }) ->
+    let source_line =
+      match source_line with
+      | Some _ as sl -> sl
+      | None -> (
+        match List.nth_opt (lines_of s) (loc.Error.line - 1) with
+        | Some l when String.trim l <> "" -> Some l
+        | _ -> None)
+    in
+    let file = match loc.Error.file with Some _ as f -> f | None -> file in
+    raise
+      (Error.Obda_error
+         (Error.Parse_error { loc = { loc with Error.file }; msg; source_line }))
+  | Invalid_argument msg ->
+    raise
+      (Error.Obda_error
+         (Error.Parse_error
+            {
+              loc = { Error.file; line = 0; column = None };
+              msg;
+              source_line = None;
+            }))
 
 (* ------------------------------------------------------------------ *)
 (* Lexer *)
@@ -54,7 +87,7 @@ let tokenize_line line_no s =
         let word = String.sub s i (j - i) in
         let tok = if word = "_" then Underscore else Ident word in
         go j (tok :: acc)
-      | c -> fail line_no "unexpected character %c" c
+      | c -> fail_at line_no (i + 1) "unexpected character '%c'" c
   in
   go 0 []
 
@@ -174,9 +207,8 @@ let axiom_of_line line toks =
           | _ -> fail line "malformed axiom")))
     | _ -> fail line "malformed axiom")
 
-let lines_of s = String.split_on_char '\n' s
-
-let ontology_of_string s =
+let ontology_of_string ?file s =
+  with_source ?file s @@ fun () ->
   let axioms =
     List.concat
       (List.mapi
@@ -190,7 +222,8 @@ let ontology_of_string s =
 (* ------------------------------------------------------------------ *)
 (* Query *)
 
-let query_of_string s =
+let query_of_string ?file s =
+  with_source ?file s @@ fun () ->
   let toks =
     List.concat (List.mapi (fun i line -> tokenize_line (i + 1) line) (lines_of s))
   in
@@ -229,7 +262,8 @@ let query_of_string s =
 (* ------------------------------------------------------------------ *)
 (* Data *)
 
-let data_of_string s =
+let data_of_string ?file s =
+  with_source ?file s @@ fun () ->
   let a = Abox.create () in
   List.iteri
     (fun i line ->
@@ -253,7 +287,8 @@ let data_of_string s =
 (* Mappings and sources *)
 
 (* one rule per line: Head(vars) <- src1(args), src2(args), ... *)
-let mapping_of_string s =
+let mapping_of_string ?file s =
+  with_source ?file s @@ fun () ->
   let module Ndl = Obda_ndl.Ndl in
   let rule_of_line line_no toks =
     match toks with
@@ -310,7 +345,8 @@ let mapping_of_string s =
        (lines_of s))
 
 (* n-ary ground rows; reuse the tokenizer but allow any arity *)
-let source_of_string s =
+let source_of_string ?file s =
+  with_source ?file s @@ fun () ->
   let src = Obda_mapping.Source.create () in
   List.iteri
     (fun i line ->
@@ -337,17 +373,27 @@ let source_of_string s =
 (* Files *)
 
 let read_file path =
-  let ic = open_in path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  match open_in path with
+  | exception Sys_error msg ->
+    raise
+      (Error.Obda_error
+         (Error.Parse_error
+            {
+              loc = { Error.file = Some path; line = 0; column = None };
+              msg;
+              source_line = None;
+            }))
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
 
-let ontology_of_file path = ontology_of_string (read_file path)
-let mapping_of_file path = mapping_of_string (read_file path)
-let source_of_file path = source_of_string (read_file path)
-let query_of_file path = query_of_string (read_file path)
-let data_of_file path = data_of_string (read_file path)
+let ontology_of_file path = ontology_of_string ~file:path (read_file path)
+let mapping_of_file path = mapping_of_string ~file:path (read_file path)
+let source_of_file path = source_of_string ~file:path (read_file path)
+let query_of_file path = query_of_string ~file:path (read_file path)
+let data_of_file path = data_of_string ~file:path (read_file path)
 
 (* ------------------------------------------------------------------ *)
 (* Printers *)

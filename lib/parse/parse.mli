@@ -24,22 +24,27 @@ open Obda_ontology
 open Obda_cq
 open Obda_data
 
-exception Parse_error of string
-(** Carries a message with a line number. *)
+(** All parsers report failures by raising
+    [Obda_runtime.Error.Obda_error (Parse_error _)] with a 1-based line
+    (and, for lexical errors, column) location.  The [?file] argument and
+    the verbatim offending line are recorded in the payload so the CLI can
+    print a caret diagnostic.  Arity clashes and malformed query heads
+    detected by the AST smart constructors are reported as parse errors
+    too. *)
 
-val ontology_of_string : string -> Tbox.t
-val query_of_string : string -> Cq.t
-val data_of_string : string -> Abox.t
+val ontology_of_string : ?file:string -> string -> Tbox.t
+val query_of_string : ?file:string -> string -> Cq.t
+val data_of_string : ?file:string -> string -> Abox.t
 val ontology_of_file : string -> Tbox.t
 val query_of_file : string -> Cq.t
 val data_of_file : string -> Abox.t
 
-val mapping_of_string : string -> Obda_mapping.Mapping.t
+val mapping_of_string : ?file:string -> string -> Obda_mapping.Mapping.t
 (** Mapping files: one GAV rule per line,
     {v Employee(x) <- employees(x,n,d,m)
        worksOn(x,p) <- contracts(x,p,r) v} *)
 
-val source_of_string : string -> Obda_mapping.Source.t
+val source_of_string : ?file:string -> string -> Obda_mapping.Source.t
 (** Source files: whitespace-separated ground rows of any arity:
     {v employees(e1,ada,research,e2). contracts(e1,warp,lead) v} *)
 

@@ -1,0 +1,63 @@
+type t = {
+  deadline : float option;  (* absolute, Unix.gettimeofday *)
+  timeout_ms : int;  (* original allowance, for error reports *)
+  max_steps : int option;
+  max_size : int option;
+  mutable steps : int;
+  mutable size : int;
+}
+
+(* consult the wall clock only every [mask + 1] steps *)
+let mask = 0x3FF
+
+let create ?timeout ?max_steps ?max_size () =
+  let deadline, timeout_ms =
+    match timeout with
+    | Some s -> (Some (Unix.gettimeofday () +. s), int_of_float (s *. 1000.))
+    | None -> (None, 0)
+  in
+  { deadline; timeout_ms; max_steps; max_size; steps = 0; size = 0 }
+
+let none =
+  {
+    deadline = None;
+    timeout_ms = 0;
+    max_steps = None;
+    max_size = None;
+    steps = 0;
+    size = 0;
+  }
+
+let is_limited b =
+  b.deadline <> None || b.max_steps <> None || b.max_size <> None
+
+let sub b = { b with steps = 0; size = 0 }
+
+let exhausted resource spent limit =
+  raise (Error.Obda_error (Error.Budget_exhausted { resource; spent; limit }))
+
+let check_deadline b =
+  match b.deadline with
+  | Some d ->
+    let now = Unix.gettimeofday () in
+    if now > d then
+      exhausted Error.Wall_clock
+        (b.timeout_ms + int_of_float ((now -. d) *. 1000.))
+        b.timeout_ms
+  | None -> ()
+
+let step b =
+  b.steps <- b.steps + 1;
+  (match b.max_steps with
+  | Some limit -> if b.steps > limit then exhausted Error.Steps b.steps limit
+  | None -> ());
+  if b.steps land mask = 0 then check_deadline b
+
+let grow ?(by = 1) b =
+  b.size <- b.size + by;
+  match b.max_size with
+  | Some limit -> if b.size > limit then exhausted Error.Size b.size limit
+  | None -> ()
+
+let steps_spent b = b.steps
+let size_spent b = b.size

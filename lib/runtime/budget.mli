@@ -1,0 +1,47 @@
+(** Per-request resource budgets.
+
+    A budget is created once per request (CLI invocation, server request,
+    bench row) and threaded through the hot loops of the pipeline: chase
+    materialisation, clause generation in the rewriters, and NDL fixpoint
+    evaluation.  Each loop iteration calls {!step}; each unit of output
+    (clause, tuple, chase element) calls {!grow}.  Both are cheap: the step
+    counter is a single increment, and the wall clock is only consulted
+    every [2^10] steps.
+
+    Exhaustion raises
+    [Error.Obda_error (Error.Budget_exhausted _)] so a runaway rewriting or
+    evaluation terminates promptly instead of hanging or exhausting
+    memory. *)
+
+type t
+
+val create : ?timeout:float -> ?max_steps:int -> ?max_size:int -> unit -> t
+(** [timeout] is a wall-clock allowance in seconds, converted to an absolute
+    deadline at creation time.  Omitted resources are unlimited. *)
+
+val none : t
+(** A shared budget with no limits; threading [none] never raises.  This is
+    the default of every [?budget] parameter in the pipeline. *)
+
+val is_limited : t -> bool
+
+val sub : t -> t
+(** A fresh budget for one attempt of a fallback chain: the step and size
+    counters restart from zero with the same limits, but the absolute
+    wall-clock deadline is shared with the parent, so retrying a request
+    never extends its total time allowance. *)
+
+val step : t -> unit
+(** Count one unit of work; raises [Budget_exhausted] when the step budget
+    is spent or (checked every 1024 steps) the deadline has passed. *)
+
+val grow : ?by:int -> t -> unit
+(** Count [by] (default 1) units of output; raises [Budget_exhausted] when
+    the output-size cap is exceeded. *)
+
+val check_deadline : t -> unit
+(** Consult the wall clock immediately (for coarse-grained loops whose
+    iterations are individually expensive). *)
+
+val steps_spent : t -> int
+val size_spent : t -> int

@@ -1,0 +1,80 @@
+type resource = Wall_clock | Steps | Size
+
+type location = { file : string option; line : int; column : int option }
+
+type t =
+  | Parse_error of {
+      loc : location;
+      msg : string;
+      source_line : string option;
+    }
+  | Not_applicable of { algorithm : string; reason : string }
+  | Budget_exhausted of { resource : resource; spent : int; limit : int }
+  | Inconsistent_data of { reason : string }
+  | Internal of string
+
+exception Obda_error of t
+
+let parse_error ?file ?column ?source_line ~line fmt =
+  Format.kasprintf
+    (fun msg ->
+      raise
+        (Obda_error
+           (Parse_error { loc = { file; line; column }; msg; source_line })))
+    fmt
+
+let not_applicable ~algorithm fmt =
+  Format.kasprintf
+    (fun reason -> raise (Obda_error (Not_applicable { algorithm; reason })))
+    fmt
+
+let internal fmt =
+  Format.kasprintf (fun msg -> raise (Obda_error (Internal msg))) fmt
+
+let exit_code = function
+  | Parse_error _ -> 2
+  | Not_applicable _ -> 3
+  | Budget_exhausted _ -> 4
+  | Inconsistent_data _ -> 5
+  | Internal _ -> 1
+
+let class_name = function
+  | Parse_error _ -> "parse"
+  | Not_applicable _ -> "not-applicable"
+  | Budget_exhausted _ -> "budget"
+  | Inconsistent_data _ -> "inconsistent"
+  | Internal _ -> "internal"
+
+let resource_name = function
+  | Wall_clock -> "wall-clock-ms"
+  | Steps -> "steps"
+  | Size -> "size"
+
+let to_string e =
+  match e with
+  | Parse_error { loc; msg; _ } ->
+    let file = match loc.file with Some f -> Printf.sprintf " file=%s" f | None -> "" in
+    let line = if loc.line > 0 then Printf.sprintf " line=%d" loc.line else "" in
+    let col =
+      match loc.column with Some c -> Printf.sprintf " column=%d" c | None -> ""
+    in
+    Printf.sprintf "class=parse%s%s%s msg=%S" file line col msg
+  | Not_applicable { algorithm; reason } ->
+    Printf.sprintf "class=not-applicable algorithm=%s reason=%S" algorithm reason
+  | Budget_exhausted { resource; spent; limit } ->
+    Printf.sprintf "class=budget resource=%s spent=%d limit=%d"
+      (resource_name resource) spent limit
+  | Inconsistent_data { reason } ->
+    Printf.sprintf "class=inconsistent reason=%S" reason
+  | Internal msg -> Printf.sprintf "class=internal msg=%S" msg
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let of_exn = function
+  | Obda_error e -> Some e
+  | Invalid_argument msg | Failure msg -> Some (Internal msg)
+  | _ -> None
+
+let protect f =
+  try Ok (f ())
+  with exn -> ( match of_exn exn with Some e -> Error e | None -> raise exn)

@@ -1,0 +1,71 @@
+(** The typed error taxonomy of the OBDA pipeline.
+
+    Every failure the public API can signal is one of the constructors of
+    [t], carried by the single exception [Obda_error].  Callers that need
+    structured recovery (the CLI, the fallback chain in [Omq], the bench
+    harness) match on the payload; nothing in the pipeline raises bare
+    [Failure]/[Invalid_argument] for an input-dependent condition. *)
+
+type resource =
+  | Wall_clock  (** [spent]/[limit] in milliseconds *)
+  | Steps  (** work units counted by [Budget.step] *)
+  | Size  (** output atoms/tuples counted by [Budget.grow] *)
+
+type location = {
+  file : string option;
+  line : int;  (** 1-based; 0 when the line is unknown (whole-file errors) *)
+  column : int option;  (** 1-based *)
+}
+
+type t =
+  | Parse_error of {
+      loc : location;
+      msg : string;
+      source_line : string option;  (** the offending input line, verbatim *)
+    }
+  | Not_applicable of { algorithm : string; reason : string }
+      (** the algorithm's side conditions (tree shape, finite depth, bounded
+          type space…) do not hold for this OMQ *)
+  | Budget_exhausted of { resource : resource; spent : int; limit : int }
+  | Inconsistent_data of { reason : string }
+  | Internal of string
+
+exception Obda_error of t
+
+val parse_error :
+  ?file:string ->
+  ?column:int ->
+  ?source_line:string ->
+  line:int ->
+  ('a, Format.formatter, unit, 'b) format4 ->
+  'a
+(** Raise [Obda_error (Parse_error _)] with a formatted message. *)
+
+val not_applicable :
+  algorithm:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val internal : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val exit_code : t -> int
+(** The CLI exit code of each class: parse = 2, not applicable = 3, budget
+    exhausted = 4, inconsistent data = 5, internal = 1. *)
+
+val class_name : t -> string
+(** Short class slug: ["parse"], ["not-applicable"], ["budget"],
+    ["inconsistent"], ["internal"]. *)
+
+val resource_name : resource -> string
+
+val to_string : t -> string
+(** Machine-readable one-line rendering:
+    [class=parse file=q.cq line=3 column=7 msg="unexpected character '%'"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_exn : exn -> t option
+(** Map an arbitrary exception onto the taxonomy: [Obda_error] payloads pass
+    through, [Invalid_argument]/[Failure] become [Internal], everything else
+    is [None]. *)
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** Run a thunk, catching everything [of_exn] recognises. *)

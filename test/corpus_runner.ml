@@ -1,0 +1,45 @@
+(* Drives the obda CLI over the exit-code corpus: every MANIFEST line is
+   [<expected-exit> <arguments>]; a case fails when the observed exit code
+   differs — in particular, an uncaught exception (exit 2 from the OCaml
+   runtime with a backtrace) shows up as a mismatch on the 0/3/4/5 cases.
+
+   Usage: corpus_runner <obda-exe> <corpus-dir> *)
+
+let () =
+  if Array.length Sys.argv <> 3 then begin
+    prerr_endline "usage: corpus_runner <obda-exe> <corpus-dir>";
+    exit 2
+  end;
+  let exe = Sys.argv.(1) and dir = Sys.argv.(2) in
+  let ic = open_in (Filename.concat dir "MANIFEST") in
+  let total = ref 0 and failures = ref 0 in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then begin
+         incr total;
+         match String.index_opt line ' ' with
+         | None ->
+           Printf.printf "FAIL (malformed manifest line): %s\n%!" line;
+           incr failures
+         | Some i ->
+           let expected = int_of_string (String.sub line 0 i) in
+           let args = String.sub line (i + 1) (String.length line - i - 1) in
+           let cmd =
+             Printf.sprintf "%s %s >/dev/null 2>/dev/null" (Filename.quote exe)
+               args
+           in
+           let code = Sys.command cmd in
+           if code = expected then
+             Printf.printf "ok   (exit %d): obda %s\n%!" code args
+           else begin
+             Printf.printf "FAIL (exit %d, want %d): obda %s\n%!" code expected
+               args;
+             incr failures
+           end
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Printf.printf "corpus: %d cases, %d failures\n%!" !total !failures;
+  exit (if !failures = 0 then 0 else 1)

@@ -85,7 +85,8 @@ let test_parse_errors () =
     try
       ignore (f ());
       false
-    with Parse.Parse_error _ -> true
+    with
+    | Obda_runtime.Error.Obda_error (Obda_runtime.Error.Parse_error _) -> true
   in
   check "garbage rejected" true
     (fails (fun () -> Parse.ontology_of_string "A(x) ->"));
@@ -133,7 +134,9 @@ let test_parse_mapping_errors () =
     try
       ignore (f ());
       false
-    with Parse.Parse_error _ | Invalid_argument _ -> true
+    with
+    | Obda_runtime.Error.Obda_error (Obda_runtime.Error.Parse_error _)
+    | Invalid_argument _ -> true
   in
   check "missing arrow" true
     (fails (fun () -> Parse.mapping_of_string "Employee(x) employees(x)"));

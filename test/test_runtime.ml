@@ -1,0 +1,392 @@
+(* The resource-governed execution layer: typed parse errors over a
+   malformed-input corpus, budget exhaustion in the chase / rewriting /
+   evaluation loops, and the graceful-degradation chain of Omq. *)
+
+open Obda_syntax
+open Obda_ontology
+open Obda_cq
+open Obda_parse
+module Error = Obda_runtime.Error
+module Budget = Obda_runtime.Budget
+module Omq = Obda_rewriting.Omq
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let sym s = Symbol.intern s
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Typed parse errors on malformed input *)
+
+let parse_error_of f =
+  match f () with
+  | _ -> None
+  | exception Error.Obda_error (Error.Parse_error { loc; msg; source_line }) ->
+    Some (loc, msg, source_line)
+  | exception _ -> None
+
+let test_malformed_corpus () =
+  (* each case: description, thunk, expected (line, column option) *)
+  let cases =
+    [
+      ( "bad token",
+        (fun () -> ignore (Parse.ontology_of_string "A(x) -> %B(x)\n")),
+        Some (1, Some 9) );
+      ( "bad token, later line",
+        (fun () ->
+          ignore (Parse.ontology_of_string "A(x) -> B(x)\nB(x) -> C(x)!\n")),
+        Some (2, Some 13) );
+      ( "truncated axiom",
+        (fun () -> ignore (Parse.ontology_of_string "A(x) ->\n")),
+        Some (1, None) );
+      ( "arity clash in one axiom",
+        (fun () -> ignore (Parse.ontology_of_string "A(x,y,z) -> B(x)\n")),
+        Some (1, None) );
+      ( "dangling inverse role",
+        (fun () -> ignore (Parse.ontology_of_string "P(x,y) -> R(y,\n")),
+        Some (1, None) );
+      ( "truncated query",
+        (fun () -> ignore (Parse.query_of_string "q(x) <- R(x,")),
+        Some (1, None) );
+      ( "query keyword misuse",
+        (fun () -> ignore (Parse.query_of_string "q(x) <- false")),
+        Some (1, None) );
+      ( "non-ground fact",
+        (fun () -> ignore (Parse.data_of_string "A(a)\nR(b,_)\n")),
+        Some (2, None) );
+      ( "truncated source row",
+        (fun () -> ignore (Parse.source_of_string "t(a,")),
+        Some (1, None) );
+      ( "mapping without arrow",
+        (fun () -> ignore (Parse.mapping_of_string "Employee(x) employees(x)")),
+        Some (1, None) );
+    ]
+  in
+  List.iter
+    (fun (name, thunk, expected) ->
+      match (parse_error_of thunk, expected) with
+      | Some (loc, msg, source_line), Some (line, col) ->
+        let e = Error.Parse_error { loc; msg; source_line } in
+        check_int (name ^ ": line") line loc.Error.line;
+        (match col with
+        | Some c -> check (name ^ ": column") true (loc.Error.column = Some c)
+        | None -> ());
+        check_str (name ^ ": class slug") "parse" (Error.class_name e);
+        check_int (name ^ ": exit code") 2 (Error.exit_code e)
+      | None, Some _ -> Alcotest.failf "%s: expected a typed parse error" name
+      | _, None -> ())
+    cases
+
+let test_parse_error_payload () =
+  (* file name and the verbatim offending line are recorded *)
+  match
+    parse_error_of (fun () ->
+        ignore (Parse.ontology_of_string ~file:"bad.onto" "A(x) -> ?B(x)\n"))
+  with
+  | None -> Alcotest.fail "expected a parse error"
+  | Some (loc, msg, source_line) ->
+    check "file recorded" true (loc.Error.file = Some "bad.onto");
+    check "source line recorded" true (source_line = Some "A(x) -> ?B(x)");
+    let s = Error.to_string (Error.Parse_error { loc; msg; source_line }) in
+    check "machine line has class" true (contains s "class=parse");
+    check "machine line has file" true (contains s "file=bad.onto")
+
+let test_duplicate_answer_vars_are_parse_errors () =
+  (* Cq.make rejects duplicated answer variables with Invalid_argument; the
+     parser converts that to the parse class so the CLI exits 2, not 1 *)
+  match parse_error_of (fun () -> ignore (Parse.query_of_string "q(x,x) <- A(x)")) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a typed parse error"
+
+(* ------------------------------------------------------------------ *)
+(* Budgets *)
+
+let deep_tbox () =
+  (* A ⊑ ∃R, ∃R⁻ ⊑ A: the canonical model is an infinite R-chain *)
+  Tbox.make
+    [
+      Tbox.Concept_incl
+        (Concept.Name (sym "A"), Concept.Exists (Role.of_string "R"));
+      Tbox.Concept_incl
+        (Concept.Exists (Role.of_string "R-"), Concept.Name (sym "A"));
+    ]
+
+let budget_error f =
+  match f () with
+  | _ -> None
+  | exception Error.Obda_error ((Error.Budget_exhausted _) as e) -> Some e
+  | exception _ -> None
+
+let test_chase_step_budget () =
+  let tbox = deep_tbox () in
+  let abox = Obda_data.Abox.create () in
+  Obda_data.Abox.add_unary abox (sym "A") (sym "a");
+  let budget = Budget.create ~max_steps:50 () in
+  match
+    budget_error (fun () ->
+        Obda_chase.Canonical.make ~budget tbox abox ~depth:10_000)
+  with
+  | Some (Error.Budget_exhausted { resource = Error.Steps; spent; limit }) ->
+    check_int "limit echoed" 50 limit;
+    check "stopped promptly" true (spent <= limit + 1)
+  | _ -> Alcotest.fail "expected Budget_exhausted {resource = Steps}"
+
+let test_chase_size_budget () =
+  let tbox = deep_tbox () in
+  let abox = Obda_data.Abox.create () in
+  Obda_data.Abox.add_unary abox (sym "A") (sym "a");
+  let budget = Budget.create ~max_size:20 () in
+  match
+    budget_error (fun () ->
+        Obda_chase.Canonical.make ~budget tbox abox ~depth:10_000)
+  with
+  | Some (Error.Budget_exhausted { resource = Error.Size; _ }) -> ()
+  | _ -> Alcotest.fail "expected Budget_exhausted {resource = Size}"
+
+let test_deadline_budget () =
+  (* an already-expired deadline fires within one check interval (1024
+     steps), without waiting for the step or size caps *)
+  let budget = Budget.create ~timeout:0.0 () in
+  let fired = ref false in
+  (try
+     for _ = 1 to 5000 do
+       Budget.step budget
+     done
+   with Error.Obda_error (Error.Budget_exhausted { resource = Error.Wall_clock; _ })
+   -> fired := true);
+  check "expired deadline detected" true !fired
+
+let test_rewriter_budget () =
+  let tbox = deep_tbox () in
+  let q =
+    Cq.make ~answer:[ "x" ]
+      [ Cq.Binary (sym "R", "x", "y"); Cq.Unary (sym "A", "y") ]
+  in
+  let omq = Omq.make tbox q in
+  (* unbudgeted baseline works *)
+  check "Tw rewriting exists" true
+    (Obda_ndl.Ndl.num_clauses (Omq.rewrite Omq.Tw omq) > 0);
+  match
+    budget_error (fun () ->
+        Omq.rewrite ~budget:(Budget.create ~max_steps:1 ()) Omq.Tw omq)
+  with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected the Tw rewriter to hit a 1-step budget"
+
+let test_eval_budget () =
+  let tbox = Tbox.make [] in
+  let q =
+    Cq.make ~answer:[ "x"; "z" ]
+      [ Cq.Binary (sym "R", "x", "y"); Cq.Binary (sym "R", "y", "z") ]
+  in
+  let omq = Omq.make tbox q in
+  let abox = Obda_data.Abox.create () in
+  for i = 0 to 40 do
+    for j = 0 to 40 do
+      if (i + j) mod 3 = 0 then
+        Obda_data.Abox.add_binary abox (sym "R")
+          (sym (Printf.sprintf "c%d" i))
+          (sym (Printf.sprintf "c%d" j))
+    done
+  done;
+  let unbudgeted = Omq.answer ~algorithm:Omq.Tw omq abox in
+  check "unbudgeted evaluation answers" true (unbudgeted <> []);
+  match
+    budget_error (fun () ->
+        Omq.answer
+          ~budget:(Budget.create ~max_steps:100 ())
+          ~algorithm:Omq.Tw omq abox)
+  with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected evaluation to hit a 100-step budget"
+
+let test_sub_budget_shares_deadline () =
+  (* a step cap far beyond the 1024-step clock-check interval, so the
+     expired shared deadline is what fires in the child *)
+  let b = Budget.create ~timeout:0.0 ~max_steps:100_000 () in
+  let child = Budget.sub b in
+  let fired = ref false in
+  (try
+     for _ = 1 to 5000 do
+       Budget.step child
+     done
+   with
+   | Error.Obda_error (Error.Budget_exhausted { resource = Error.Wall_clock; _ })
+   -> fired := true);
+  check "sub-budget inherits the parent deadline" true !fired;
+  (* but counters restart: a fresh sub-budget of an unlimited-clock parent
+     can spend its full step allowance again *)
+  let b = Budget.create ~max_steps:10 () in
+  (try
+     for _ = 1 to 10 do
+       Budget.step b
+     done
+   with _ -> Alcotest.fail "parent should afford 10 steps");
+  check_int "parent spent" 10 (Budget.steps_spent b);
+  let child = Budget.sub b in
+  check_int "child counters restart" 0 (Budget.steps_spent child)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation *)
+
+let cyclic_omq () =
+  let tbox =
+    Tbox.make
+      [
+        Tbox.Role_incl (Role.of_string "P", Role.of_string "R");
+        Tbox.Concept_incl
+          (Concept.Name (sym "A"), Concept.Exists (Role.of_string "R"));
+      ]
+  in
+  (* a triangle: not tree-shaped, so Tw / Presto* are not applicable *)
+  let q =
+    Cq.make ~answer:[ "x" ]
+      [
+        Cq.Binary (sym "R", "x", "y");
+        Cq.Binary (sym "R", "y", "z");
+        Cq.Binary (sym "R", "z", "x");
+      ]
+  in
+  Omq.make tbox q
+
+let triangle_abox () =
+  let abox = Obda_data.Abox.create () in
+  Obda_data.Abox.add_binary abox (sym "P") (sym "a") (sym "b");
+  Obda_data.Abox.add_binary abox (sym "R") (sym "b") (sym "c");
+  Obda_data.Abox.add_binary abox (sym "P") (sym "c") (sym "a");
+  abox
+
+let test_fallback_recovers () =
+  let omq = cyclic_omq () in
+  let abox = triangle_abox () in
+  let r = Omq.answer_with_fallback ~chain:[ Omq.Tw; Omq.Ucq ] omq abox in
+  check "fell through to UCQ" true (r.Omq.answered_by = Some Omq.Ucq);
+  check_int "one failed attempt" 1 (List.length r.Omq.attempts);
+  (match r.Omq.attempts with
+  | [ { Omq.algorithm = Omq.Tw; error = Error.Not_applicable _ } ] -> ()
+  | _ -> Alcotest.fail "expected the Tw attempt to fail as not-applicable");
+  check "answers found" true (r.Omq.answers <> []);
+  (* the fallback answers agree with the chase ground truth *)
+  let expected = List.sort compare (Omq.answer_certain omq abox) in
+  check "agrees with certain answers" true
+    (List.sort compare r.Omq.answers = expected)
+
+let test_default_chain_covers_every_omq () =
+  let omq = cyclic_omq () in
+  let abox = triangle_abox () in
+  (* no explicit chain: the default one must route around Tw by itself *)
+  let r = Omq.answer_with_fallback omq abox in
+  check "answered" true (r.Omq.answered_by <> None);
+  check "not by a tree-witness algorithm" true
+    (r.Omq.answered_by <> Some Omq.Tw && r.Omq.answered_by <> Some Omq.Presto_like)
+
+let test_fallback_reports_budget_failures () =
+  (* applicable algorithm, hopeless budget: the chain records the budget
+     failure of the first attempt and answers with the second (which gets a
+     fresh step allowance) — here both get no step cap because only wall
+     clock is limited, so instead cap steps and rely on the UCQ engine
+     being cheaper than the step cap on this tiny input *)
+  let omq = cyclic_omq () in
+  let abox = triangle_abox () in
+  match
+    Omq.answer_with_fallback
+      ~budget:(Budget.create ~max_steps:2 ())
+      ~chain:[ Omq.Ucq_condensed; Omq.Ucq ] omq abox
+  with
+  | r ->
+    (* whichever attempt answered, every recorded failure must be typed *)
+    List.iter
+      (fun (a : Omq.attempt) ->
+        match a.Omq.error with
+        | Error.Budget_exhausted _ | Error.Not_applicable _ -> ()
+        | _ -> Alcotest.fail "unexpected attempt error class")
+      r.Omq.attempts
+  | exception Error.Obda_error (Error.Budget_exhausted _) ->
+    (* every algorithm ran out of its (tiny) allowance: also acceptable,
+       and the error is the typed one *)
+    ()
+
+let test_empty_chain_rejected () =
+  let omq = cyclic_omq () in
+  let abox = triangle_abox () in
+  check "empty chain is a caller bug" true
+    (try
+       ignore (Omq.answer_with_fallback ~chain:[] omq abox);
+       false
+     with Invalid_argument _ -> true)
+
+let test_inconsistent_error_mode () =
+  let tbox =
+    Tbox.make
+      [ Tbox.Concept_disj (Concept.Name (sym "A"), Concept.Name (sym "B")) ]
+  in
+  let q = Cq.make ~answer:[ "x" ] [ Cq.Unary (sym "A", "x") ] in
+  let omq = Omq.make tbox q in
+  let abox = Obda_data.Abox.create () in
+  Obda_data.Abox.add_unary abox (sym "A") (sym "a");
+  Obda_data.Abox.add_unary abox (sym "B") (sym "a");
+  (* default: the paper's every-tuple convention *)
+  check "convention returns ind(A)" true (Omq.answer omq abox = [ [ sym "a" ] ]);
+  (* error mode: typed Inconsistent_data, exit code 5 *)
+  match Omq.answer ~on_inconsistent:`Error omq abox with
+  | _ -> Alcotest.fail "expected Inconsistent_data"
+  | exception Error.Obda_error ((Error.Inconsistent_data _) as e) ->
+    check_int "exit code 5" 5 (Error.exit_code e);
+    check_str "class slug" "inconsistent" (Error.class_name e)
+
+(* ------------------------------------------------------------------ *)
+(* The error type itself *)
+
+let test_error_rendering () =
+  check_str "budget line"
+    "class=budget resource=steps spent=1001 limit=1000"
+    (Error.to_string
+       (Error.Budget_exhausted
+          { resource = Error.Steps; spent = 1001; limit = 1000 }));
+  check_str "not-applicable line"
+    "class=not-applicable algorithm=Tw reason=\"CQ is not tree-shaped\""
+    (Error.to_string
+       (Error.Not_applicable
+          { algorithm = "Tw"; reason = "CQ is not tree-shaped" }));
+  check_int "internal exit code" 1 (Error.exit_code (Error.Internal "boom"));
+  (* of_exn maps stray stdlib exceptions into the taxonomy *)
+  (match Error.of_exn (Invalid_argument "x") with
+  | Some (Error.Internal "x") -> ()
+  | _ -> Alcotest.fail "Invalid_argument should map to Internal");
+  check "unknown exceptions stay unknown" true (Error.of_exn Exit = None);
+  match Error.protect (fun () -> failwith "kaput") with
+  | Error (Error.Internal "kaput") -> ()
+  | _ -> Alcotest.fail "protect should catch Failure"
+
+let suites =
+  [
+    ( "runtime",
+      [
+        Alcotest.test_case "malformed corpus" `Quick test_malformed_corpus;
+        Alcotest.test_case "parse error payload" `Quick
+          test_parse_error_payload;
+        Alcotest.test_case "duplicate answer vars" `Quick
+          test_duplicate_answer_vars_are_parse_errors;
+        Alcotest.test_case "chase step budget" `Quick test_chase_step_budget;
+        Alcotest.test_case "chase size budget" `Quick test_chase_size_budget;
+        Alcotest.test_case "wall-clock budget" `Quick test_deadline_budget;
+        Alcotest.test_case "rewriter budget" `Quick test_rewriter_budget;
+        Alcotest.test_case "evaluation budget" `Quick test_eval_budget;
+        Alcotest.test_case "sub-budget semantics" `Quick
+          test_sub_budget_shares_deadline;
+        Alcotest.test_case "fallback recovers" `Quick test_fallback_recovers;
+        Alcotest.test_case "default chain" `Quick
+          test_default_chain_covers_every_omq;
+        Alcotest.test_case "fallback budget attempts" `Quick
+          test_fallback_reports_budget_failures;
+        Alcotest.test_case "empty chain" `Quick test_empty_chain_rejected;
+        Alcotest.test_case "inconsistent error mode" `Quick
+          test_inconsistent_error_mode;
+        Alcotest.test_case "error rendering" `Quick test_error_rendering;
+      ] );
+  ]
