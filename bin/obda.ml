@@ -7,6 +7,7 @@ module Ndl = Obda_ndl.Ndl
 module Parse = Obda_parse.Parse
 module Error = Obda_runtime.Error
 module Budget = Obda_runtime.Budget
+module Obs = Obda_obs.Obs
 
 let algorithm_conv =
   let parse s =
@@ -108,6 +109,117 @@ let budget_term =
   Term.(const make $ timeout $ max_steps $ max_size)
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry flags, shared by the pipeline commands. *)
+
+type telemetry = {
+  trace : string option;  (* JSON-lines destination; "-" = stderr *)
+  metrics_json : string option;  (* JSON-lines destination; "-" = stdout *)
+  stats : bool;
+}
+
+let telemetry_term =
+  let trace =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON-lines trace of the request (one object per \
+             pipeline span as it completes, then one per final metric) to \
+             $(docv); without $(docv), or with -, write to stderr.")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the spans and metrics of the request as JSON lines to \
+             $(docv) (- for stdout).")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print a human-readable telemetry summary (span tree, metric \
+             table, budget headroom) on stderr when the request finishes.")
+  in
+  let make trace metrics_json stats = { trace; metrics_json; stats } in
+  Term.(const make $ trace $ metrics_json $ stats)
+
+let pp_budget_headroom ppf budget =
+  if not (Budget.is_limited budget) then
+    Format.fprintf ppf "budget: unlimited@."
+  else begin
+    let lim = Budget.limits budget in
+    (match (lim.Budget.max_steps, Budget.steps_remaining budget) with
+    | Some l, Some r ->
+      Format.fprintf ppf "budget.steps: %d spent, %d remaining of %d@."
+        (Budget.steps_spent budget) r l
+    | _ -> ());
+    (match (lim.Budget.max_size, Budget.size_remaining budget) with
+    | Some l, Some r ->
+      Format.fprintf ppf "budget.size: %d spent, %d remaining of %d@."
+        (Budget.size_spent budget) r l
+    | _ -> ());
+    match (lim.Budget.timeout, Budget.wall_remaining budget) with
+    | Some l, Some r ->
+      Format.fprintf ppf "budget.wall: %.3fs remaining of %.3fs@." r l
+    | _ -> ()
+  end
+
+(* Install the requested sinks and register teardown with [at_exit], so the
+   trace is flushed and the summary printed on every exit path —
+   [report_error] terminates via [Stdlib.exit], which does not unwind
+   [Fun.protect] but does run [at_exit] handlers. *)
+let init_telemetry ?(budget = Budget.none) t =
+  if t.trace = None && t.metrics_json = None && not t.stats then ()
+  else begin
+    let to_close = ref [] in
+    let writer dest ~dash =
+      match dest with
+      | "-" ->
+        fun line ->
+          output_string dash line;
+          output_char dash '\n'
+      | path ->
+        let oc = open_out path in
+        to_close := oc :: !to_close;
+        fun line ->
+          output_string oc line;
+          output_char oc '\n'
+    in
+    let sinks = ref [] in
+    (match t.trace with
+    | Some dest -> sinks := Obs.json_sink (writer dest ~dash:stderr) :: !sinks
+    | None -> ());
+    (match t.metrics_json with
+    | Some dest -> sinks := Obs.json_sink (writer dest ~dash:stdout) :: !sinks
+    | None -> ());
+    let collector = if t.stats then Some (Obs.Collector.create ()) else None in
+    (match collector with
+    | Some c -> sinks := Obs.Collector.sink c :: !sinks
+    | None -> ());
+    Obs.install (Obs.tee !sinks);
+    let torn_down = ref false in
+    at_exit (fun () ->
+        if not !torn_down then begin
+          torn_down := true;
+          Obs.uninstall ();
+          (match collector with
+          | Some c ->
+            Format.eprintf "%a" Obs.Collector.pp c;
+            pp_budget_headroom Format.err_formatter budget;
+            Format.pp_print_flush Format.err_formatter ()
+          | None -> ());
+          flush stdout;
+          flush stderr;
+          List.iter close_out !to_close
+        end)
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let classify_cmd =
   let run ontology query =
@@ -129,8 +241,9 @@ let classify_cmd =
     Term.(const run $ ontology_arg $ query_arg)
 
 let rewrite_cmd =
-  let run ontology query algorithm over_complete stats budget =
+  let run ontology query algorithm over_complete budget telemetry =
     handle_errors (fun () ->
+        init_telemetry ~budget telemetry;
         let omq = load_omq ontology query in
         let alg =
           match algorithm with
@@ -143,7 +256,7 @@ let rewrite_cmd =
         let over = if over_complete then `Complete else `Arbitrary in
         let q = Omq.rewrite ~budget ~over alg omq in
         Format.printf "%a" Ndl.pp q;
-        if stats then
+        if telemetry.stats then
           Format.printf
             "# clauses=%d size=%d depth=%d width=%d linear=%b skinny-depth=%.1f@."
             (Ndl.num_clauses q) (Ndl.size q) (Ndl.depth q) (Ndl.width q)
@@ -156,20 +269,18 @@ let rewrite_cmd =
           ~doc:"Produce the rewriting over complete data instances (skip the \
                 ∗-transformation).")
   in
-  let stats =
-    Arg.(value & flag & info [ "stats" ] ~doc:"Print size statistics.")
-  in
   Cmd.v
     (Cmd.info "rewrite" ~doc:"Print an NDL-rewriting of the OMQ.")
     Term.(
       const run $ ontology_arg $ query_arg
       $ algorithm_arg ~default:None
-      $ over_complete $ stats $ budget_term)
+      $ over_complete $ budget_term $ telemetry_term)
 
 let answer_cmd =
   let run ontology query data mapping source algorithm use_chase budget
-      fallback fail_inconsistent =
+      fallback fail_inconsistent telemetry =
     handle_errors (fun () ->
+        init_telemetry ~budget telemetry;
         let omq = load_omq ontology query in
         let on_inconsistent = if fail_inconsistent then `Error else `All_tuples in
         let answers =
@@ -199,17 +310,22 @@ let answer_cmd =
                   Omq.answer_with_fallback ~budget ?chain ~on_inconsistent omq
                     abox
                 in
-                List.iter
-                  (fun (a : Omq.attempt) ->
-                    Printf.eprintf "# fallback: %s failed: %s\n"
-                      (Omq.algorithm_name a.Omq.algorithm)
-                      (Error.to_string a.Omq.error))
-                  r.Omq.attempts;
-                (match (r.Omq.answered_by, r.Omq.attempts) with
-                | Some alg, _ :: _ ->
-                  Printf.eprintf "# fallback: answered by %s\n"
-                    (Omq.algorithm_name alg)
-                | _ -> ());
+                (match r.Omq.attempts with
+                | [] | [ { Omq.outcome = Ok (); _ } ] ->
+                  (* nothing fell through: stay quiet *)
+                  ()
+                | attempts ->
+                  List.iter
+                    (fun (a : Omq.attempt) ->
+                      match a.Omq.outcome with
+                      | Error e ->
+                        Printf.eprintf "# fallback: %s failed after %.3fs: %s\n"
+                          (Omq.algorithm_name a.Omq.algorithm) a.Omq.duration
+                          (Error.to_string e)
+                      | Ok () ->
+                        Printf.eprintf "# fallback: answered by %s in %.3fs\n"
+                          (Omq.algorithm_name a.Omq.algorithm) a.Omq.duration)
+                    attempts);
                 r.Omq.answers
               end
               else Omq.answer ~budget ~on_inconsistent ?algorithm omq abox
@@ -280,7 +396,8 @@ let answer_cmd =
     Term.(
       const run $ ontology_arg $ query_arg $ data_opt $ mapping $ source
       $ algorithm_arg ~default:None
-      $ use_chase $ budget_term $ fallback $ fail_inconsistent)
+      $ use_chase $ budget_term $ fallback $ fail_inconsistent
+      $ telemetry_term)
 
 let stats_cmd =
   let run ontology =
@@ -331,8 +448,9 @@ let gen_data_cmd =
     Term.(const run $ vertices $ edge_prob $ concept_prob $ seed)
 
 let chase_cmd =
-  let run ontology data depth budget =
+  let run ontology data depth budget telemetry =
     handle_errors (fun () ->
+        init_telemetry ~budget telemetry;
         let tbox = Parse.ontology_of_file ontology in
         let abox = Parse.data_of_file data in
         let canon = Obda_chase.Canonical.make ~budget tbox abox ~depth in
@@ -358,7 +476,8 @@ let chase_cmd =
   Cmd.v
     (Cmd.info "chase"
        ~doc:"Print the canonical model C_{T,A} to a bounded null depth.")
-    Term.(const run $ ontology_arg $ data_arg $ depth $ budget_term)
+    Term.(const run $ ontology_arg $ data_arg $ depth $ budget_term
+          $ telemetry_term)
 
 let main =
   Cmd.group

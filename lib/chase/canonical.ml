@@ -2,6 +2,7 @@ open Obda_syntax
 open Obda_ontology
 open Obda_data
 module Budget = Obda_runtime.Budget
+module Obs = Obda_obs.Obs
 
 type element = Ind of Abox.const | Null of Abox.const * Role.t list
 
@@ -37,6 +38,7 @@ let generate_elements ~budget tbox complete depth =
     (* one chase step and one materialised element per null *)
     Budget.step budget;
     Budget.grow budget;
+    Obs.incr "chase.nulls";
     Null (a, w)
   in
   let starts a =
@@ -67,15 +69,21 @@ let generate_elements ~budget tbox complete depth =
   in
   List.map (fun a -> Ind a) inds @ go (List.rev level0) level0 1
 
-let make ?(budget = Budget.none) tbox abox ~depth =
+(* the workhorse, shared with [of_concept]: no span, so the many tiny
+   auxiliary chases of the tree-witness machinery don't flood a trace *)
+let make_unobserved ?(budget = Budget.none) tbox abox ~depth =
   let complete = Abox.complete tbox abox in
-  {
-    tbox;
-    complete;
-    depth;
-    all_elements = generate_elements ~budget tbox complete depth;
-    root = None;
-  }
+  let all_elements = generate_elements ~budget tbox complete depth in
+  { tbox; complete; depth; all_elements; root = None }
+
+let make ?budget tbox abox ~depth =
+  Obs.with_span "chase.materialise" (fun () ->
+      let c = make_unobserved ?budget tbox abox ~depth in
+      if Obs.enabled () then begin
+        Obs.set_int "chase.elements" (List.length c.all_elements);
+        Obs.set_int "chase.depth" depth
+      end;
+      c)
 
 let concept_root_name = lazy (Symbol.intern "@root")
 
@@ -91,7 +99,7 @@ let of_concept ?budget tbox concept ~depth =
     | Some ar -> Abox.add_unary abox ar a
     | None -> Abox.add_role abox r a (Symbol.intern "@aux"))
   | Concept.Top -> Abox.add_unary abox (Symbol.intern "@top_marker") a);
-  let c = make ?budget tbox abox ~depth in
+  let c = make_unobserved ?budget tbox abox ~depth in
   { c with root = Some a }
 
 let root_of_concept_model t =

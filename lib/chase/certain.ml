@@ -146,11 +146,12 @@ let default_depth tbox q =
   | Obda_ontology.Tbox.Infinite -> base
 
 let answers ?budget ?depth tbox abox q =
-  let depth =
-    match depth with Some d -> d | None -> default_depth tbox q
-  in
-  let canon = Canonical.make ?budget tbox abox ~depth in
-  all_answer_tuples ?budget canon q
+  Obda_obs.Obs.with_span "chase.certain" (fun () ->
+      let depth =
+        match depth with Some d -> d | None -> default_depth tbox q
+      in
+      let canon = Canonical.make ?budget tbox abox ~depth in
+      all_answer_tuples ?budget canon q)
 
 let boolean ?budget ?depth tbox abox q =
   if not (Cq.is_boolean q) then invalid_arg "Certain.boolean: non-Boolean CQ";

@@ -5,6 +5,7 @@ module Ndl = Obda_ndl.Ndl
 module Optimize = Obda_ndl.Optimize
 module Budget = Obda_runtime.Budget
 module Error = Obda_runtime.Error
+module Obs = Obda_obs.Obs
 
 let type_guard = 100_000
 
@@ -47,6 +48,7 @@ let pair_compatible tbox q slice_n ty =
     (Cq.atoms q)
 
 let rewrite ?(budget = Budget.none) ?root tbox q =
+  Obs.with_span "rewrite.lin" (fun () ->
   if not (Cq.is_tree_shaped q && Cq.is_connected q) then
     Error.not_applicable ~algorithm:"Lin" "CQ must be tree-shaped and connected";
   let d =
@@ -104,6 +106,8 @@ let rewrite ?(budget = Budget.none) ?root tbox q =
   let emit head body =
     Budget.step budget;
     Budget.grow ~by:(1 + List.length body) budget;
+    Obs.incr "ndl.clauses_emitted";
+    Obs.count "ndl.atoms_emitted" (1 + List.length body);
     (* head variables must occur in the body; pad with active-domain atoms *)
     let body_vars = List.concat_map Ndl.atom_vars body in
     let missing =
@@ -162,4 +166,5 @@ let rewrite ?(budget = Budget.none) ?root tbox q =
     Hashtbl.fold (fun _ p acc -> Symbol.Set.add p acc) pred_table
       (Symbol.Set.singleton goal)
   in
-  Optimize.prune ~edb:(fun p -> not (Symbol.Set.mem p generated)) query
+  Ndl.observe
+    (Optimize.prune ~edb:(fun p -> not (Symbol.Set.mem p generated)) query))

@@ -5,6 +5,7 @@ module Ndl = Obda_ndl.Ndl
 module Optimize = Obda_ndl.Optimize
 module Budget = Obda_runtime.Budget
 module Error = Obda_runtime.Error
+module Obs = Obda_obs.Obs
 
 let type_guard = 100_000
 
@@ -102,6 +103,8 @@ let splitter ctx d =
 let emit ctx head body =
   Budget.step ctx.budget;
   Budget.grow ~by:(1 + List.length body) ctx.budget;
+  Obs.incr "ndl.clauses_emitted";
+  Obs.count "ndl.atoms_emitted" (1 + List.length body);
   let body_vars = List.concat_map Ndl.atom_vars body in
   let missing =
     List.filter_map
@@ -209,6 +212,7 @@ let rec pred_for ctx d w =
     result
 
 let rewrite ?(budget = Budget.none) ?decomposition tbox q =
+  Obs.with_span "rewrite.log" (fun () ->
   if not (Cq.is_connected q) then
     Error.not_applicable ~algorithm:"Log" "CQ must be connected";
   let d_depth =
@@ -270,4 +274,4 @@ let rewrite ?(budget = Budget.none) ?decomposition tbox q =
   let params = Symbol.Map.add goal (List.length goal_args) ctx.params in
   let query = Ndl.make ~params ~goal ~goal_args (List.rev ctx.clauses) in
   let idb = Ndl.idb_preds query in
-  Optimize.prune ~edb:(fun p -> not (Symbol.Set.mem p idb)) query
+  Ndl.observe (Optimize.prune ~edb:(fun p -> not (Symbol.Set.mem p idb)) query))

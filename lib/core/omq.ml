@@ -8,6 +8,7 @@ module Eval = Obda_ndl.Eval
 module Star = Obda_ndl.Star
 module Budget = Obda_runtime.Budget
 module Error = Obda_runtime.Error
+module Obs = Obda_obs.Obs
 
 type t = { tbox : Tbox.t; cq : Cq.t }
 
@@ -119,6 +120,13 @@ let componentwise rewrite_one omq =
     Ndl.make ~params ~goal ~goal_args clauses
 
 let rewrite ?budget ?(over = `Arbitrary) ?(consistency = false) alg omq =
+  Obs.with_span "rewrite"
+    ~attrs:
+      [
+        ("algorithm", algorithm_name alg);
+        ("over", match over with `Complete -> "complete" | `Arbitrary -> "arbitrary");
+      ]
+  @@ fun () ->
   let base =
     match (alg, over) with
     | (Ucq | Ucq_condensed), _ ->
@@ -148,9 +156,10 @@ let rewrite ?budget ?(over = `Arbitrary) ?(consistency = false) alg omq =
       Star.complete_to_arbitrary omq.tbox
         (componentwise (Presto_like.rewrite ?budget omq.tbox) omq)
   in
-  if consistency && over = `Arbitrary then
-    Consistency.guard_rewriting omq.tbox base
-  else base
+  Ndl.observe
+    (if consistency && over = `Arbitrary then
+       Consistency.guard_rewriting omq.tbox base
+     else base)
 
 let all_tuples abox arity =
   let inds = Abox.individuals abox in
@@ -173,18 +182,23 @@ let inconsistent_answers ~on_inconsistent omq abox =
          (Error.Inconsistent_data
             { reason = "the data violates a disjointness axiom of the ontology" }))
 
+(* the consistency pre-check is itself a chase over the completed data, so
+   it gets its own span in the request trace *)
+let consistent omq abox =
+  Obs.with_span "chase.consistency" (fun () -> Abox.consistent omq.tbox abox)
+
 let answer ?budget ?(on_inconsistent = `All_tuples) ?algorithm omq abox =
   let alg =
     match algorithm with Some a -> a | None -> default_algorithm omq
   in
-  if not (Abox.consistent omq.tbox abox) then
+  if not (consistent omq abox) then
     inconsistent_answers ~on_inconsistent omq abox
   else
     let q = rewrite ?budget ~over:`Arbitrary alg omq in
     Eval.answers ?budget q abox
 
 let answer_certain ?budget ?(on_inconsistent = `All_tuples) omq abox =
-  if not (Abox.consistent omq.tbox abox) then
+  if not (consistent omq abox) then
     inconsistent_answers ~on_inconsistent omq abox
   else Certain.answers ?budget omq.tbox abox omq.cq
 
@@ -193,14 +207,18 @@ let answer_certain ?budget ?(on_inconsistent = `All_tuples) omq abox =
    fresh step/size budget (the wall-clock deadline is shared), falling
    through on Not_applicable and Budget_exhausted. *)
 
-type attempt = { algorithm : algorithm; error : Error.t }
+type attempt = {
+  algorithm : algorithm;
+  outcome : (unit, Error.t) result;
+  duration : float;
+}
 
 type fallback_answer = {
   answers : Symbol.t list list;
   answered_by : algorithm option;
       (** [None] when the inconsistency convention produced the answers
           without running any rewriting *)
-  attempts : attempt list;  (** failed attempts, in chain order *)
+  attempts : attempt list;  (** every attempt, in chain order *)
 }
 
 let default_chain preferred =
@@ -220,7 +238,7 @@ let answer_with_fallback ?(budget = Budget.none) ?chain
       c
     | None -> default_chain (default_algorithm omq)
   in
-  if not (Abox.consistent omq.tbox abox) then
+  if not (consistent omq abox) then
     {
       answers = inconsistent_answers ~on_inconsistent omq abox;
       answered_by = None;
@@ -231,28 +249,35 @@ let answer_with_fallback ?(budget = Budget.none) ?chain
       | [] ->
         (* every algorithm failed: re-raise the last error *)
         (match attempts with
-        | { error; _ } :: _ -> raise (Error.Obda_error error)
-        | [] -> assert false)
+        | { outcome = Error error; _ } :: _ -> raise (Error.Obda_error error)
+        | _ -> assert false)
       | alg :: rest -> (
         (* a fresh step/size allowance per attempt; the deadline is shared,
            so falling back never extends the request's total time budget *)
         let b = Budget.sub budget in
+        let t0 = Unix.gettimeofday () in
+        let finish outcome =
+          { algorithm = alg; outcome; duration = Unix.gettimeofday () -. t0 }
+        in
         match
-          if not (applicable alg omq) then
-            Error.not_applicable ~algorithm:(algorithm_name alg)
-              "side conditions do not hold for this OMQ"
-          else
-            let q = rewrite ~budget:b ~over:`Arbitrary alg omq in
-            Eval.answers ~budget:b q abox
+          Obs.with_span "omq.attempt"
+            ~attrs:[ ("algorithm", algorithm_name alg) ]
+            (fun () ->
+              if not (applicable alg omq) then
+                Error.not_applicable ~algorithm:(algorithm_name alg)
+                  "side conditions do not hold for this OMQ"
+              else
+                let q = rewrite ~budget:b ~over:`Arbitrary alg omq in
+                Eval.answers ~budget:b q abox)
         with
         | answers ->
           {
             answers;
             answered_by = Some alg;
-            attempts = List.rev attempts;
+            attempts = List.rev (finish (Ok ()) :: attempts);
           }
         | exception Error.Obda_error ((Error.Not_applicable _ | Error.Budget_exhausted _) as error)
           ->
-          try_chain ({ algorithm = alg; error } :: attempts) rest)
+          try_chain (finish (Error error) :: attempts) rest)
     in
     try_chain [] chain

@@ -79,14 +79,22 @@ val answer_certain :
 
 (** {2 Graceful degradation} *)
 
-type attempt = { algorithm : algorithm; error : Obda_runtime.Error.t }
+type attempt = {
+  algorithm : algorithm;
+  outcome : (unit, Obda_runtime.Error.t) result;
+      (** [Ok ()] for the attempt that produced the answer; [Error e] with
+          the [Not_applicable] or [Budget_exhausted] error that made the
+          chain fall through to the next algorithm *)
+  duration : float;  (** wall-clock seconds spent on this attempt *)
+}
 
 type fallback_answer = {
   answers : Symbol.t list list;
   answered_by : algorithm option;
       (** [None] when the inconsistency convention produced the answers
           without running any rewriting *)
-  attempts : attempt list;  (** failed attempts, in chain order *)
+  attempts : attempt list;
+      (** every attempt in chain order, the successful one (if any) last *)
 }
 
 val default_chain : algorithm -> algorithm list
@@ -100,8 +108,11 @@ val answer_with_fallback :
   t -> Abox.t -> fallback_answer
 (** Try each algorithm of [chain] (default
     [default_chain] of the OMQ's preferred algorithm) in order.  An attempt
-    that raises [Not_applicable] or [Budget_exhausted] is recorded and the
-    next algorithm is tried under a fresh step/size allowance; the wall-clock
-    deadline of [budget] is shared across attempts, so fallback never
-    extends a request's total time allowance.  If every algorithm fails, the
-    last error is re-raised. *)
+    that raises [Not_applicable] or [Budget_exhausted] is recorded (with why
+    it failed and how long it ran) and the next algorithm is tried under a
+    fresh step/size allowance; the wall-clock deadline of [budget] is shared
+    across attempts, so fallback never extends a request's total time
+    allowance.  If every algorithm fails, the last error is re-raised.
+
+    Each attempt is additionally bracketed by an [omq.attempt] telemetry
+    span (with an [algorithm] attribute) when a sink is installed. *)

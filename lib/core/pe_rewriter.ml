@@ -2,6 +2,7 @@ open Obda_syntax
 open Obda_ontology
 open Obda_cq
 open Obda_data
+module Obs = Obda_obs.Obs
 
 exception Limit_reached
 
@@ -71,27 +72,35 @@ let tw_formula tbox (t : Tree_witness.t) =
        t.generators)
 
 let rewrite ?(max_subsets = 100_000) tbox q =
-  let witnesses =
-    Tree_witness.enumerate tbox q
-    |> List.filter (fun (t : Tree_witness.t) -> t.roots <> [])
-  in
-  let subsets = independent_subsets ~limit:max_subsets witnesses in
-  let disjuncts =
-    List.map
-      (fun subset ->
-        let covered =
-          List.concat_map (fun (t : Tree_witness.t) -> t.atoms) subset
-        in
-        let rest =
-          List.filter
-            (fun a ->
-              not (List.exists (fun b -> Cq.compare_atom a b = 0) covered))
-            (Cq.atoms q)
-        in
-        And (List.map (fun a -> Atom a) rest @ List.map (tw_formula tbox) subset))
-      subsets
-  in
-  Or disjuncts
+  Obs.with_span "rewrite.pe" (fun () ->
+      let witnesses =
+        Tree_witness.enumerate tbox q
+        |> List.filter (fun (t : Tree_witness.t) -> t.roots <> [])
+      in
+      let subsets = independent_subsets ~limit:max_subsets witnesses in
+      let disjuncts =
+        List.map
+          (fun subset ->
+            let covered =
+              List.concat_map (fun (t : Tree_witness.t) -> t.atoms) subset
+            in
+            let rest =
+              List.filter
+                (fun a ->
+                  not (List.exists (fun b -> Cq.compare_atom a b = 0) covered))
+                (Cq.atoms q)
+            in
+            And
+              (List.map (fun a -> Atom a) rest
+              @ List.map (tw_formula tbox) subset))
+          subsets
+      in
+      let formula = Or disjuncts in
+      if Obs.enabled () then begin
+        Obs.set_int "pe.size" (size formula);
+        Obs.set_int "pe.depth" (matrix_depth formula)
+      end;
+      formula)
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation over completed instances (for testing) *)

@@ -4,6 +4,7 @@ open Obda_cq
 open Obda_chase
 module Ndl = Obda_ndl.Ndl
 module Budget = Obda_runtime.Budget
+module Obs = Obda_obs.Obs
 
 exception Limit_reached
 
@@ -31,6 +32,7 @@ let independent_subsets ~budget ~limit witnesses =
   go [] witnesses
 
 let rewrite ?(budget = Budget.none) ?(max_subsets = 100_000) tbox q =
+  Obs.with_span "rewrite.presto" (fun () ->
   let witnesses =
     Tree_witness.enumerate tbox q
     |> List.filter (fun (t : Tree_witness.t) -> t.roots <> [])
@@ -39,6 +41,11 @@ let rewrite ?(budget = Budget.none) ?(max_subsets = 100_000) tbox q =
   let goal_args = Cq.answer_vars q in
   let params = ref (Symbol.Map.singleton goal (List.length goal_args)) in
   let clauses = ref [] in
+  let emit c =
+    Obs.incr "ndl.clauses_emitted";
+    Obs.count "ndl.atoms_emitted" (1 + List.length c.Ndl.body);
+    clauses := c :: !clauses
+  in
   (* one auxiliary predicate per witness *)
   let tw_pred =
     List.mapi
@@ -53,9 +60,7 @@ let rewrite ?(budget = Budget.none) ?(max_subsets = 100_000) tbox q =
         List.iter
           (fun rho ->
             let arho = Tbox.exists_name tbox rho in
-            clauses :=
-              { Ndl.head; body = Ndl.Pred (arho, [ Ndl.Var z0 ]) :: eqs }
-              :: !clauses)
+            emit { Ndl.head; body = Ndl.Pred (arho, [ Ndl.Var z0 ]) :: eqs })
           t.generators;
         (t, p))
       witnesses
@@ -73,9 +78,8 @@ let rewrite ?(budget = Budget.none) ?(max_subsets = 100_000) tbox q =
     List.iter
       (fun a ->
         if Certain.entailed_from_concept tbox (Concept.Name a) q then
-          clauses :=
-            { Ndl.head = (goal, []); body = [ Ndl.Pred (a, [ Ndl.Var "u" ]) ] }
-            :: !clauses)
+          emit
+            { Ndl.head = (goal, []); body = [ Ndl.Pred (a, [ Ndl.Var "u" ]) ] })
       candidates
   end;
   (* one goal clause per independent set of witnesses *)
@@ -113,11 +117,10 @@ let rewrite ?(budget = Budget.none) ?(max_subsets = 100_000) tbox q =
             if List.mem v body_vars then None else Some (Ndl.Dom (Ndl.Var v)))
           goal_args
       in
-      clauses :=
+      emit
         {
           Ndl.head = (goal, List.map (fun v -> Ndl.Var v) goal_args);
           body = body @ missing;
-        }
-        :: !clauses)
+        })
     subsets;
-  Ndl.make ~params:!params ~goal ~goal_args (List.rev !clauses)
+  Ndl.observe (Ndl.make ~params:!params ~goal ~goal_args (List.rev !clauses)))

@@ -61,14 +61,18 @@ let enumerate ?(limit = 100_000) tbox q =
     List.map (Cq.var_index q) (Cq.existential_vars q)
   in
   let candidate_sets = Ugraph.connected_subsets g existential_indices ~limit in
-  List.filter_map
-    (fun indices ->
-      let interior =
-        List.map (Cq.var_of_index q) indices |> List.sort String.compare
-      in
-      let roots = neighbours_of_set q interior in
-      let atoms = witness_atoms q interior in
-      match generators_of tbox q ~roots ~interior ~atoms with
-      | [] -> None
-      | generators -> Some { roots; interior; atoms; generators })
-    candidate_sets
+  let witnesses =
+    List.filter_map
+      (fun indices ->
+        let interior =
+          List.map (Cq.var_of_index q) indices |> List.sort String.compare
+        in
+        let roots = neighbours_of_set q interior in
+        let atoms = witness_atoms q interior in
+        match generators_of tbox q ~roots ~interior ~atoms with
+        | [] -> None
+        | generators -> Some { roots; interior; atoms; generators })
+      candidate_sets
+  in
+  Obda_obs.Obs.count "rewrite.tree_witnesses" (List.length witnesses);
+  witnesses

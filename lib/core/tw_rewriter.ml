@@ -5,6 +5,7 @@ open Obda_chase
 module Ndl = Obda_ndl.Ndl
 module Budget = Obda_runtime.Budget
 module Error = Obda_runtime.Error
+module Obs = Obda_obs.Obs
 module CqMap = Map.Make (Cq)
 
 type state = {
@@ -31,6 +32,8 @@ let args_of st q =
 let emit st c =
   Budget.step st.budget;
   Budget.grow ~by:(1 + List.length c.Ndl.body) st.budget;
+  Obs.incr "ndl.clauses_emitted";
+  Obs.count "ndl.atoms_emitted" (1 + List.length c.Ndl.body);
   st.clauses <- c :: st.clauses
 
 (* the splitting vertex z_q: a balancing existential variable (Lemma 14,
@@ -180,6 +183,7 @@ and build st q p =
   end
 
 let rewrite ?(budget = Budget.none) tbox q0 =
+  Obs.with_span "rewrite.tw" (fun () ->
   let components = Cq.connected_components q0 in
   List.iter
     (fun c ->
@@ -212,4 +216,4 @@ let rewrite ?(budget = Budget.none) tbox q0 =
   let params =
     Symbol.Map.add goal (List.length goal_args) st.params
   in
-  Ndl.make ~params ~goal ~goal_args (List.rev st.clauses)
+  Ndl.observe (Ndl.make ~params ~goal ~goal_args (List.rev st.clauses)))

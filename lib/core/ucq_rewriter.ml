@@ -3,6 +3,7 @@ open Obda_ontology
 open Obda_cq
 module Ndl = Obda_ndl.Ndl
 module Budget = Obda_runtime.Budget
+module Obs = Obda_obs.Obs
 
 exception Limit_reached
 
@@ -195,6 +196,8 @@ let ndl_of_wcqs q wcqs =
   let clauses =
     List.map
       (fun w ->
+        Obs.incr "ndl.clauses_emitted";
+        Obs.count "ndl.atoms_emitted" (1 + List.length w.atoms);
         {
           Ndl.head = (goal, List.map (fun v -> Ndl.Var v) w.answer);
           body =
@@ -210,7 +213,8 @@ let ndl_of_wcqs q wcqs =
   Ndl.make ~params ~goal ~goal_args clauses
 
 let rewrite ?budget ?max_cqs tbox q =
-  ndl_of_wcqs q (rewrite_wcqs ?budget ?max_cqs tbox q)
+  Obs.with_span "rewrite.ucq" (fun () ->
+      Ndl.observe (ndl_of_wcqs q (rewrite_wcqs ?budget ?max_cqs tbox q)))
 
 (* ------------------------------------------------------------------ *)
 (* CQ subsumption *)
@@ -285,4 +289,6 @@ let condense ?(budget = Budget.none) wcqs =
   Array.to_list arr |> List.filteri (fun i _ -> not dropped.(i))
 
 let rewrite_condensed ?budget ?max_cqs tbox q =
-  ndl_of_wcqs q (condense ?budget (rewrite_wcqs ?budget ?max_cqs tbox q))
+  Obs.with_span "rewrite.ucq-condensed" (fun () ->
+      Ndl.observe
+        (ndl_of_wcqs q (condense ?budget (rewrite_wcqs ?budget ?max_cqs tbox q))))

@@ -1,6 +1,7 @@
 open Obda_syntax
 open Obda_data
 module Budget = Obda_runtime.Budget
+module Obs = Obda_obs.Obs
 
 exception Timeout
 
@@ -212,7 +213,10 @@ let eval_clause env target (c : Ndl.clause) =
           v)
         head
     in
-    if relation_add target tuple then Budget.grow env.budget
+    if relation_add target tuple then begin
+      Budget.grow env.budget;
+      Obs.incr "eval.derived_facts"
+    end
   in
   let rec go atoms =
     tick env;
@@ -302,8 +306,7 @@ let eval_clause env target (c : Ndl.clause) =
   in
   go body
 
-let run ?(budget = Budget.none) ?(deadline = fun () -> false)
-    ?(edb = fun _ _ -> None) ?(extra_domain = []) (q : Ndl.query) abox =
+let run_unobserved ~budget ~deadline ~edb ~extra_domain (q : Ndl.query) abox =
   let order = Ndl.topo_order q in
   let idb = Ndl.idb_preds q in
   let domain =
@@ -336,6 +339,8 @@ let run ?(budget = Budget.none) ?(deadline = fun () -> false)
     q.clauses;
   List.iter
     (fun p ->
+      (* one materialisation round per IDB predicate (dependencies first) *)
+      Obs.incr "eval.rounds";
       let clauses = Option.value ~default:[] (Symbol.Tbl.find_opt by_head p) in
       let arity =
         match clauses with
@@ -363,7 +368,20 @@ let run ?(budget = Budget.none) ?(deadline = fun () -> false)
     | Some r -> relation_tuples r
     | None -> []
   in
+  if Obs.enabled () then begin
+    Obs.set_int "eval.answers" (List.length answers);
+    Obs.set_int "eval.generated_tuples" generated_tuples;
+    if Budget.is_limited budget then begin
+      Obs.set_int "budget.steps" (Budget.steps_spent budget);
+      Obs.set_int "budget.size" (Budget.size_spent budget)
+    end
+  end;
   { answers; generated_tuples; idb_relations }
+
+let run ?(budget = Budget.none) ?(deadline = fun () -> false)
+    ?(edb = fun _ _ -> None) ?(extra_domain = []) q abox =
+  Obs.with_span "eval.ndl" (fun () ->
+      run_unobserved ~budget ~deadline ~edb ~extra_domain q abox)
 
 let answers ?budget q abox = (run ?budget q abox).answers
 

@@ -2,6 +2,7 @@ open Obda_syntax
 open Obda_data
 module Budget = Obda_runtime.Budget
 module Error = Obda_runtime.Error
+module Obs = Obda_obs.Obs
 
 type ground = Symbol.t * int list
 
@@ -122,7 +123,7 @@ let ground_head env (p, ts) : ground =
           | None -> invalid_arg "Linear_eval: unsafe head variable"))
       ts )
 
-let run ?(budget = Budget.none) (q : Ndl.query) abox =
+let run_unobserved ~budget (q : Ndl.query) abox =
   if not (Ndl.is_linear q) then
     Error.not_applicable ~algorithm:"Linear_eval" "program is not linear";
   let idb = Ndl.idb_preds q in
@@ -155,6 +156,7 @@ let run ?(budget = Budget.none) (q : Ndl.query) abox =
   let push g =
     if not (Hashtbl.mem reached g) then begin
       Budget.grow budget;
+      Obs.incr "linear_eval.derived_facts";
       Hashtbl.add reached g ();
       Queue.add g queue
     end
@@ -169,6 +171,7 @@ let run ?(budget = Budget.none) (q : Ndl.query) abox =
   (* forward reachability *)
   while not (Queue.is_empty queue) do
     Budget.step budget;
+    Obs.incr "linear_eval.rounds";
     let p, args = Queue.pop queue in
     List.iter
       (fun ((c : Ndl.clause), atom) ->
@@ -197,7 +200,19 @@ let run ?(budget = Budget.none) (q : Ndl.query) abox =
         | Ndl.Eq _ | Ndl.Dom _ -> assert false)
       (Option.value ~default:[] (Symbol.Tbl.find_opt consumers p))
   done;
+  if Obs.enabled () then begin
+    Obs.set_int "linear_eval.vertices" (Hashtbl.length reached);
+    Obs.set_int "linear_eval.edges" !edges;
+    Obs.set_int "linear_eval.sources" !sources;
+    if Budget.is_limited budget then begin
+      Obs.set_int "budget.steps" (Budget.steps_spent budget);
+      Obs.set_int "budget.size" (Budget.size_spent budget)
+    end
+  end;
   (reached, !edges, !sources)
+
+let run ?(budget = Budget.none) q abox =
+  Obs.with_span "eval.linear" (fun () -> run_unobserved ~budget q abox)
 
 let answers ?budget q abox =
   let reached, _, _ = run ?budget q abox in

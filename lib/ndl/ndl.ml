@@ -311,3 +311,16 @@ let check q =
   if not (Symbol.Set.mem q.goal (idb_preds q)) then
     err "goal %a has no defining clause" Symbol.pp q.goal;
   match !errors with [] -> Ok () | es -> Error (String.concat "; " es)
+
+(* ------------------------------------------------------------------ *)
+
+let observe ?(prefix = "ndl") q =
+  if Obda_obs.Obs.enabled () then begin
+    let set suffix v = Obda_obs.Obs.set_int (prefix ^ "." ^ suffix) v in
+    set "clauses" (num_clauses q);
+    set "size" (size q);
+    set "depth" (depth q);
+    set "width" (width q);
+    Obda_obs.Obs.set_float (prefix ^ ".skinny_depth") (skinny_depth q)
+  end;
+  q

@@ -87,3 +87,11 @@ val skinny_depth : query -> float
 val check : query -> (unit, string) result
 (** Head variables occur in bodies; [=] only in bodies; program nonrecursive;
     consistent arities. *)
+
+val observe : ?prefix:string -> query -> query
+(** Record the program's size statistics as telemetry gauges
+    ([<prefix>.clauses/size/depth/width/skinny_depth], default prefix
+    ["ndl"]) and return it unchanged.  A no-op (the statistics are not even
+    computed) when no telemetry sink is installed; gauges are last-write-
+    wins, so the final stage of a rewriting pipeline determines the
+    reported values. *)

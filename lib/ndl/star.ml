@@ -1,5 +1,6 @@
 open Obda_syntax
 open Obda_ontology
+module Obs = Obda_obs.Obs
 
 let role_atom rho t1 t2 =
   if Role.is_inverse rho then Ndl.Pred (rho.Role.base, [ t2; t1 ])
@@ -40,6 +41,7 @@ let binary_star_clauses tbox p =
   from_roles @ from_refl
 
 let complete_to_arbitrary tbox (q : Ndl.query) =
+  Obs.with_span "rewrite.star" (fun () ->
   let idb = Ndl.idb_preds q in
   let edb_with_arity =
     List.fold_left
@@ -80,7 +82,7 @@ let complete_to_arbitrary tbox (q : Ndl.query) =
         cs @ acc)
       edb_with_arity []
   in
-  { q with clauses = replaced @ star_clauses }
+  Ndl.observe { q with clauses = replaced @ star_clauses })
 
 (* ------------------------------------------------------------------ *)
 (* Lemma 3: the linearity-preserving variant *)
@@ -124,6 +126,7 @@ let atoms_var_set atoms =
   List.fold_left (fun acc a -> VarSet.union acc (atom_var_set a)) VarSet.empty atoms
 
 let complete_to_arbitrary_linear tbox (q : Ndl.query) =
+  Obs.with_span "rewrite.star" (fun () ->
   if not (Ndl.is_linear q) then
     invalid_arg "Star.complete_to_arbitrary_linear: program not linear";
   let idb = Ndl.idb_preds q in
@@ -219,4 +222,4 @@ let complete_to_arbitrary_linear tbox (q : Ndl.query) =
     end
   in
   List.iter transform q.clauses;
-  { q with clauses = List.rev !clause_out; params = !params }
+  Ndl.observe { q with clauses = List.rev !clause_out; params = !params })

@@ -1,0 +1,34 @@
+(** A minimal JSON value type with a printer and a parser.
+
+    The telemetry sinks emit JSON-lines traces and the test-suite/corpus
+    runner round-trip them; depending on an external JSON library for that
+    would be the only third-party dependency of the observability layer, so
+    this ~150-line implementation keeps [Obda_obs] self-contained.  It
+    supports the full JSON grammar except that numbers are split into [Int]
+    and [Float] on parsing (a number parses as [Int] when it is written
+    without fraction or exponent and fits in an OCaml [int]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering with full string escaping; floats are
+    printed with ["%.17g"] so they round-trip, except non-finite values,
+    which JSON cannot represent and which are rendered as [null]. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing non-whitespace is an error. *)
+
+(** {2 Accessors} — small conveniences for tests and tools. *)
+
+val member : string -> t -> t option
+(** [member k (Assoc ...)] is the value bound to [k], if any. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option

@@ -61,3 +61,28 @@ let grow ?(by = 1) b =
 
 let steps_spent b = b.steps
 let size_spent b = b.size
+
+type limits = {
+  timeout : float option;
+  max_steps : int option;
+  max_size : int option;
+}
+
+let limits b =
+  {
+    timeout =
+      (match b.deadline with
+      | Some _ -> Some (float_of_int b.timeout_ms /. 1000.)
+      | None -> None);
+    max_steps = b.max_steps;
+    max_size = b.max_size;
+  }
+
+let steps_remaining b =
+  Option.map (fun limit -> max 0 (limit - b.steps)) b.max_steps
+
+let size_remaining b =
+  Option.map (fun limit -> max 0 (limit - b.size)) b.max_size
+
+let wall_remaining b =
+  Option.map (fun d -> Float.max 0. (d -. Unix.gettimeofday ())) b.deadline

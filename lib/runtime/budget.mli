@@ -45,3 +45,25 @@ val check_deadline : t -> unit
 
 val steps_spent : t -> int
 val size_spent : t -> int
+
+(** {2 Introspection}
+
+    Read-only views of a budget's configuration and headroom, for
+    telemetry and the CLI [--stats] report. *)
+
+type limits = {
+  timeout : float option;  (** the original allowance in seconds *)
+  max_steps : int option;
+  max_size : int option;
+}
+
+val limits : t -> limits
+(** The limits this budget was created with ([None] = unlimited). *)
+
+val steps_remaining : t -> int option
+(** Steps left before exhaustion; [None] when unlimited. *)
+
+val size_remaining : t -> int option
+
+val wall_remaining : t -> float option
+(** Seconds until the deadline (clamped at 0); [None] when no timeout. *)

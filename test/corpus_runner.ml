@@ -3,7 +3,34 @@
    differs — in particular, an uncaught exception (exit 2 from the OCaml
    runtime with a backtrace) shows up as a mismatch on the 0/3/4/5 cases.
 
+   A line starting with the [json] directive instead asserts that the CLI
+   exits 0 AND that every line it writes to stdout parses as JSON — this is
+   how the corpus pins down the machine-readable contract of
+   [--metrics-json -] and [--trace].
+
    Usage: corpus_runner <obda-exe> <corpus-dir> *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec loop acc =
+    match input_line ic with
+    | line -> loop (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  loop []
+
+(* every non-empty stdout line must be a standalone JSON value *)
+let check_json_lines path =
+  List.filter_map
+    (fun line ->
+      if String.trim line = "" then None
+      else
+        match Obda_obs.Json.parse line with
+        | Ok _ -> None
+        | Error e -> Some (Printf.sprintf "%S: %s" line e))
+    (read_lines path)
 
 let () =
   if Array.length Sys.argv <> 3 then begin
@@ -23,19 +50,42 @@ let () =
            Printf.printf "FAIL (malformed manifest line): %s\n%!" line;
            incr failures
          | Some i ->
-           let expected = int_of_string (String.sub line 0 i) in
+           let directive = String.sub line 0 i in
            let args = String.sub line (i + 1) (String.length line - i - 1) in
-           let cmd =
-             Printf.sprintf "%s %s >/dev/null 2>/dev/null" (Filename.quote exe)
-               args
-           in
-           let code = Sys.command cmd in
-           if code = expected then
-             Printf.printf "ok   (exit %d): obda %s\n%!" code args
+           if directive = "json" then begin
+             let out = Filename.temp_file "obda-corpus" ".jsonl" in
+             let cmd =
+               Printf.sprintf "%s %s >%s 2>/dev/null" (Filename.quote exe) args
+                 (Filename.quote out)
+             in
+             let code = Sys.command cmd in
+             let bad = if code = 0 then check_json_lines out else [] in
+             (match (code, bad) with
+             | 0, [] -> Printf.printf "ok   (json stdout): obda %s\n%!" args
+             | 0, errs ->
+               Printf.printf "FAIL (%d non-JSON stdout lines): obda %s\n%!"
+                 (List.length errs) args;
+               List.iter (Printf.printf "       %s\n%!") errs;
+               incr failures
+             | code, _ ->
+               Printf.printf "FAIL (exit %d, want 0): obda %s\n%!" code args;
+               incr failures);
+             Sys.remove out
+           end
            else begin
-             Printf.printf "FAIL (exit %d, want %d): obda %s\n%!" code expected
-               args;
-             incr failures
+             let expected = int_of_string directive in
+             let cmd =
+               Printf.sprintf "%s %s >/dev/null 2>/dev/null"
+                 (Filename.quote exe) args
+             in
+             let code = Sys.command cmd in
+             if code = expected then
+               Printf.printf "ok   (exit %d): obda %s\n%!" code args
+             else begin
+               Printf.printf "FAIL (exit %d, want %d): obda %s\n%!" code
+                 expected args;
+               incr failures
+             end
            end
        end
      done

@@ -1,0 +1,234 @@
+(* The telemetry layer: span nesting, counter/gauge aggregation, the
+   JSON-lines sink (round-tripped through our own parser), the disabled
+   fast path, and span outcomes under typed errors. *)
+
+module Obs = Obda_obs.Obs
+module Json = Obda_obs.Json
+module Error = Obda_runtime.Error
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let (), c =
+    Obs.collecting (fun () ->
+        Obs.with_span "root" (fun () ->
+            Obs.with_span "child1" (fun () -> ());
+            Obs.with_span "child2" (fun () ->
+                Obs.with_span "grandchild" (fun () -> ()))))
+  in
+  (* completion order: a parent closes after its children *)
+  let names = List.map (fun (s : Obs.span) -> s.Obs.name) (Obs.Collector.spans c) in
+  Alcotest.(check (list string))
+    "completion order"
+    [ "child1"; "grandchild"; "child2"; "root" ]
+    names;
+  let find name =
+    List.find (fun (s : Obs.span) -> s.Obs.name = name) (Obs.Collector.spans c)
+  in
+  let root = find "root" in
+  let child1 = find "child1" in
+  let child2 = find "child2" in
+  let grandchild = find "grandchild" in
+  check "root has no parent" true (root.Obs.parent = None);
+  check_int "root depth" 0 root.Obs.depth;
+  check "child1 parented to root" true (child1.Obs.parent = Some root.Obs.id);
+  check "child2 parented to root" true (child2.Obs.parent = Some root.Obs.id);
+  check "grandchild parented to child2" true
+    (grandchild.Obs.parent = Some child2.Obs.id);
+  check_int "grandchild depth" 2 grandchild.Obs.depth;
+  List.iter
+    (fun (s : Obs.span) ->
+      check "span completed" true (s.Obs.outcome = Obs.Completed);
+      check "span duration non-negative" true (s.Obs.duration >= 0.))
+    (Obs.Collector.spans c)
+
+let test_counter_aggregation () =
+  let (), c =
+    Obs.collecting (fun () ->
+        Obs.incr "t.hits";
+        Obs.count "t.hits" 4;
+        Obs.incr "t.hits";
+        Obs.incr "t.other";
+        (* gauges: last write wins *)
+        Obs.set_int "t.gauge" 3;
+        Obs.set_int "t.gauge" 42;
+        Obs.set_float "t.ratio" 0.5;
+        check_int "counter readable while collecting" 6
+          (Obs.counter_value "t.hits"))
+  in
+  check_int "hits total" 6 (Obs.Collector.counter c "t.hits");
+  check_int "other total" 1 (Obs.Collector.counter c "t.other");
+  check_int "absent counter is 0" 0 (Obs.Collector.counter c "t.absent");
+  check "gauge last write wins" true
+    (Obs.Collector.gauge_int c "t.gauge" = Some 42);
+  check "float gauge" true (Obs.Collector.gauge_float c "t.ratio" = Some 0.5);
+  (* metrics are flushed sorted by name *)
+  let names = List.map (fun (n, _, _) -> n) (Obs.Collector.metrics c) in
+  Alcotest.(check (list string))
+    "sorted metric names"
+    [ "t.gauge"; "t.hits"; "t.other"; "t.ratio" ]
+    names
+
+let test_json_lines_roundtrip () =
+  let buf = Buffer.create 256 in
+  let sink = Obs.json_sink (fun line -> Buffer.add_string buf (line ^ "\n")) in
+  Obs.install sink;
+  Obs.with_span "outer" ~attrs:[ ("algorithm", "Tw") ] (fun () ->
+      Obs.with_span "inner" (fun () -> Obs.incr "t.events"));
+  Obs.set_int "t.final" 7;
+  Obs.uninstall ();
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  check "several lines written" true (List.length lines >= 4);
+  let parsed =
+    List.map
+      (fun line ->
+        match Json.parse line with
+        | Ok v -> v
+        | Error e -> Alcotest.failf "unparsable trace line %S: %s" line e)
+      lines
+  in
+  let mem k v = Option.value ~default:Json.Null (Json.member k v) in
+  let typ v = Json.to_string_opt (mem "type" v) in
+  let spans = List.filter (fun v -> typ v = Some "span") parsed in
+  let metrics = List.filter (fun v -> typ v = Some "metric") parsed in
+  check_int "two spans" 2 (List.length spans);
+  check "every line is a span or metric" true
+    (List.length spans + List.length metrics = List.length parsed);
+  (* the inner span closes first and points at the outer one *)
+  (match spans with
+  | [ inner; outer ] ->
+    check "inner name" true
+      (Json.to_string_opt (mem "name" inner) = Some "inner");
+    check "outer name" true
+      (Json.to_string_opt (mem "name" outer) = Some "outer");
+    check "inner.parent = outer.id" true
+      (Json.to_int_opt (mem "parent" inner)
+      = Json.to_int_opt (mem "id" outer));
+    check "outcome ok" true
+      (Json.to_string_opt (mem "outcome" outer) = Some "ok");
+    check "attrs survive" true
+      (Json.to_string_opt (mem "algorithm" (mem "attrs" outer))
+      = Some "Tw")
+  | _ -> Alcotest.fail "expected exactly two span lines");
+  let metric name =
+    List.find_opt
+      (fun v -> Json.to_string_opt (mem "name" v) = Some name)
+      metrics
+  in
+  (match metric "t.events" with
+  | Some v ->
+    check "counter kind" true
+      (Json.to_string_opt (mem "kind" v) = Some "counter");
+    check "counter value" true (Json.to_int_opt (mem "value" v) = Some 1)
+  | None -> Alcotest.fail "t.events metric missing");
+  match metric "t.final" with
+  | Some v ->
+    check "gauge kind" true
+      (Json.to_string_opt (mem "kind" v) = Some "gauge");
+    check "gauge value" true (Json.to_int_opt (mem "value" v) = Some 7)
+  | None -> Alcotest.fail "t.final metric missing"
+
+let test_disabled_noop () =
+  check "disabled by default" false (Obs.enabled ());
+  (* recording is a no-op and allocates no visible state *)
+  Obs.incr "t.ghost";
+  Obs.count "t.ghost" 10;
+  Obs.set_int "t.ghost_gauge" 5;
+  check_int "counter invisible when disabled" 0 (Obs.counter_value "t.ghost");
+  check "gauge invisible when disabled" true
+    (Obs.gauge_value "t.ghost_gauge" = None);
+  check_int "with_span is transparent" 41 (Obs.with_span "t" (fun () -> 41));
+  (* ...and nothing recorded while disabled leaks into a later collector *)
+  let (), c = Obs.collecting (fun () -> ()) in
+  check_int "no leakage" 0 (Obs.Collector.counter c "t.ghost");
+  check "no spans" true (Obs.Collector.spans c = [])
+
+let test_span_outcome_on_error () =
+  let c = Obs.Collector.create () in
+  Obs.install (Obs.Collector.sink c);
+  (try
+     Obs.with_span "doomed" (fun () ->
+         Error.not_applicable ~algorithm:"X" "shape is wrong")
+   with Error.Obda_error (Error.Not_applicable _) -> ());
+  (try Obs.with_span "broken" (fun () -> failwith "boom") with Failure _ -> ());
+  (try Obs.with_span "foreign" (fun () -> raise Exit) with Exit -> ());
+  Obs.uninstall ();
+  check "disabled again after uninstall" false (Obs.enabled ());
+  match Obs.Collector.spans c with
+  | [ doomed; broken; foreign ] ->
+    check "typed error class" true
+      (doomed.Obs.outcome = Obs.Failed "not-applicable");
+    check "Failure maps to the internal class" true
+      (broken.Obs.outcome = Obs.Failed "internal");
+    check "foreign exception class" true
+      (foreign.Obs.outcome = Obs.Failed "exception")
+  | spans -> Alcotest.failf "expected 3 spans, got %d" (List.length spans)
+
+let test_collecting_restores_outer_sink () =
+  let outer = Obs.Collector.create () in
+  Obs.install (Obs.Collector.sink outer);
+  Obs.incr "t.outer";
+  let (), inner = Obs.collecting (fun () -> Obs.incr "t.inner") in
+  Obs.incr "t.outer";
+  Obs.uninstall ();
+  check_int "inner sees only inner" 0 (Obs.Collector.counter inner "t.outer");
+  check_int "inner counted" 1 (Obs.Collector.counter inner "t.inner");
+  check_int "outer kept counting" 2 (Obs.Collector.counter outer "t.outer");
+  check_int "outer missed the bracket" 0 (Obs.Collector.counter outer "t.inner")
+
+(* ------------------------------------------------------------------ *)
+(* the zero-dependency JSON parser used by the sinks and the corpus *)
+
+let test_json_parser () =
+  let roundtrip v = Json.parse (Json.to_string v) in
+  let cases =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.String "a \"quoted\" line\nwith\tescapes";
+      Json.List [ Json.Int 1; Json.Float 2.5; Json.Null ];
+      Json.Assoc
+        [ ("name", Json.String "ndl.size"); ("value", Json.Int 65) ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match roundtrip v with
+      | Ok v' ->
+        check_str "roundtrip" (Json.to_string v) (Json.to_string v')
+      | Error e -> Alcotest.failf "roundtrip failed: %s" e)
+    cases;
+  check "trailing garbage rejected" true
+    (match Json.parse "{\"a\":1} x" with Error _ -> true | Ok _ -> false);
+  check "truncated object rejected" true
+    (match Json.parse "{\"a\":" with Error _ -> true | Ok _ -> false);
+  check "unicode escapes decode" true
+    (match Json.parse "\"\\u0041\\u00e9\"" with
+    | Ok (Json.String "Aé") -> true
+    | _ -> false)
+
+let suites =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "span nesting" `Quick test_span_nesting;
+        Alcotest.test_case "counter aggregation" `Quick
+          test_counter_aggregation;
+        Alcotest.test_case "json-lines round-trip" `Quick
+          test_json_lines_roundtrip;
+        Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+        Alcotest.test_case "span outcome on typed error" `Quick
+          test_span_outcome_on_error;
+        Alcotest.test_case "collecting restores outer sink" `Quick
+          test_collecting_restores_outer_sink;
+        Alcotest.test_case "json parser" `Quick test_json_parser;
+      ] );
+  ]

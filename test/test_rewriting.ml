@@ -284,6 +284,35 @@ let test_disconnected_queries () =
     (fun (name, abox) -> agreement_on omq abox ("disc/" ^ name))
     aboxes
 
+(* The telemetry gauges a rewriter reports must be the measurements of the
+   program it returns — and, for a pinned OMQ, exact known values: the Lin
+   rewriting of Example 8's word query over Example 11's ontology. *)
+let test_lin_metrics () =
+  let module Obs = Obda_obs.Obs in
+  let omq = { Omq.tbox = example11_tbox (); cq = example8_cq () } in
+  let q, c = Obs.collecting (fun () -> Omq.rewrite Omq.Lin omq) in
+  let gauge name = Obs.Collector.gauge_int c name in
+  Alcotest.(check (option int))
+    "clauses gauge = program clauses" (Some (Ndl.num_clauses q))
+    (gauge "ndl.clauses");
+  Alcotest.(check (option int))
+    "width gauge = program width" (Some (Ndl.width q)) (gauge "ndl.width");
+  Alcotest.(check (option int))
+    "size gauge = program size" (Some (Ndl.size q)) (gauge "ndl.size");
+  (* exact values for this pinned OMQ *)
+  Alcotest.(check (option int)) "Lin clause count" (Some 51) (gauge "ndl.clauses");
+  Alcotest.(check (option int)) "Lin width" (Some 3) (gauge "ndl.width");
+  Alcotest.(check int) "clauses emitted before pruning" 33
+    (Obs.Collector.counter c "ndl.clauses_emitted");
+  (* the complete-data program of Theorem (Lin) really is width ≤ 2 *)
+  let q_complete, c_complete =
+    Obs.collecting (fun () -> Omq.rewrite ~over:`Complete Omq.Lin omq)
+  in
+  check "complete-level width ≤ 2" true (Ndl.width q_complete <= 2);
+  Alcotest.(check (option int))
+    "complete-level width gauge" (Some (Ndl.width q_complete))
+    (Obs.Collector.gauge_int c_complete "ndl.width")
+
 let suites =
   [
     ( "rewriting",
@@ -301,6 +330,7 @@ let suites =
         Alcotest.test_case "classification" `Quick test_classification;
         Alcotest.test_case "disconnected queries" `Quick
           test_disconnected_queries;
+        Alcotest.test_case "Lin telemetry metrics" `Quick test_lin_metrics;
         QCheck_alcotest.to_alcotest (qcheck_agreement Omq.Tw);
         QCheck_alcotest.to_alcotest (qcheck_agreement Omq.Lin);
         QCheck_alcotest.to_alcotest (qcheck_agreement Omq.Log);

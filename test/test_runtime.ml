@@ -266,10 +266,20 @@ let test_fallback_recovers () =
   let abox = triangle_abox () in
   let r = Omq.answer_with_fallback ~chain:[ Omq.Tw; Omq.Ucq ] omq abox in
   check "fell through to UCQ" true (r.Omq.answered_by = Some Omq.Ucq);
-  check_int "one failed attempt" 1 (List.length r.Omq.attempts);
+  check_int "both attempts recorded" 2 (List.length r.Omq.attempts);
   (match r.Omq.attempts with
-  | [ { Omq.algorithm = Omq.Tw; error = Error.Not_applicable _ } ] -> ()
-  | _ -> Alcotest.fail "expected the Tw attempt to fail as not-applicable");
+  | [
+   { Omq.algorithm = Omq.Tw; outcome = Error (Error.Not_applicable _); _ };
+   { Omq.algorithm = Omq.Ucq; outcome = Ok (); _ };
+  ] ->
+    ()
+  | _ ->
+    Alcotest.fail
+      "expected a failed Tw attempt followed by a successful Ucq one");
+  List.iter
+    (fun (a : Omq.attempt) ->
+      check "attempt duration is non-negative" true (a.Omq.duration >= 0.))
+    r.Omq.attempts;
   check "answers found" true (r.Omq.answers <> []);
   (* the fallback answers agree with the chase ground truth *)
   let expected = List.sort compare (Omq.answer_certain omq abox) in
@@ -302,9 +312,10 @@ let test_fallback_reports_budget_failures () =
     (* whichever attempt answered, every recorded failure must be typed *)
     List.iter
       (fun (a : Omq.attempt) ->
-        match a.Omq.error with
-        | Error.Budget_exhausted _ | Error.Not_applicable _ -> ()
-        | _ -> Alcotest.fail "unexpected attempt error class")
+        match a.Omq.outcome with
+        | Ok () | Error (Error.Budget_exhausted _ | Error.Not_applicable _) ->
+          ()
+        | Error _ -> Alcotest.fail "unexpected attempt error class")
       r.Omq.attempts
   | exception Error.Obda_error (Error.Budget_exhausted _) ->
     (* every algorithm ran out of its (tiny) allowance: also acceptable,
