@@ -120,17 +120,21 @@ let rewriting_size ?budget ?max_cqs alg omq =
 
 let marker tbox r = Tbox.exists_name tbox (Role.of_string r)
 
-let build_dataset ~scale tbox (name, params) =
+(* the fixed generator seed, printed in every harness row so a timeout cell
+   identifies an exactly reproducible instance *)
+let default_seed = 42
+
+let build_dataset ?(seed = default_seed) ~scale tbox (name, params) =
   let params = if scale = 1.0 then params else Generate.scale scale params in
   let abox =
-    Generate.erdos_renyi ~seed:42 ~edge_pred:(Symbol.intern "R")
+    Generate.erdos_renyi ~seed ~edge_pred:(Symbol.intern "R")
       ~concepts:[ marker tbox "P"; marker tbox "P-" ]
       params
   in
   (name, params, abox)
 
-let datasets ~scale tbox =
-  List.map (build_dataset ~scale tbox) Generate.table2_params
+let datasets ?seed ~scale tbox =
+  List.map (build_dataset ?seed ~scale tbox) Generate.table2_params
 
 (* ------------------------------------------------------------------ *)
 (* Timed evaluation *)

@@ -127,8 +127,8 @@ let table2 () =
     (Printf.sprintf "Table 2: generated datasets (scale %g of the paper's)"
        !scale);
   let tbox = example11 () in
-  let widths = [ 8; 9; 9; 9; 12; 12 ] in
-  print_row widths [ "dataset"; "V"; "p"; "q"; "avg.deg"; "atoms" ];
+  let widths = [ 8; 9; 9; 9; 12; 12; 6 ] in
+  print_row widths [ "dataset"; "V"; "p"; "q"; "avg.deg"; "atoms"; "seed" ];
   List.iter
     (fun (name, (params : Obda_data.Generate.graph_params), abox) ->
       print_row widths
@@ -141,6 +141,7 @@ let table2 () =
             (params.Obda_data.Generate.edge_prob
             *. float_of_int params.Obda_data.Generate.vertices);
           string_of_int (Obda_data.Abox.num_atoms abox);
+          string_of_int default_seed;
         ])
     (datasets ~scale:!scale tbox)
 
@@ -181,8 +182,9 @@ let eval_table ~table_no ~letters () =
   in
   List.iter
     (fun (dname, _, abox) ->
-      Printf.printf "\ndataset %s (%d atoms)\n" dname
-        (Obda_data.Abox.num_atoms abox);
+      Printf.printf "\ndataset %s (%d atoms, seed %d)\n" dname
+        (Obda_data.Abox.num_atoms abox)
+        default_seed;
       let widths =
         6 :: List.concat_map (fun _ -> [ 8; 9; 10 ]) eval_algorithms
       in
@@ -599,7 +601,18 @@ let obs_overhead () =
   Printf.printf
     "disabled counter event: %.2f ns (%d events ~ %.4f ms per pipeline run)\n"
     (per_event *. 1e9) 1000
-    (per_event *. 1000. *. 1000.)
+    (per_event *. 1000. *. 1000.);
+  (* the fault-site guard when no --inject plan is armed: same shape, one
+     load and one branch (acceptance: <= 5 ns per guarded site) *)
+  let module Fault = Obda_runtime.Fault in
+  assert (not (Fault.armed ()));
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    Fault.hit Fault.chase_step
+  done;
+  let per_site = (Unix.gettimeofday () -. t0) /. float_of_int n in
+  Printf.printf "disabled fault-site check: %.2f ns per guarded site\n"
+    (per_site *. 1e9)
 
 (* ------------------------------------------------------------------ *)
 

@@ -7,6 +7,7 @@ module Ndl = Obda_ndl.Ndl
 module Parse = Obda_parse.Parse
 module Error = Obda_runtime.Error
 module Budget = Obda_runtime.Budget
+module Fault = Obda_runtime.Fault
 module Obs = Obda_obs.Obs
 
 let algorithm_conv =
@@ -67,8 +68,17 @@ let report_error e =
   | _ -> ());
   exit (Error.exit_code e)
 
+(* EPIPE surfaces as [Sys_error "...: Broken pipe"] rather than through the
+   signal handler: the runtime only runs OCaml signal code at safepoints, so
+   the failed write usually raises first.  Either path exits 141. *)
+let is_broken_pipe msg =
+  let suffix = "Broken pipe" in
+  let n = String.length msg and l = String.length suffix in
+  n >= l && String.sub msg (n - l) l = suffix
+
 let handle_errors f =
   try f () with
+  | Sys_error msg when is_broken_pipe msg -> exit 141
   | exn -> (
     match Error.of_exn exn with
     | Some e -> report_error e
@@ -107,6 +117,50 @@ let budget_term =
     Budget.create ?timeout ?max_steps ?max_size ()
   in
   Term.(const make $ timeout $ max_steps $ max_size)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection (chaos testing), shared by the pipeline commands. *)
+
+let inject_conv =
+  let parse s =
+    match Fault.parse_plan s with
+    | Ok plan -> Ok plan
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf plan = Format.pp_print_string ppf (Fault.plan_to_string plan) in
+  Arg.conv (parse, print)
+
+let inject_term =
+  Arg.(
+    value
+    & opt (some inject_conv) None
+    & info [ "inject" ] ~docv:"PLAN"
+        ~doc:
+          "Arm a deterministic fault-injection plan: comma-separated \
+           SITE@SPEC[=CLASS] directives, where SPEC is an activation number \
+           (or nth:N), every:K, or random:P:SEED, and CLASS is one of \
+           parse, not-applicable, budget, inconsistent, internal (default: \
+           the site's own class).  See $(b,obda chaos-list) for the sites.  \
+           Example: --inject 'chase.step@17=budget'.")
+
+(* Arm after the sinks are installed; the [at_exit] handler registered here
+   runs BEFORE the telemetry teardown (LIFO), so the plan is disarmed — and
+   the activations that fired are reported for replay — before any guarded
+   sink write of the final flush could itself be injected. *)
+let arm_faults = function
+  | None -> ()
+  | Some plan ->
+    Fault.arm plan;
+    at_exit (fun () ->
+        let fired = Fault.fired () in
+        Fault.disarm ();
+        try
+          List.iter
+            (fun (s, n) ->
+              Printf.eprintf "# fault: fired %s@%d\n" (Fault.site_name s) n)
+            fired;
+          flush stderr
+        with Sys_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry flags, shared by the pipeline commands. *)
@@ -207,15 +261,19 @@ let init_telemetry ?(budget = Budget.none) t =
         if not !torn_down then begin
           torn_down := true;
           Obs.uninstall ();
-          (match collector with
-          | Some c ->
-            Format.eprintf "%a" Obs.Collector.pp c;
-            pp_budget_headroom Format.err_formatter budget;
-            Format.pp_print_flush Format.err_formatter ()
-          | None -> ());
-          flush stdout;
-          flush stderr;
-          List.iter close_out !to_close
+          (* stdout/stderr may be a pipe closed by the consumer: the flush
+             must never abort the remaining teardown *)
+          (try
+             match collector with
+             | Some c ->
+               Format.eprintf "%a" Obs.Collector.pp c;
+               pp_budget_headroom Format.err_formatter budget;
+               Format.pp_print_flush Format.err_formatter ()
+             | None -> ()
+           with Sys_error _ -> ());
+          (try flush stdout with Sys_error _ -> ());
+          (try flush stderr with Sys_error _ -> ());
+          List.iter (fun oc -> try close_out oc with Sys_error _ -> ()) !to_close
         end)
   end
 
@@ -241,9 +299,10 @@ let classify_cmd =
     Term.(const run $ ontology_arg $ query_arg)
 
 let rewrite_cmd =
-  let run ontology query algorithm over_complete budget telemetry =
+  let run ontology query algorithm over_complete budget inject telemetry =
     handle_errors (fun () ->
         init_telemetry ~budget telemetry;
+        arm_faults inject;
         let omq = load_omq ontology query in
         let alg =
           match algorithm with
@@ -274,13 +333,14 @@ let rewrite_cmd =
     Term.(
       const run $ ontology_arg $ query_arg
       $ algorithm_arg ~default:None
-      $ over_complete $ budget_term $ telemetry_term)
+      $ over_complete $ budget_term $ inject_term $ telemetry_term)
 
 let answer_cmd =
   let run ontology query data mapping source algorithm use_chase budget
-      fallback fail_inconsistent telemetry =
+      fallback retry fail_inconsistent inject telemetry =
     handle_errors (fun () ->
         init_telemetry ~budget telemetry;
+        arm_faults inject;
         let omq = load_omq ontology query in
         let on_inconsistent = if fail_inconsistent then `Error else `All_tuples in
         let answers =
@@ -304,11 +364,30 @@ let answer_cmd =
               let abox = Parse.data_of_file d in
               if use_chase then
                 Omq.answer_certain ~budget ~on_inconsistent omq abox
-              else if fallback then begin
-                let chain = Option.map Omq.default_chain algorithm in
+              else if fallback || retry > 0 then begin
+                let chain =
+                  if fallback then Option.map Omq.default_chain algorithm
+                  else
+                    (* --retry alone: retry the one requested algorithm *)
+                    Some
+                      [
+                        (match algorithm with
+                        | Some a -> a
+                        | None ->
+                          if Obda_cq.Cq.is_tree_shaped omq.Omq.cq then Omq.Tw
+                          else Omq.Log);
+                      ]
+                in
                 let r =
-                  Omq.answer_with_fallback ~budget ?chain ~on_inconsistent omq
-                    abox
+                  Omq.answer_with_fallback ~budget
+                    ~retry:{ Omq.max_retries = retry; escalation = 2. }
+                    ?chain ~on_inconsistent omq abox
+                in
+                let attempt_name (a : Omq.attempt) =
+                  if a.Omq.trial > 1 then
+                    Printf.sprintf "%s (trial %d)"
+                      (Omq.algorithm_name a.Omq.algorithm) a.Omq.trial
+                  else Omq.algorithm_name a.Omq.algorithm
                 in
                 (match r.Omq.attempts with
                 | [] | [ { Omq.outcome = Ok (); _ } ] ->
@@ -320,11 +399,10 @@ let answer_cmd =
                       match a.Omq.outcome with
                       | Error e ->
                         Printf.eprintf "# fallback: %s failed after %.3fs: %s\n"
-                          (Omq.algorithm_name a.Omq.algorithm) a.Omq.duration
-                          (Error.to_string e)
+                          (attempt_name a) a.Omq.duration (Error.to_string e)
                       | Ok () ->
                         Printf.eprintf "# fallback: answered by %s in %.3fs\n"
-                          (Omq.algorithm_name a.Omq.algorithm) a.Omq.duration)
+                          (attempt_name a) a.Omq.duration)
                     attempts);
                 r.Omq.answers
               end
@@ -379,6 +457,16 @@ let answer_cmd =
              budget, fall back to the always-applicable baselines (with -d).  \
              The attempts are reported on stderr as comment lines.")
   in
+  let retry =
+    Arg.(
+      value & opt int 0
+      & info [ "retry" ] ~docv:"N"
+          ~doc:
+            "Retry an algorithm whose step/size sub-budget ran out up to \
+             $(docv) times, doubling the sub-budget limits each trial; the \
+             --timeout wall deadline still bounds the whole request.  \
+             Without --fallback the chain is just the requested algorithm.")
+  in
   let fail_inconsistent =
     Arg.(
       value & flag
@@ -396,8 +484,8 @@ let answer_cmd =
     Term.(
       const run $ ontology_arg $ query_arg $ data_opt $ mapping $ source
       $ algorithm_arg ~default:None
-      $ use_chase $ budget_term $ fallback $ fail_inconsistent
-      $ telemetry_term)
+      $ use_chase $ budget_term $ fallback $ retry $ fail_inconsistent
+      $ inject_term $ telemetry_term)
 
 let stats_cmd =
   let run ontology =
@@ -418,15 +506,19 @@ let stats_cmd =
     Term.(const run $ ontology_arg)
 
 let gen_data_cmd =
+  (* wrapped in [handle_errors] so a consumer closing the pipe early
+     ([obda gen-data | head]) exits 141, not with a backtrace *)
   let run vertices edge_prob concept_prob seed =
-    let abox =
-      Obda_data.Generate.erdos_renyi ~seed
-        ~edge_pred:(Obda_syntax.Symbol.intern "R")
-        ~concepts:
-          [ Obda_syntax.Symbol.intern "A"; Obda_syntax.Symbol.intern "B" ]
-        { Obda_data.Generate.vertices; edge_prob; concept_prob }
-    in
-    print_string (Parse.data_to_string abox)
+    handle_errors (fun () ->
+        let abox =
+          Obda_data.Generate.erdos_renyi ~seed
+            ~edge_pred:(Obda_syntax.Symbol.intern "R")
+            ~concepts:
+              [ Obda_syntax.Symbol.intern "A"; Obda_syntax.Symbol.intern "B" ]
+            { Obda_data.Generate.vertices; edge_prob; concept_prob }
+        in
+        print_string (Parse.data_to_string abox);
+        flush stdout)
   in
   let vertices =
     Arg.(value & opt int 1000 & info [ "vertices" ] ~docv:"V" ~doc:"Vertices.")
@@ -448,9 +540,10 @@ let gen_data_cmd =
     Term.(const run $ vertices $ edge_prob $ concept_prob $ seed)
 
 let chase_cmd =
-  let run ontology data depth budget telemetry =
+  let run ontology data depth budget inject telemetry =
     handle_errors (fun () ->
         init_telemetry ~budget telemetry;
+        arm_faults inject;
         let tbox = Parse.ontology_of_file ontology in
         let abox = Parse.data_of_file data in
         let canon = Obda_chase.Canonical.make ~budget tbox abox ~depth in
@@ -477,7 +570,37 @@ let chase_cmd =
     (Cmd.info "chase"
        ~doc:"Print the canonical model C_{T,A} to a bounded null depth.")
     Term.(const run $ ontology_arg $ data_arg $ depth $ budget_term
-          $ telemetry_term)
+          $ inject_term $ telemetry_term)
+
+let chaos_list_cmd =
+  let run () =
+    Printf.printf "# %-26s %-8s %-15s %s\n" "site" "layer" "class" "exit";
+    List.iter
+      (fun s ->
+        Printf.printf "%-28s %-8s %-15s %d\n" (Fault.site_name s)
+          (Fault.site_layer s)
+          (Fault.cls_name (Fault.site_default s))
+          (Fault.cls_exit_code (Fault.site_default s)))
+      (Fault.sites ())
+  in
+  Cmd.v
+    (Cmd.info "chaos-list"
+       ~doc:
+         "List the registered fault-injection sites: plan name, pipeline \
+          layer, default error class and the exit code an injected fault of \
+          that class produces.")
+    Term.(const run $ const ())
+
+(* Terminate through [exit] so the [at_exit] teardown still flushes the
+   telemetry sinks; 130/143/141 are the conventional 128+signal codes.
+   (SIGPIPE usually surfaces as [Sys_error] first — see [is_broken_pipe] —
+   but an explicit handler covers writes the runtime retries.) *)
+let install_signal_handlers () =
+  List.iter
+    (fun (signal, code) ->
+      try Sys.set_signal signal (Sys.Signal_handle (fun _ -> exit code))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ (Sys.sigint, 130); (Sys.sigterm, 143); (Sys.sigpipe, 141) ]
 
 let main =
   Cmd.group
@@ -485,6 +608,16 @@ let main =
        ~doc:
          "Optimal NDL-rewritings for OWL 2 QL ontology-mediated queries \
           (Bienvenu et al., PODS 2017).")
-    [ classify_cmd; rewrite_cmd; answer_cmd; stats_cmd; gen_data_cmd; chase_cmd ]
+    [
+      classify_cmd;
+      rewrite_cmd;
+      answer_cmd;
+      stats_cmd;
+      gen_data_cmd;
+      chase_cmd;
+      chaos_list_cmd;
+    ]
 
-let () = exit (Cmd.eval main)
+let () =
+  install_signal_handlers ();
+  exit (Cmd.eval main)

@@ -2,6 +2,7 @@ open Obda_syntax
 open Obda_ontology
 open Obda_data
 module Budget = Obda_runtime.Budget
+module Fault = Obda_runtime.Fault
 module Obs = Obda_obs.Obs
 
 type element = Ind of Abox.const | Null of Abox.const * Role.t list
@@ -36,12 +37,14 @@ let generate_elements ~budget tbox complete depth =
   let inds = Abox.individuals complete in
   let made a w =
     (* one chase step and one materialised element per null *)
+    Fault.hit Fault.chase_null;
     Budget.step budget;
     Budget.grow budget;
     Obs.incr "chase.nulls";
     Null (a, w)
   in
   let starts a =
+    Fault.hit Fault.chase_step;
     List.filter_map
       (fun r ->
         if
@@ -51,7 +54,9 @@ let generate_elements ~budget tbox complete depth =
         else None)
       (Tbox.roles tbox)
   in
-  let extend = function
+  let extend e =
+    Fault.hit Fault.chase_step;
+    match e with
     | Ind _ -> []
     | Null (a, (last :: _ as w)) ->
       List.filter_map

@@ -4,6 +4,7 @@ open Obda_cq
 module Ndl = Obda_ndl.Ndl
 module Optimize = Obda_ndl.Optimize
 module Budget = Obda_runtime.Budget
+module Fault = Obda_runtime.Fault
 module Error = Obda_runtime.Error
 module Obs = Obda_obs.Obs
 
@@ -104,6 +105,7 @@ let rewrite ?(budget = Budget.none) ?root tbox q =
   in
   let clauses = ref [] in
   let emit head body =
+    Fault.hit Fault.rewrite_lin_emit;
     Budget.step budget;
     Budget.grow ~by:(1 + List.length body) budget;
     Obs.incr "ndl.clauses_emitted";

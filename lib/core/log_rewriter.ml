@@ -4,6 +4,7 @@ open Obda_cq
 module Ndl = Obda_ndl.Ndl
 module Optimize = Obda_ndl.Optimize
 module Budget = Obda_runtime.Budget
+module Fault = Obda_runtime.Fault
 module Error = Obda_runtime.Error
 module Obs = Obda_obs.Obs
 
@@ -101,6 +102,7 @@ let splitter ctx d =
       |> fst)
 
 let emit ctx head body =
+  Fault.hit Fault.rewrite_log_emit;
   Budget.step ctx.budget;
   Budget.grow ~by:(1 + List.length body) ctx.budget;
   Obs.incr "ndl.clauses_emitted";

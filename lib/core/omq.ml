@@ -209,6 +209,7 @@ let answer_certain ?budget ?(on_inconsistent = `All_tuples) omq abox =
 
 type attempt = {
   algorithm : algorithm;
+  trial : int;
   outcome : (unit, Error.t) result;
   duration : float;
 }
@@ -221,6 +222,17 @@ type fallback_answer = {
   attempts : attempt list;  (** every attempt, in chain order *)
 }
 
+type retry = { max_retries : int; escalation : float }
+
+let no_retry = { max_retries = 0; escalation = 2. }
+let default_retry = { max_retries = 2; escalation = 2. }
+
+(* only step/size exhaustion is transient: escalating the sub-budget can
+   help, whereas a blown wall deadline or a wrong-shaped OMQ cannot change *)
+let transient = function
+  | Error.Budget_exhausted { resource = Error.Steps | Error.Size; _ } -> true
+  | _ -> false
+
 let default_chain preferred =
   let tail =
     List.filter
@@ -229,7 +241,7 @@ let default_chain preferred =
   in
   preferred :: tail
 
-let answer_with_fallback ?(budget = Budget.none) ?chain
+let answer_with_fallback ?(budget = Budget.none) ?(retry = no_retry) ?chain
     ?(on_inconsistent = `All_tuples) omq abox =
   let chain =
     match chain with
@@ -251,33 +263,59 @@ let answer_with_fallback ?(budget = Budget.none) ?chain
         (match attempts with
         | { outcome = Error error; _ } :: _ -> raise (Error.Obda_error error)
         | _ -> assert false)
-      | alg :: rest -> (
+      | alg :: rest ->
         (* a fresh step/size allowance per attempt; the deadline is shared,
-           so falling back never extends the request's total time budget *)
-        let b = Budget.sub budget in
-        let t0 = Unix.gettimeofday () in
-        let finish outcome =
-          { algorithm = alg; outcome; duration = Unix.gettimeofday () -. t0 }
+           so neither falling back nor retrying ever extends the request's
+           total time budget *)
+        let rec run_trial trial factor attempts =
+          let b =
+            if factor = 1. then Budget.sub budget
+            else Budget.sub_scaled ~factor budget
+          in
+          let t0 = Unix.gettimeofday () in
+          let finish outcome =
+            {
+              algorithm = alg;
+              trial;
+              outcome;
+              duration = Unix.gettimeofday () -. t0;
+            }
+          in
+          let attrs =
+            ("algorithm", algorithm_name alg)
+            ::
+            (if trial > 1 then [ ("trial", string_of_int trial) ] else [])
+          in
+          match
+            Obs.with_span "omq.attempt" ~attrs (fun () ->
+                if not (applicable alg omq) then
+                  Error.not_applicable ~algorithm:(algorithm_name alg)
+                    "side conditions do not hold for this OMQ"
+                else
+                  let q = rewrite ~budget:b ~over:`Arbitrary alg omq in
+                  Eval.answers ~budget:b q abox)
+          with
+          | answers ->
+            {
+              answers;
+              answered_by = Some alg;
+              attempts = List.rev (finish (Ok ()) :: attempts);
+            }
+          | exception
+              Error.Obda_error
+                ((Error.Not_applicable _ | Error.Budget_exhausted _) as error)
+            ->
+            let attempts = finish (Error error) :: attempts in
+            (* retry the same algorithm under an escalated sub-budget — but
+               only for transient exhaustion, and never once the request's
+               wall deadline has passed *)
+            if
+              transient error
+              && trial <= retry.max_retries
+              && not (Budget.wall_exhausted budget)
+            then run_trial (trial + 1) (factor *. retry.escalation) attempts
+            else try_chain attempts rest
         in
-        match
-          Obs.with_span "omq.attempt"
-            ~attrs:[ ("algorithm", algorithm_name alg) ]
-            (fun () ->
-              if not (applicable alg omq) then
-                Error.not_applicable ~algorithm:(algorithm_name alg)
-                  "side conditions do not hold for this OMQ"
-              else
-                let q = rewrite ~budget:b ~over:`Arbitrary alg omq in
-                Eval.answers ~budget:b q abox)
-        with
-        | answers ->
-          {
-            answers;
-            answered_by = Some alg;
-            attempts = List.rev (finish (Ok ()) :: attempts);
-          }
-        | exception Error.Obda_error ((Error.Not_applicable _ | Error.Budget_exhausted _) as error)
-          ->
-          try_chain (finish (Error error) :: attempts) rest)
+        run_trial 1 1. attempts
     in
     try_chain [] chain

@@ -81,10 +81,12 @@ val answer_certain :
 
 type attempt = {
   algorithm : algorithm;
+  trial : int;
+      (** 1 for the first attempt of an algorithm, incremented per retry *)
   outcome : (unit, Obda_runtime.Error.t) result;
       (** [Ok ()] for the attempt that produced the answer; [Error e] with
           the [Not_applicable] or [Budget_exhausted] error that made the
-          chain fall through to the next algorithm *)
+          chain retry or fall through to the next algorithm *)
   duration : float;  (** wall-clock seconds spent on this attempt *)
 }
 
@@ -101,8 +103,23 @@ val default_chain : algorithm -> algorithm list
 (** The preferred algorithm followed by the always-applicable baselines:
     Presto*(TW), then the UCQ engines. *)
 
+type retry = {
+  max_retries : int;  (** extra trials per algorithm beyond the first *)
+  escalation : float;
+      (** multiplier applied to the step/size sub-budget limits on each
+          retry (via {!Obda_runtime.Budget.sub_scaled}) *)
+}
+
+val no_retry : retry
+(** [{ max_retries = 0; escalation = 2. }] — the default: every algorithm
+    gets exactly one trial. *)
+
+val default_retry : retry
+(** [{ max_retries = 2; escalation = 2. }]. *)
+
 val answer_with_fallback :
   ?budget:Obda_runtime.Budget.t ->
+  ?retry:retry ->
   ?chain:algorithm list ->
   ?on_inconsistent:[ `All_tuples | `Error ] ->
   t -> Abox.t -> fallback_answer
@@ -114,5 +131,15 @@ val answer_with_fallback :
     across attempts, so fallback never extends a request's total time
     allowance.  If every algorithm fails, the last error is re-raised.
 
+    With [~retry] (default {!no_retry}), an attempt that fails with
+    {e transient} exhaustion — [Budget_exhausted] on the steps or size of
+    its own sub-budget, never on the shared wall clock — is retried up to
+    [max_retries] times under sub-budgets whose step/size limits escalate
+    exponentially by [escalation] per trial.  A retry never starts once the
+    request's wall deadline has passed, so the total time stays bounded by
+    the deadline plus the granularity of one in-flight attempt's budget
+    check.  Every trial appears in [attempts] with its [trial] number.
+
     Each attempt is additionally bracketed by an [omq.attempt] telemetry
-    span (with an [algorithm] attribute) when a sink is installed. *)
+    span (with [algorithm] and, on retries, [trial] attributes) when a sink
+    is installed. *)

@@ -4,6 +4,7 @@ open Obda_cq
 open Obda_chase
 module Ndl = Obda_ndl.Ndl
 module Budget = Obda_runtime.Budget
+module Fault = Obda_runtime.Fault
 module Obs = Obda_obs.Obs
 
 exception Limit_reached
@@ -42,6 +43,7 @@ let rewrite ?(budget = Budget.none) ?(max_subsets = 100_000) tbox q =
   let params = ref (Symbol.Map.singleton goal (List.length goal_args)) in
   let clauses = ref [] in
   let emit c =
+    Fault.hit Fault.rewrite_presto_emit;
     Obs.incr "ndl.clauses_emitted";
     Obs.count "ndl.atoms_emitted" (1 + List.length c.Ndl.body);
     clauses := c :: !clauses

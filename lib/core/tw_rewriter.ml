@@ -4,6 +4,7 @@ open Obda_cq
 open Obda_chase
 module Ndl = Obda_ndl.Ndl
 module Budget = Obda_runtime.Budget
+module Fault = Obda_runtime.Fault
 module Error = Obda_runtime.Error
 module Obs = Obda_obs.Obs
 module CqMap = Map.Make (Cq)
@@ -30,6 +31,7 @@ let args_of st q =
   (nps @ ps, List.length ps)
 
 let emit st c =
+  Fault.hit Fault.rewrite_tw_emit;
   Budget.step st.budget;
   Budget.grow ~by:(1 + List.length c.Ndl.body) st.budget;
   Obs.incr "ndl.clauses_emitted";

@@ -3,6 +3,7 @@ open Obda_ontology
 open Obda_cq
 module Ndl = Obda_ndl.Ndl
 module Budget = Obda_runtime.Budget
+module Fault = Obda_runtime.Fault
 module Obs = Obda_obs.Obs
 
 exception Limit_reached
@@ -190,12 +191,14 @@ let rewrite_cqs ?budget ?max_cqs tbox q =
       else None)
     (rewrite_wcqs ?budget ?max_cqs tbox q)
 
-let ndl_of_wcqs q wcqs =
+(* [site] distinguishes the plain and condensed variants in fault plans *)
+let ndl_of_wcqs ~site q wcqs =
   let goal = Symbol.fresh "GUcq" in
   let goal_args = Cq.answer_vars q in
   let clauses =
     List.map
       (fun w ->
+        Fault.hit site;
         Obs.incr "ndl.clauses_emitted";
         Obs.count "ndl.atoms_emitted" (1 + List.length w.atoms);
         {
@@ -214,7 +217,9 @@ let ndl_of_wcqs q wcqs =
 
 let rewrite ?budget ?max_cqs tbox q =
   Obs.with_span "rewrite.ucq" (fun () ->
-      Ndl.observe (ndl_of_wcqs q (rewrite_wcqs ?budget ?max_cqs tbox q)))
+      Ndl.observe
+        (ndl_of_wcqs ~site:Fault.rewrite_ucq_emit q
+           (rewrite_wcqs ?budget ?max_cqs tbox q)))
 
 (* ------------------------------------------------------------------ *)
 (* CQ subsumption *)
@@ -291,4 +296,5 @@ let condense ?(budget = Budget.none) wcqs =
 let rewrite_condensed ?budget ?max_cqs tbox q =
   Obs.with_span "rewrite.ucq-condensed" (fun () ->
       Ndl.observe
-        (ndl_of_wcqs q (condense ?budget (rewrite_wcqs ?budget ?max_cqs tbox q))))
+        (ndl_of_wcqs ~site:Fault.rewrite_ucq_condensed_emit q
+           (condense ?budget (rewrite_wcqs ?budget ?max_cqs tbox q))))

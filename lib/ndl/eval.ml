@@ -1,6 +1,7 @@
 open Obda_syntax
 open Obda_data
 module Budget = Obda_runtime.Budget
+module Fault = Obda_runtime.Fault
 module Obs = Obda_obs.Obs
 
 exception Timeout
@@ -340,6 +341,7 @@ let run_unobserved ~budget ~deadline ~edb ~extra_domain (q : Ndl.query) abox =
   List.iter
     (fun p ->
       (* one materialisation round per IDB predicate (dependencies first) *)
+      Fault.hit Fault.eval_ndl_round;
       Obs.incr "eval.rounds";
       let clauses = Option.value ~default:[] (Symbol.Tbl.find_opt by_head p) in
       let arity =

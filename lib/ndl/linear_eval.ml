@@ -1,6 +1,7 @@
 open Obda_syntax
 open Obda_data
 module Budget = Obda_runtime.Budget
+module Fault = Obda_runtime.Fault
 module Error = Obda_runtime.Error
 module Obs = Obda_obs.Obs
 
@@ -170,6 +171,7 @@ let run_unobserved ~budget (q : Ndl.query) abox =
     !source_clauses;
   (* forward reachability *)
   while not (Queue.is_empty queue) do
+    Fault.hit Fault.eval_linear_round;
     Budget.step budget;
     Obs.incr "linear_eval.rounds";
     let p, args = Queue.pop queue in

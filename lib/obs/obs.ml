@@ -1,4 +1,5 @@
 module Error = Obda_runtime.Error
+module Fault = Obda_runtime.Fault
 
 type value = Int of int | Float of float
 type outcome = Completed | Failed of string
@@ -189,6 +190,11 @@ let json_of_value = function
   | Float f -> Json.Float f
 
 let json_sink ?(spans = true) ?(metrics = true) write =
+  (* every line of a JSON sink is one guarded trace-sink write *)
+  let write line =
+    Fault.hit Fault.obs_sink_write;
+    write line
+  in
   let on_span sp =
     if spans then
       let outcome_fields =

@@ -4,6 +4,7 @@ open Obda_cq
 open Obda_data
 
 module Error = Obda_runtime.Error
+module Fault = Obda_runtime.Fault
 
 let fail line fmt = Error.parse_error ~line fmt
 let fail_at line column fmt = Error.parse_error ~line ~column fmt
@@ -22,10 +23,14 @@ let with_source ?file s f =
     let source_line =
       match source_line with
       | Some _ as sl -> sl
-      | None -> (
-        match List.nth_opt (lines_of s) (loc.Error.line - 1) with
-        | Some l when String.trim l <> "" -> Some l
-        | _ -> None)
+      | None ->
+        (* line 0 marks a whole-file error: there is no line to quote (and
+           [nth_opt] rejects the negative index) *)
+        if loc.Error.line < 1 then None
+        else (
+          match List.nth_opt (lines_of s) (loc.Error.line - 1) with
+          | Some l when String.trim l <> "" -> Some l
+          | _ -> None)
     in
     let file = match loc.Error.file with Some _ as f -> f | None -> file in
     raise
@@ -209,6 +214,7 @@ let axiom_of_line line toks =
 
 let ontology_of_string ?file s =
   with_source ?file s @@ fun () ->
+  Fault.hit Fault.parse_tbox;
   let axioms =
     List.concat
       (List.mapi
@@ -224,6 +230,7 @@ let ontology_of_string ?file s =
 
 let query_of_string ?file s =
   with_source ?file s @@ fun () ->
+  Fault.hit Fault.parse_cq;
   let toks =
     List.concat (List.mapi (fun i line -> tokenize_line (i + 1) line) (lines_of s))
   in
@@ -264,6 +271,7 @@ let query_of_string ?file s =
 
 let data_of_string ?file s =
   with_source ?file s @@ fun () ->
+  Fault.hit Fault.parse_abox;
   let a = Abox.create () in
   List.iteri
     (fun i line ->

@@ -33,6 +33,19 @@ let is_limited b =
 
 let sub b = { b with steps = 0; size = 0 }
 
+let sub_scaled ~factor b =
+  if factor < 1. then invalid_arg "Budget.sub_scaled: factor < 1";
+  let scale limit =
+    max 1 (int_of_float (Float.ceil (float_of_int limit *. factor)))
+  in
+  {
+    b with
+    steps = 0;
+    size = 0;
+    max_steps = Option.map scale b.max_steps;
+    max_size = Option.map scale b.max_size;
+  }
+
 let exhausted resource spent limit =
   raise (Error.Obda_error (Error.Budget_exhausted { resource; spent; limit }))
 
@@ -86,3 +99,8 @@ let size_remaining b =
 
 let wall_remaining b =
   Option.map (fun d -> Float.max 0. (d -. Unix.gettimeofday ())) b.deadline
+
+let wall_exhausted b =
+  match b.deadline with
+  | Some d -> Unix.gettimeofday () >= d
+  | None -> false

@@ -31,6 +31,13 @@ val sub : t -> t
     wall-clock deadline is shared with the parent, so retrying a request
     never extends its total time allowance. *)
 
+val sub_scaled : factor:float -> t -> t
+(** Like {!sub}, but the step and size {e limits} are multiplied by
+    [factor] (rounded up, floor 1) — the escalated sub-budget of a retry.
+    The wall-clock deadline is still shared verbatim, so escalation can
+    never extend the request's total time allowance.  Raises
+    [Invalid_argument] when [factor < 1]. *)
+
 val step : t -> unit
 (** Count one unit of work; raises [Budget_exhausted] when the step budget
     is spent or (checked every 1024 steps) the deadline has passed. *)
@@ -67,3 +74,7 @@ val size_remaining : t -> int option
 
 val wall_remaining : t -> float option
 (** Seconds until the deadline (clamped at 0); [None] when no timeout. *)
+
+val wall_exhausted : t -> bool
+(** [true] once the deadline has passed ([false] when no timeout): the gate
+    that stops a retry policy from starting another attempt. *)

@@ -1,0 +1,264 @@
+type cls = Parse | Not_applicable | Budget | Inconsistent | Internal
+
+let cls_name = function
+  | Parse -> "parse"
+  | Not_applicable -> "not-applicable"
+  | Budget -> "budget"
+  | Inconsistent -> "inconsistent"
+  | Internal -> "internal"
+
+let cls_of_string s =
+  match String.lowercase_ascii s with
+  | "parse" -> Some Parse
+  | "not-applicable" | "not_applicable" -> Some Not_applicable
+  | "budget" -> Some Budget
+  | "inconsistent" -> Some Inconsistent
+  | "internal" -> Some Internal
+  | _ -> None
+
+let cls_exit_code = function
+  | Parse -> 2
+  | Not_applicable -> 3
+  | Budget -> 4
+  | Inconsistent -> 5
+  | Internal -> 1
+
+type site = { id : int; name : string; layer : string; default : cls }
+
+let site_name s = s.name
+let site_layer s = s.layer
+let site_default s = s.default
+
+(* The registry is static and lives entirely in this module: a site exists
+   whether or not the instrumented module was ever linked, so chaos-list and
+   the exhaustiveness check in the chaos suite see the full set. *)
+let registry = ref []
+let n_sites = ref 0
+
+let register ~layer ~default name =
+  let s = { id = !n_sites; name; layer; default } in
+  incr n_sites;
+  registry := s :: !registry;
+  s
+
+let chase_step = register ~layer:"chase" ~default:Budget "chase.step"
+let chase_null = register ~layer:"chase" ~default:Budget "chase.null"
+let rewrite_tw_emit = register ~layer:"rewrite" ~default:Budget "rewrite.tw.emit"
+let rewrite_lin_emit =
+  register ~layer:"rewrite" ~default:Budget "rewrite.lin.emit"
+let rewrite_log_emit =
+  register ~layer:"rewrite" ~default:Budget "rewrite.log.emit"
+let rewrite_ucq_emit =
+  register ~layer:"rewrite" ~default:Budget "rewrite.ucq.emit"
+let rewrite_ucq_condensed_emit =
+  register ~layer:"rewrite" ~default:Budget "rewrite.ucq_condensed.emit"
+let rewrite_presto_emit =
+  register ~layer:"rewrite" ~default:Budget "rewrite.presto.emit"
+let eval_ndl_round = register ~layer:"eval" ~default:Budget "eval.ndl.round"
+let eval_linear_round =
+  register ~layer:"eval" ~default:Budget "eval.linear.round"
+let parse_tbox = register ~layer:"parse" ~default:Parse "parse.tbox"
+let parse_cq = register ~layer:"parse" ~default:Parse "parse.cq"
+let parse_abox = register ~layer:"parse" ~default:Parse "parse.abox"
+let obs_sink_write = register ~layer:"obs" ~default:Internal "obs.sink.write"
+
+let sites () = List.rev !registry
+let find_site name = List.find_opt (fun s -> s.name = name) !registry
+
+type selector = Nth of int | Every of int | Random of { prob : float; seed : int }
+type directive = { site : site; selector : selector; fault : cls }
+
+let directive ?fault site selector =
+  { site; selector; fault = Option.value fault ~default:site.default }
+
+(* ------------------------------------------------------------------ *)
+(* Plan language *)
+
+let selector_to_string = function
+  | Nth n -> string_of_int n
+  | Every k -> Printf.sprintf "every:%d" k
+  | Random { prob; seed } -> Printf.sprintf "random:%g:%d" prob seed
+
+let plan_to_string plan =
+  String.concat ","
+    (List.map
+       (fun d ->
+         let base =
+           Printf.sprintf "%s@%s" d.site.name (selector_to_string d.selector)
+         in
+         if d.fault = d.site.default then base
+         else base ^ "=" ^ cls_name d.fault)
+       plan)
+
+let parse_selector spec =
+  let fail () = Error (Printf.sprintf "bad selector %S" spec) in
+  let pos_int s =
+    match int_of_string_opt s with Some n when n > 0 -> Some n | _ -> None
+  in
+  match String.split_on_char ':' spec with
+  | [ n ] | [ "nth"; n ] -> (
+    match pos_int n with Some n -> Ok (Nth n) | None -> fail ())
+  | [ "every"; k ] -> (
+    match pos_int k with Some k -> Ok (Every k) | None -> fail ())
+  | "random" :: p :: rest -> (
+    let seed =
+      match rest with
+      | [] -> Some 0
+      | [ s ] -> int_of_string_opt s
+      | _ -> None
+    in
+    match (float_of_string_opt p, seed) with
+    | Some prob, Some seed when prob >= 0. && prob <= 1. ->
+      Ok (Random { prob; seed })
+    | _ -> fail ())
+  | _ -> fail ()
+
+let parse_directive s =
+  let ( let* ) = Result.bind in
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "missing '@' in directive %S" s)
+  | Some i ->
+    let name = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    let spec, cls_part =
+      match String.index_opt rest '=' with
+      | None -> (rest, None)
+      | Some j ->
+        ( String.sub rest 0 j,
+          Some (String.sub rest (j + 1) (String.length rest - j - 1)) )
+    in
+    let* site =
+      match find_site name with
+      | Some site -> Ok site
+      | None -> Error (Printf.sprintf "unknown fault site %S" name)
+    in
+    let* selector = parse_selector spec in
+    let* fault =
+      match cls_part with
+      | None -> Ok site.default
+      | Some c -> (
+        match cls_of_string c with
+        | Some cls -> Ok cls
+        | None -> Error (Printf.sprintf "unknown error class %S" c))
+    in
+    Ok { site; selector; fault }
+
+let parse_plan s =
+  let ( let* ) = Result.bind in
+  let parts =
+    List.filter
+      (fun p -> p <> "")
+      (List.map String.trim (String.split_on_char ',' s))
+  in
+  if parts = [] then Error "empty plan"
+  else
+    let rec loop acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest ->
+        let* d = parse_directive p in
+        if List.exists (fun d' -> d'.site.id = d.site.id) acc then
+          Error
+            (Printf.sprintf "duplicate directive for site %S" d.site.name)
+        else loop (d :: acc) rest
+    in
+    loop [] parts
+
+(* ------------------------------------------------------------------ *)
+(* Arming and firing *)
+
+type state = {
+  by_site : directive option array;
+  rngs : Random.State.t option array;
+  counts : int array;
+  mutable fired_rev : (site * int) list;
+}
+
+(* single global slot, same shape as [Obs.current]: the disabled path of
+   [hit] is one load and one branch *)
+let current : state option ref = ref None
+
+let arm plan =
+  let n = !n_sites in
+  let st =
+    {
+      by_site = Array.make n None;
+      rngs = Array.make n None;
+      counts = Array.make n 0;
+      fired_rev = [];
+    }
+  in
+  List.iter
+    (fun d ->
+      st.by_site.(d.site.id) <- Some d;
+      match d.selector with
+      | Random { seed; _ } ->
+        st.rngs.(d.site.id) <- Some (Random.State.make [| seed |])
+      | Nth _ | Every _ -> ())
+    plan;
+  current := Some st
+
+let disarm () = current := None
+let armed () = !current <> None
+
+let activations site =
+  match !current with None -> 0 | Some st -> st.counts.(site.id)
+
+let fired () =
+  match !current with None -> [] | Some st -> List.rev st.fired_rev
+
+let injected_error site activation = function
+  | Budget ->
+    (* raised on Steps so the fault is transient for the retry policy *)
+    Error.Budget_exhausted
+      { resource = Error.Steps; spent = activation; limit = activation - 1 }
+  | Internal ->
+    Error.Internal
+      (Printf.sprintf "fault injected at %s activation %d" site.name
+         activation)
+  | Parse ->
+    Error.Parse_error
+      {
+        loc = { Error.file = None; line = 0; column = None };
+        msg =
+          Printf.sprintf "fault injected at %s activation %d" site.name
+            activation;
+        source_line = None;
+      }
+  | Inconsistent ->
+    Error.Inconsistent_data
+      {
+        reason =
+          Printf.sprintf "fault injected at %s activation %d" site.name
+            activation;
+      }
+  | Not_applicable ->
+    Error.Not_applicable
+      {
+        algorithm = site.name;
+        reason = Printf.sprintf "fault injected at activation %d" activation;
+      }
+
+let hit_armed st site =
+  let n = st.counts.(site.id) + 1 in
+  st.counts.(site.id) <- n;
+  match st.by_site.(site.id) with
+  | None -> ()
+  | Some d ->
+    let fire =
+      match d.selector with
+      | Nth k -> n = k
+      | Every k -> n mod k = 0
+      | Random { prob; _ } -> (
+        (* one draw per activation, fired or not: the PRNG stream — hence
+           the whole run — is a pure function of the seed *)
+        match st.rngs.(site.id) with
+        | Some rng -> Random.State.float rng 1.0 < prob
+        | None -> false)
+    in
+    if fire then begin
+      st.fired_rev <- (site, n) :: st.fired_rev;
+      raise (Error.Obda_error (injected_error site n d.fault))
+    end
+
+let hit site =
+  match !current with None -> () | Some st -> hit_armed st site

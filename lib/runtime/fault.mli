@@ -1,0 +1,128 @@
+(** Deterministic fault injection for the rewrite/chase/eval pipeline.
+
+    Every place where the pipeline can legitimately fail under resource
+    pressure is a named {e fault site}: the chase apply-step and null
+    creation, the per-rule emission point of each of the six rewriters, the
+    round boundaries of both evaluators, the three parser entry points and
+    the trace-sink write.  A site is a [Fault.hit] call guarded — exactly
+    like the [Obs] global-sink branch — by a single load-and-branch on
+    {!armed}, so the machinery costs nothing when no plan is armed.
+
+    A {e plan} selects which activation of which site raises which error
+    class.  Plans are deterministic: the [Nth]/[Every] selectors count
+    activations, and the seeded [Random] selector draws from its own
+    [Random.State], so a run is replayed exactly by re-arming the same plan
+    (the activations that actually fired are recorded in {!fired}).
+
+    Injected faults are ordinary {!Error.Obda_error} exceptions of the
+    selected class, so they travel through the very same recovery paths —
+    budget handling, fallback chain, CLI exit codes — as organic failures.
+    This is what the chaos suite ([test/test_chaos.ml]) verifies site by
+    site. *)
+
+(** The error class an injected fault raises, mirroring {!Error.t}. *)
+type cls = Parse | Not_applicable | Budget | Inconsistent | Internal
+
+val cls_name : cls -> string
+(** ["parse"], ["not-applicable"], ["budget"], ["inconsistent"],
+    ["internal"] — the same slugs as {!Error.class_name}. *)
+
+val cls_of_string : string -> cls option
+(** Inverse of {!cls_name}; also accepts the bare constructor spelling in
+    any case. *)
+
+val cls_exit_code : cls -> int
+(** The CLI exit code of the class ({!Error.exit_code}). *)
+
+(** {1 Sites} *)
+
+type site
+(** A registered fault site.  The registry is static: all sites are declared
+    below, so [chaos-list] and the chaos suite's exhaustiveness check never
+    depend on which modules happen to have been initialised. *)
+
+val site_name : site -> string
+(** Dotted name used in plans, e.g. ["chase.step"]. *)
+
+val site_layer : site -> string
+(** The pipeline layer owning the site: ["chase"], ["rewrite"], ["eval"],
+    ["parse"] or ["obs"]. *)
+
+val site_default : site -> cls
+(** The class a plan directive injects when it does not name one. *)
+
+val sites : unit -> site list
+(** All registered sites, in registration order. *)
+
+val find_site : string -> site option
+
+val chase_step : site
+val chase_null : site
+val rewrite_tw_emit : site
+val rewrite_lin_emit : site
+val rewrite_log_emit : site
+val rewrite_ucq_emit : site
+val rewrite_ucq_condensed_emit : site
+val rewrite_presto_emit : site
+val eval_ndl_round : site
+val eval_linear_round : site
+val parse_tbox : site
+val parse_cq : site
+val parse_abox : site
+val obs_sink_write : site
+
+(** {1 Plans} *)
+
+type selector =
+  | Nth of int  (** fire on exactly the [n]-th activation (1-based) *)
+  | Every of int  (** fire on every [k]-th activation *)
+  | Random of { prob : float; seed : int }
+      (** fire each activation independently with probability [prob], drawn
+          from a dedicated PRNG seeded with [seed] *)
+
+type directive = { site : site; selector : selector; fault : cls }
+
+val directive : ?fault:cls -> site -> selector -> directive
+(** [fault] defaults to the site's {!site_default}. *)
+
+val parse_plan : string -> (directive list, string) result
+(** Parse the [--inject] plan language: a comma-separated list of
+    [SITE@SPEC] or [SITE@SPEC=CLASS] directives where [SPEC] is
+    - [N] or [nth:N] — the [Nth] selector;
+    - [every:K] — the [Every] selector;
+    - [random:P:SEED] (or [random:P], seed 0) — the [Random] selector.
+
+    Example: ["chase.step@17=budget,parse.cq@1"].  At most one directive per
+    site; a duplicate is a parse error. *)
+
+val plan_to_string : directive list -> string
+(** Re-render a plan in the [parse_plan] syntax (round-trips). *)
+
+(** {1 Arming and firing} *)
+
+val arm : directive list -> unit
+(** Install a plan.  Resets all activation counters, PRNG states and the
+    {!fired} record; replaces any previously armed plan. *)
+
+val disarm : unit -> unit
+(** Remove the armed plan, restoring the zero-cost disabled path.  Teardown
+    code (telemetry flushes, [at_exit]) should disarm first so its own
+    guarded sites cannot fire. *)
+
+val armed : unit -> bool
+
+val hit : site -> unit
+(** The guard placed at each site.  When no plan is armed this is one load
+    and one branch; when armed it counts the activation and, if the site's
+    directive selects it, raises {!Error.Obda_error} with the directive's
+    class (for [Budget]: [Budget_exhausted] on [Steps], so the injected
+    fault is transient in the retry sense). *)
+
+val activations : site -> int
+(** Activations of [site] observed since the plan was armed ([0] when
+    disarmed — counting only happens under an armed plan). *)
+
+val fired : unit -> (site * int) list
+(** The [(site, activation)] pairs that actually fired since {!arm}, in
+    chronological order — with [Random] selectors this is the record that
+    makes a run replayable as [site@N] directives. *)

@@ -8,6 +8,14 @@
    how the corpus pins down the machine-readable contract of
    [--metrics-json -] and [--trace].
 
+   [chaos <exit> <args>] runs the command with an extra [--trace=FILE] and
+   asserts the expected exit code, an empty stdout (no partial answer rows
+   under an injected fault) and that every trace line re-parses as JSON.
+
+   [sigpipe <args>] pipes the command into a consumer that closes the pipe
+   immediately and asserts the CLI exits 141 (128+SIGPIPE) rather than
+   dying with a backtrace.
+
    Usage: corpus_runner <obda-exe> <corpus-dir> *)
 
 let read_lines path =
@@ -71,6 +79,68 @@ let () =
                Printf.printf "FAIL (exit %d, want 0): obda %s\n%!" code args;
                incr failures);
              Sys.remove out
+           end
+           else if directive = "chaos" then begin
+             let expected, args =
+               match String.index_opt args ' ' with
+               | Some j ->
+                 ( int_of_string (String.sub args 0 j),
+                   String.sub args (j + 1) (String.length args - j - 1) )
+               | None -> failwith ("malformed chaos line: " ^ line)
+             in
+             let out = Filename.temp_file "obda-corpus" ".out" in
+             let trace = Filename.temp_file "obda-corpus" ".jsonl" in
+             let cmd =
+               Printf.sprintf "%s %s --trace=%s >%s 2>/dev/null"
+                 (Filename.quote exe) args (Filename.quote trace)
+                 (Filename.quote out)
+             in
+             let code = Sys.command cmd in
+             let stdout_lines =
+               List.filter (fun l -> String.trim l <> "") (read_lines out)
+             in
+             let bad_trace = check_json_lines trace in
+             if code = expected && stdout_lines = [] && bad_trace = [] then
+               Printf.printf "ok   (chaos exit %d): obda %s\n%!" code args
+             else begin
+               Printf.printf
+                 "FAIL (chaos: exit %d want %d, %d stdout lines, %d bad \
+                  trace lines): obda %s\n\
+                  %!"
+                 code expected
+                 (List.length stdout_lines)
+                 (List.length bad_trace) args;
+               incr failures
+             end;
+             Sys.remove out;
+             Sys.remove trace
+           end
+           else if directive = "sigpipe" then begin
+             let codefile = Filename.temp_file "obda-corpus" ".code" in
+             (* the subshell records the CLI's own exit code; head closes
+                the pipe before the writer is done *)
+             let cmd =
+               Printf.sprintf
+                 "sh -c '( %s %s; echo $? > %s ) | head -c 64 >/dev/null'"
+                 (Filename.quote exe) args (Filename.quote codefile)
+             in
+             ignore (Sys.command cmd);
+             let code =
+               match read_lines codefile with
+               | first :: _ -> int_of_string_opt (String.trim first)
+               | [] -> None
+             in
+             (match code with
+             | Some 141 ->
+               Printf.printf "ok   (sigpipe exit 141): obda %s\n%!" args
+             | other ->
+               Printf.printf "FAIL (sigpipe: exit %s, want 141): obda %s\n%!"
+                 (match other with
+                 | Some c -> string_of_int c
+                 | None -> "unknown")
+                 args;
+               incr failures);
+             Sys.remove codefile
            end
            else begin
              let expected = int_of_string directive in

@@ -1,0 +1,213 @@
+(* Chaos suite: inject a fault at every registered fault site on the Fig. 2
+   example OMQ (the RSR-prefix of sequence q1 over an example-11-style
+   ontology) and check the failure invariants hold site by site:
+
+   - the process exits with the documented code of the site's error class;
+   - stdout carries no partial answer rows;
+   - the trace file is flushed and every line re-parses via [Obda_obs.Json];
+   - a fault-free rerun still produces the baseline answers.
+
+   The site [eval.linear.round] is not reachable from the CLI (the linear
+   engine is a library-level cross-check), so it is exercised in-process;
+   the suite ends with an exhaustiveness check that fails when a site
+   registered in [Obda_runtime.Fault] has no chaos case here.
+
+   Usage: test_chaos <obda-exe> <chaos-dir> *)
+
+module Fault = Obda_runtime.Fault
+module Error = Obda_runtime.Error
+module Budget = Obda_runtime.Budget
+
+let total = ref 0
+let failures = ref 0
+
+let check name ok detail =
+  incr total;
+  if ok then Printf.printf "ok   %s\n%!" name
+  else begin
+    Printf.printf "FAIL %s: %s\n%!" name detail;
+    incr failures
+  end
+
+let read_lines path =
+  let ic = open_in path in
+  let rec loop acc =
+    match input_line ic with
+    | line -> loop (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  loop []
+
+let non_json_lines path =
+  List.filter_map
+    (fun line ->
+      if String.trim line = "" then None
+      else
+        match Obda_obs.Json.parse line with
+        | Ok _ -> None
+        | Error e -> Some (Printf.sprintf "%S: %s" line e))
+    (read_lines path)
+
+let () =
+  if Array.length Sys.argv <> 3 then begin
+    prerr_endline "usage: test_chaos <obda-exe> <chaos-dir>";
+    exit 2
+  end
+
+let exe = Sys.argv.(1)
+let dir = Sys.argv.(2)
+let data file = Filename.concat dir file
+
+let base_args =
+  [
+    "answer"; "-o"; data "seq.onto"; "-q"; data "seq.cq"; "-d"; data "seq.data";
+  ]
+
+(* run [exe args], returning (exit code, stdout lines) *)
+let run ?stderr_to args =
+  let out = Filename.temp_file "obda-chaos" ".out" in
+  let err = match stderr_to with Some f -> f | None -> "/dev/null" in
+  let cmd =
+    Printf.sprintf "%s %s >%s 2>%s" (Filename.quote exe)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let lines = read_lines out in
+  Sys.remove out;
+  (code, lines)
+
+(* a CLI chaos case: one site, the args that make it fire at activation 1 *)
+let cli_case site_name extra_args =
+  let site =
+    match Fault.find_site site_name with
+    | Some s -> s
+    | None -> failwith ("unregistered site in case table: " ^ site_name)
+  in
+  let args = base_args @ extra_args in
+  let expected_exit = Fault.cls_exit_code (Fault.site_default site) in
+  (* baseline, fault-free *)
+  let base_code, baseline = run args in
+  check
+    (site_name ^ ": fault-free baseline")
+    (base_code = 0 && baseline <> [])
+    (Printf.sprintf "exit %d, %d stdout lines" base_code
+       (List.length baseline));
+  (* injected run: fault at the first activation, trace requested *)
+  let trace = Filename.temp_file "obda-chaos" ".jsonl" in
+  let errf = Filename.temp_file "obda-chaos" ".err" in
+  let code, stdout_lines =
+    run ~stderr_to:errf
+      (args @ [ "--inject"; site_name ^ "@1"; "--trace=" ^ trace ])
+  in
+  check
+    (site_name ^ ": documented exit code")
+    (code = expected_exit)
+    (Printf.sprintf "exit %d, want %d" code expected_exit);
+  check
+    (site_name ^ ": no partial answer rows")
+    (stdout_lines = [])
+    (Printf.sprintf "%d stdout lines" (List.length stdout_lines));
+  let bad = non_json_lines trace in
+  check
+    (site_name ^ ": trace flushed and re-parses")
+    (bad = [])
+    (String.concat "; " bad);
+  let fired_line = Printf.sprintf "# fault: fired %s@1" site_name in
+  check
+    (site_name ^ ": fired activation reported")
+    (List.mem fired_line (read_lines errf))
+    ("no " ^ fired_line ^ " on stderr");
+  Sys.remove trace;
+  Sys.remove errf;
+  (* fault-free rerun: no poisoned state, seed answers are back *)
+  let rerun_code, rerun = run args in
+  check
+    (site_name ^ ": fault-free rerun restores answers")
+    (rerun_code = 0 && rerun = baseline)
+    (Printf.sprintf "exit %d, %d lines (want %d)" rerun_code
+       (List.length rerun) (List.length baseline));
+  site_name
+
+(* [eval.linear.round] has no CLI surface: drive the linear engine
+   in-process with an armed plan, then fault-free with the plan disarmed *)
+let linear_case () =
+  let site_name = "eval.linear.round" in
+  let tbox = Obda_parse.Parse.ontology_of_file (data "seq.onto") in
+  let cq = Obda_parse.Parse.query_of_file (data "seq.cq") in
+  let abox = Obda_parse.Parse.data_of_file (data "seq.data") in
+  let omq = Obda_rewriting.Omq.make tbox cq in
+  let q = Obda_rewriting.Omq.rewrite Obda_rewriting.Omq.Lin omq in
+  let baseline = Obda_ndl.Linear_eval.answers q abox in
+  check
+    (site_name ^ ": fault-free baseline")
+    (baseline <> []) "no baseline answers";
+  (match Fault.parse_plan (site_name ^ "@1") with
+  | Error e -> check (site_name ^ ": plan parses") false e
+  | Ok plan -> (
+    Fault.arm plan;
+    (match Obda_ndl.Linear_eval.answers q abox with
+    | _ ->
+      Fault.disarm ();
+      check (site_name ^ ": injected fault raises") false "returned answers"
+    | exception Error.Obda_error (Error.Budget_exhausted _ as e) ->
+      let fired = Fault.fired () in
+      Fault.disarm ();
+      check
+        (site_name ^ ": documented exit code")
+        (Error.exit_code e = Fault.cls_exit_code Fault.Budget)
+        (Printf.sprintf "exit %d" (Error.exit_code e));
+      check
+        (site_name ^ ": fired activation recorded")
+        (List.exists
+           (fun (s, n) -> Fault.site_name s = site_name && n = 1)
+           fired)
+        "activation 1 not in Fault.fired ()"
+    | exception e ->
+      Fault.disarm ();
+      check
+        (site_name ^ ": injected fault raises")
+        false
+        ("unexpected exception " ^ Printexc.to_string e));
+    check
+      (site_name ^ ": fault-free rerun restores answers")
+      (Obda_ndl.Linear_eval.answers q abox = baseline)
+      "rerun differs from baseline"));
+  site_name
+
+let () =
+  let covered =
+    [
+      (* chase layer: apply-step and null creation, on the chase oracle *)
+      cli_case "chase.step" [ "--chase" ];
+      cli_case "chase.null" [ "--chase" ];
+      (* one case per rewriter's emission point *)
+      cli_case "rewrite.tw.emit" [ "-a"; "tw" ];
+      cli_case "rewrite.lin.emit" [ "-a"; "lin" ];
+      cli_case "rewrite.log.emit" [ "-a"; "log" ];
+      cli_case "rewrite.ucq.emit" [ "-a"; "ucq" ];
+      cli_case "rewrite.ucq_condensed.emit" [ "-a"; "ucq-condensed" ];
+      cli_case "rewrite.presto.emit" [ "-a"; "presto" ];
+      (* evaluator round boundaries *)
+      cli_case "eval.ndl.round" [ "-a"; "tw" ];
+      linear_case ();
+      (* the three parser entry points *)
+      cli_case "parse.tbox" [];
+      cli_case "parse.cq" [];
+      cli_case "parse.abox" [];
+      (* trace-sink write: the injected run always passes --trace *)
+      cli_case "obs.sink.write" [];
+    ]
+  in
+  (* exhaustiveness: every registered site must have a chaos case *)
+  let uncovered =
+    List.filter
+      (fun s -> not (List.mem (Fault.site_name s) covered))
+      (Fault.sites ())
+  in
+  check "every registered fault site has a chaos case" (uncovered = [])
+    (String.concat ", " (List.map Fault.site_name uncovered));
+  Printf.printf "chaos: %d checks, %d failures\n%!" !total !failures;
+  exit (if !failures = 0 then 0 else 1)

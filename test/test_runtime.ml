@@ -8,7 +8,9 @@ open Obda_cq
 open Obda_parse
 module Error = Obda_runtime.Error
 module Budget = Obda_runtime.Budget
+module Fault = Obda_runtime.Fault
 module Omq = Obda_rewriting.Omq
+module Obs = Obda_obs.Obs
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -374,6 +376,335 @@ let test_error_rendering () =
   | Error (Error.Internal "kaput") -> ()
   | _ -> Alcotest.fail "protect should catch Failure"
 
+(* ------------------------------------------------------------------ *)
+(* Budget edge cases: zero allowances, the wall-clock clamp, escalation *)
+
+let test_zero_budgets () =
+  (* a zero-step budget fails on the very first unit of work *)
+  (match budget_error (fun () -> Budget.step (Budget.create ~max_steps:0 ())) with
+  | Some (Error.Budget_exhausted { resource = Error.Steps; spent; limit }) ->
+    check_int "zero-step limit echoed" 0 limit;
+    check_int "zero-step spent" 1 spent
+  | _ -> Alcotest.fail "a zero-step budget should fail on the first step");
+  (* likewise a zero-size budget on the first unit of output *)
+  (match budget_error (fun () -> Budget.grow (Budget.create ~max_size:0 ())) with
+  | Some (Error.Budget_exhausted { resource = Error.Size; spent; limit }) ->
+    check_int "zero-size limit echoed" 0 limit;
+    check_int "zero-size spent" 1 spent
+  | _ -> Alcotest.fail "a zero-size budget should fail on the first grow");
+  (* and the whole pipeline survives them as typed errors *)
+  match
+    budget_error (fun () ->
+        Omq.answer
+          ~budget:(Budget.create ~max_steps:0 ())
+          ~algorithm:Omq.Ucq (cyclic_omq ()) (triangle_abox ()))
+  with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected the pipeline to trip a zero-step budget"
+
+let test_wall_remaining_clamps () =
+  (* an expired deadline reads as zero headroom, never negative *)
+  let b = Budget.create ~timeout:0.0 () in
+  check "wall_remaining clamped at 0" true (Budget.wall_remaining b = Some 0.);
+  check "wall_exhausted on an expired deadline" true (Budget.wall_exhausted b);
+  (* no deadline: unlimited headroom, never exhausted *)
+  check "no timeout has no remaining" true
+    (Budget.wall_remaining Budget.none = None);
+  check "no timeout is never exhausted" true
+    (not (Budget.wall_exhausted Budget.none));
+  (* a generous deadline reports positive, bounded headroom *)
+  let b = Budget.create ~timeout:3600.0 () in
+  match Budget.wall_remaining b with
+  | Some r -> check "headroom positive and bounded" true (r > 0. && r <= 3600.)
+  | None -> Alcotest.fail "a timeout budget should report headroom"
+
+let test_sub_scaled () =
+  let b = Budget.create ~max_steps:10 ~max_size:4 () in
+  for _ = 1 to 7 do
+    Budget.step b
+  done;
+  let child = Budget.sub_scaled ~factor:2.5 b in
+  let l = Budget.limits child in
+  check "steps scaled up (ceil)" true (l.Budget.max_steps = Some 25);
+  check "size scaled up (ceil)" true (l.Budget.max_size = Some 10);
+  check_int "child counters restart" 0 (Budget.steps_spent child);
+  check_int "parent counters untouched" 7 (Budget.steps_spent b);
+  (* an unlimited budget stays unlimited *)
+  let l = Budget.limits (Budget.sub_scaled ~factor:8. Budget.none) in
+  check "unlimited stays unlimited" true
+    (l.Budget.max_steps = None && l.Budget.max_size = None);
+  (* de-escalation is a caller bug *)
+  check "factor below 1 rejected" true
+    (try
+       ignore (Budget.sub_scaled ~factor:0.5 b);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection: plan language, selector semantics, replay *)
+
+let test_fault_plan_language () =
+  (match
+     Fault.parse_plan
+       "chase.step@17=budget, parse.cq@nth:1, eval.ndl.round@every:3=internal, \
+        chase.null@random:0.5:7"
+   with
+  | Error e -> Alcotest.failf "plan should parse: %s" e
+  | Ok plan ->
+    check_int "four directives" 4 (List.length plan);
+    (* round-trips; classes equal to the site default are elided *)
+    check_str "round-trip"
+      "chase.step@17,parse.cq@1,eval.ndl.round@every:3=internal,chase.null@random:0.5:7"
+      (Fault.plan_to_string plan));
+  let rejected s =
+    match Fault.parse_plan s with Error _ -> true | Ok _ -> false
+  in
+  check "unknown site rejected" true (rejected "nosuch.site@1");
+  check "duplicate site rejected" true (rejected "chase.step@1,chase.step@2");
+  check "bad selector rejected" true (rejected "chase.step@zero");
+  check "activation 0 rejected" true (rejected "chase.step@0");
+  check "unknown class rejected" true (rejected "chase.step@1=kaboom");
+  check "empty plan rejected" true (rejected "");
+  (* the registry is static and closed over the documented site names *)
+  check_int "registry size" 14 (List.length (Fault.sites ()));
+  List.iter
+    (fun s ->
+      check
+        (Fault.site_name s ^ " resolves to itself")
+        true
+        (Fault.find_site (Fault.site_name s) = Some s))
+    (Fault.sites ())
+
+let test_fault_selectors () =
+  let site = Fault.chase_step in
+  (* Nth fires exactly once, on the named activation, as a transient
+     (step-resource) budget error *)
+  Fault.arm [ Fault.directive site (Fault.Nth 3) ];
+  let fires = ref 0 in
+  for i = 1 to 5 do
+    try Fault.hit site
+    with Error.Obda_error (Error.Budget_exhausted { spent; limit; _ }) ->
+      incr fires;
+      check_int "fires on the 3rd activation" 3 i;
+      check_int "spent is the activation" 3 spent;
+      check_int "limit is one less" 2 limit
+  done;
+  check_int "nth fires exactly once" 1 !fires;
+  check_int "every activation counted" 5 (Fault.activations site);
+  check "fired record" true
+    (List.map (fun (s, n) -> (Fault.site_name s, n)) (Fault.fired ())
+    = [ ("chase.step", 3) ]);
+  Fault.disarm ();
+  (* Every fires on each multiple *)
+  Fault.arm [ Fault.directive site (Fault.Every 2) ];
+  let fires = ref 0 in
+  for _ = 1 to 6 do
+    try Fault.hit site with Error.Obda_error _ -> incr fires
+  done;
+  check_int "every-2 fires on activations 2, 4, 6" 3 !fires;
+  Fault.disarm ();
+  (* a seeded Random plan replays identically ... *)
+  let run () =
+    Fault.arm [ Fault.directive site (Fault.Random { prob = 0.3; seed = 11 }) ];
+    for _ = 1 to 200 do
+      try Fault.hit site with Error.Obda_error _ -> ()
+    done;
+    let f = List.map snd (Fault.fired ()) in
+    Fault.disarm ();
+    f
+  in
+  let f1 = run () in
+  check "random fired at least once" true (f1 <> []);
+  check "seeded random replays identically" true (f1 = run ());
+  (* ... and its record replays as a deterministic @N directive *)
+  let first = List.hd f1 in
+  Fault.arm [ Fault.directive site (Fault.Nth first) ];
+  let refired = ref false in
+  for _ = 1 to first do
+    try Fault.hit site with Error.Obda_error _ -> refired := true
+  done;
+  Fault.disarm ();
+  check "recorded activation replays via @N" true !refired
+
+let test_fault_classes () =
+  (* a site's default class decides the raised error... *)
+  Fault.arm [ Fault.directive Fault.parse_tbox (Fault.Nth 1) ];
+  (match Fault.hit Fault.parse_tbox with
+  | () ->
+    Fault.disarm ();
+    Alcotest.fail "parse.tbox@1 should raise"
+  | exception Error.Obda_error (Error.Parse_error _ as e) ->
+    Fault.disarm ();
+    check_int "parse default exits 2" 2 (Error.exit_code e));
+  (* ...unless the directive overrides it *)
+  match Fault.parse_plan "chase.step@1=inconsistent" with
+  | Error e -> Alcotest.failf "plan should parse: %s" e
+  | Ok plan -> (
+    Fault.arm plan;
+    match Fault.hit Fault.chase_step with
+    | () ->
+      Fault.disarm ();
+      Alcotest.fail "chase.step@1 should raise"
+    | exception Error.Obda_error (Error.Inconsistent_data _ as e) ->
+      Fault.disarm ();
+      check_int "inconsistent override exits 5" 5 (Error.exit_code e))
+
+let test_fault_disabled_is_noop () =
+  Fault.disarm ();
+  check "disarmed" true (not (Fault.armed ()));
+  (* with no plan armed, hits neither raise nor count *)
+  for _ = 1 to 1000 do
+    Fault.hit Fault.chase_step
+  done;
+  check_int "no counting when disarmed" 0 (Fault.activations Fault.chase_step);
+  check "nothing fired" true (Fault.fired () = [])
+
+(* ------------------------------------------------------------------ *)
+(* Retry with escalation *)
+
+let test_retry_escalates_to_success () =
+  (* trial 1 trips an injected transient step fault at the first evaluator
+     round; the policy retries with an escalated sub-budget and trial 2 runs
+     clean (the site counts activations across trials, so @1 fires once) *)
+  let omq = cyclic_omq () in
+  let abox = triangle_abox () in
+  Fault.arm [ Fault.directive Fault.eval_ndl_round (Fault.Nth 1) ];
+  let r =
+    Fun.protect ~finally:Fault.disarm (fun () ->
+        Omq.answer_with_fallback
+          ~retry:{ Omq.max_retries = 3; escalation = 2. }
+          ~chain:[ Omq.Ucq ] omq abox)
+  in
+  check "answered by the retried algorithm" true
+    (r.Omq.answered_by = Some Omq.Ucq);
+  (match r.Omq.attempts with
+  | [ a1; a2 ] ->
+    check_int "first trial numbered 1" 1 a1.Omq.trial;
+    check_int "retry numbered 2" 2 a2.Omq.trial;
+    check "both trials on the same algorithm" true
+      (a1.Omq.algorithm = Omq.Ucq && a2.Omq.algorithm = Omq.Ucq);
+    (match a1.Omq.outcome with
+    | Error (Error.Budget_exhausted { resource = Error.Steps; _ }) -> ()
+    | _ -> Alcotest.fail "trial 1 should fail on a transient step fault");
+    check "trial 2 succeeds" true (a2.Omq.outcome = Ok ())
+  | l -> Alcotest.failf "expected exactly 2 attempts, got %d" (List.length l));
+  check "answers agree with certain answers" true
+    (List.sort compare r.Omq.answers
+    = List.sort compare (Omq.answer_certain omq abox))
+
+let test_retry_stops_at_the_wall () =
+  (* an already-expired deadline: transient failures must not be retried,
+     however generous max_retries is — each algorithm in the chain gets
+     exactly one trial and the typed error propagates *)
+  let omq = cyclic_omq () in
+  let abox = triangle_abox () in
+  Fault.arm [ Fault.directive Fault.eval_ndl_round (Fault.Every 1) ];
+  let result, c =
+    Obs.collecting (fun () ->
+        Fun.protect ~finally:Fault.disarm (fun () ->
+            match
+              Omq.answer_with_fallback
+                ~budget:(Budget.create ~timeout:0.0 ())
+                ~retry:{ Omq.max_retries = 1_000; escalation = 2. }
+                ~chain:[ Omq.Ucq_condensed; Omq.Ucq ] omq abox
+            with
+            | _ -> `Answered
+            | exception Error.Obda_error (Error.Budget_exhausted _) ->
+              `Exhausted))
+  in
+  check "typed exhaustion propagates" true (result = `Exhausted);
+  let attempts =
+    List.filter
+      (fun (s : Obs.span) -> s.Obs.name = "omq.attempt")
+      (Obs.Collector.spans c)
+  in
+  check_int "one trial per algorithm, no retries" 2 (List.length attempts)
+
+let test_retry_bounded_by_deadline () =
+  (* with every trial failing transiently, retries stop at the wall: the
+     sum of attempt durations never exceeds the request's allowance by more
+     than one step-check granule *)
+  let omq = cyclic_omq () in
+  let abox = triangle_abox () in
+  let allowance = 0.15 in
+  Fault.arm [ Fault.directive Fault.eval_ndl_round (Fault.Every 1) ];
+  let result, c =
+    Obs.collecting (fun () ->
+        Fun.protect ~finally:Fault.disarm (fun () ->
+            match
+              Omq.answer_with_fallback
+                ~budget:(Budget.create ~timeout:allowance ())
+                ~retry:{ Omq.max_retries = 1_000_000; escalation = 1. }
+                ~chain:[ Omq.Ucq ] omq abox
+            with
+            | _ -> `Answered
+            | exception Error.Obda_error (Error.Budget_exhausted _) ->
+              `Exhausted))
+  in
+  check "exhausts once the deadline passes" true (result = `Exhausted);
+  let attempts =
+    List.filter
+      (fun (s : Obs.span) -> s.Obs.name = "omq.attempt")
+      (Obs.Collector.spans c)
+  in
+  check "kept retrying until the wall" true (List.length attempts > 2);
+  let total =
+    List.fold_left (fun acc (s : Obs.span) -> acc +. s.Obs.duration) 0. attempts
+  in
+  check "attempt durations sum within the allowance" true
+    (total <= allowance +. 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* Parser diagnostics at buffer boundaries *)
+
+let test_parser_buffer_boundaries () =
+  (* CRLF endings: the caret column counts characters of the logical line *)
+  (match
+     parse_error_of (fun () ->
+         ignore (Parse.ontology_of_string "A(x) -> B(x)\r\nB(x) -> %C(x)\r\n"))
+   with
+  | Some (loc, _, _) ->
+    check_int "crlf: line" 2 loc.Error.line;
+    check "crlf: column" true (loc.Error.column = Some 9)
+  | None -> Alcotest.fail "expected a parse error on the CRLF input");
+  (* empty inputs: vacuous ontology and data are fine, a query is not *)
+  check_int "empty ontology is vacuous" 0
+    (List.length (Tbox.axioms (Parse.ontology_of_string "")));
+  check_int "empty data is vacuous" 0
+    (Obda_data.Abox.num_atoms (Parse.data_of_string ""));
+  (match parse_error_of (fun () -> ignore (Parse.query_of_string "")) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "an empty query should be a typed parse error");
+  (* an error on the final, unterminated line still carets correctly *)
+  match
+    parse_error_of (fun () ->
+        ignore (Parse.ontology_of_string "A(x) -> B(x)\nC(x) -> $"))
+  with
+  | Some (loc, _, source_line) ->
+    check_int "unterminated: line" 2 loc.Error.line;
+    check "unterminated: column" true (loc.Error.column = Some 9);
+    check "unterminated: source line captured" true
+      (source_line = Some "C(x) -> $")
+  | None -> Alcotest.fail "expected a parse error on the unterminated line"
+
+(* ------------------------------------------------------------------ *)
+(* Generated data is deterministic by default *)
+
+let test_generate_default_seed () =
+  let params =
+    { Obda_data.Generate.vertices = 40; edge_prob = 0.15; concept_prob = 0.3 }
+  in
+  let gen ?seed () =
+    Parse.data_to_string
+      (Obda_data.Generate.erdos_renyi ?seed ~edge_pred:(sym "R")
+         ~concepts:[ sym "A" ] params)
+  in
+  (* the default seed is a fixed constant, not time-derived: two calls give
+     the same instance, and it is the seed-42 instance *)
+  check "default seed is deterministic" true (gen () = gen ());
+  check "default seed is 42" true (gen () = gen ~seed:42 ());
+  check "the seed actually matters" true (gen () <> gen ~seed:43 ())
+
 let suites =
   [
     ( "runtime",
@@ -399,5 +730,23 @@ let suites =
         Alcotest.test_case "inconsistent error mode" `Quick
           test_inconsistent_error_mode;
         Alcotest.test_case "error rendering" `Quick test_error_rendering;
+        Alcotest.test_case "zero budgets" `Quick test_zero_budgets;
+        Alcotest.test_case "wall-clock clamp" `Quick test_wall_remaining_clamps;
+        Alcotest.test_case "scaled sub-budgets" `Quick test_sub_scaled;
+        Alcotest.test_case "fault plan language" `Quick
+          test_fault_plan_language;
+        Alcotest.test_case "fault selectors" `Quick test_fault_selectors;
+        Alcotest.test_case "fault classes" `Quick test_fault_classes;
+        Alcotest.test_case "fault disabled path" `Quick
+          test_fault_disabled_is_noop;
+        Alcotest.test_case "retry escalates" `Quick
+          test_retry_escalates_to_success;
+        Alcotest.test_case "retry wall gate" `Quick test_retry_stops_at_the_wall;
+        Alcotest.test_case "retry deadline bound" `Quick
+          test_retry_bounded_by_deadline;
+        Alcotest.test_case "parser buffer boundaries" `Quick
+          test_parser_buffer_boundaries;
+        Alcotest.test_case "generator default seed" `Quick
+          test_generate_default_seed;
       ] );
   ]
