@@ -12,14 +12,9 @@ module Obs = Obda_obs.Obs
 
 let algorithm_conv =
   let parse s =
-    match String.lowercase_ascii s with
-    | "tw" -> Ok Omq.Tw
-    | "lin" -> Ok Omq.Lin
-    | "log" -> Ok Omq.Log
-    | "ucq" | "clipper" -> Ok Omq.Ucq
-    | "ucq-condensed" | "rapid" -> Ok Omq.Ucq_condensed
-    | "presto" | "flat-tw" -> Ok Omq.Presto_like
-    | _ -> Error (`Msg (Printf.sprintf "unknown algorithm %s" s))
+    match Omq.algorithm_of_string s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown algorithm %s" s))
   in
   let print ppf alg = Format.pp_print_string ppf (Omq.algorithm_name alg) in
   Arg.conv (parse, print)
@@ -307,7 +302,7 @@ let rewrite_cmd =
         let alg =
           match algorithm with
           | Some a -> a
-          | None -> if Obda_cq.Cq.is_tree_shaped omq.Omq.cq then Omq.Tw else Omq.Log
+          | None -> Omq.default_algorithm omq
         in
         if not (Omq.applicable alg omq) then
           Error.not_applicable ~algorithm:(Omq.algorithm_name alg)
@@ -353,8 +348,7 @@ let answer_cmd =
             let alg =
               match algorithm with
               | Some a -> a
-              | None ->
-                if Obda_cq.Cq.is_tree_shaped omq.Omq.cq then Omq.Tw else Omq.Log
+              | None -> Omq.default_algorithm omq
             in
             let rewriting = Omq.rewrite ~budget alg omq in
             Obda_mapping.Mapping.answers_virtual m rewriting src
@@ -373,9 +367,7 @@ let answer_cmd =
                       [
                         (match algorithm with
                         | Some a -> a
-                        | None ->
-                          if Obda_cq.Cq.is_tree_shaped omq.Omq.cq then Omq.Tw
-                          else Omq.Log);
+                        | None -> Omq.default_algorithm omq);
                       ]
                 in
                 let r =
@@ -572,6 +564,83 @@ let chase_cmd =
     Term.(const run $ ontology_arg $ data_arg $ depth $ budget_term
           $ inject_term $ telemetry_term)
 
+let serve_cmd =
+  let module Service = Obda_service in
+  let run ontology data script cache_entries cache_size budget inject telemetry
+      =
+    handle_errors (fun () ->
+        init_telemetry ~budget telemetry;
+        arm_faults inject;
+        let session =
+          Service.Session.create ~budget ?cache_entries
+            ?cache_weight:cache_size ()
+        in
+        (match ontology with
+        | Some file ->
+          Service.Session.load_ontology session (Parse.ontology_of_file file)
+        | None -> ());
+        (match data with
+        | Some file ->
+          Service.Session.load_data session (Parse.data_of_file file)
+        | None -> ());
+        match script with
+        | Some file ->
+          let ic = open_in file in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> Service.Serve.run_channels session ic stdout)
+        | None -> Service.Serve.run_channels session stdin stdout)
+  in
+  let ontology =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "o"; "ontology" ] ~docv:"FILE" ~doc:"Preload an ontology file.")
+  in
+  let data =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "d"; "data" ] ~docv:"FILE" ~doc:"Preload a data (ABox) file.")
+  in
+  let script =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:
+            "Replay a protocol script from $(docv) instead of reading \
+             requests from stdin.")
+  in
+  let cache_entries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"Bound the rewriting cache to $(docv) entries (LRU eviction).")
+  in
+  let cache_size =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:
+            "Bound the rewriting cache to a total of $(docv) NDL atoms \
+             across resident rewritings (LRU eviction).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve queries over a long-lived session: a newline-delimited \
+          protocol (LOAD, PREPARE, ANSWER, ASSERT, RETRACT, STATS, QUIT) on \
+          stdin/stdout, with prepared queries backed by a content-addressed \
+          rewriting cache.  Each request runs under a fresh sub-budget of \
+          the session budget; failures are reported as in-protocol ERR \
+          lines, leaving the session usable.")
+    Term.(
+      const run $ ontology $ data $ script $ cache_entries $ cache_size
+      $ budget_term $ inject_term $ telemetry_term)
+
 let chaos_list_cmd =
   let run () =
     Printf.printf "# %-26s %-8s %-15s %s\n" "site" "layer" "class" "exit";
@@ -615,6 +684,7 @@ let main =
       stats_cmd;
       gen_data_cmd;
       chase_cmd;
+      serve_cmd;
       chaos_list_cmd;
     ]
 

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Tier-1 gate: everything that must stay green on every commit.
-# (runtest pulls in the unit suites plus @runtest-obs and @runtest-chaos;
-# the corpus alias is listed explicitly so a failure names the right gate.)
+# (runtest pulls in the unit suites plus @runtest-obs, @runtest-chaos and
+# @runtest-service; the corpus alias is listed explicitly so a failure
+# names the right gate.)
 set -e
 cd "$(dirname "$0")/.."
 

@@ -26,6 +26,16 @@ let algorithm_name = function
   | Ucq_condensed -> "Rapid*(UCQ)"
   | Presto_like -> "Presto*(TW)"
 
+let algorithm_of_string s =
+  match String.lowercase_ascii s with
+  | "tw" -> Some Tw
+  | "lin" -> Some Lin
+  | "log" -> Some Log
+  | "ucq" | "clipper" -> Some Ucq
+  | "ucq-condensed" | "rapid" -> Some Ucq_condensed
+  | "presto" | "flat-tw" -> Some Presto_like
+  | _ -> None
+
 let finite_depth omq =
   match Tbox.depth omq.tbox with Tbox.Finite _ -> true | Tbox.Infinite -> false
 
@@ -161,6 +171,42 @@ let rewrite ?budget ?(over = `Arbitrary) ?(consistency = false) alg omq =
        Consistency.guard_rewriting omq.tbox base
      else base)
 
+(* ------------------------------------------------------------------ *)
+(* Content digests: the key of the service layer's rewriting cache.  Two
+   OMQs with the same axioms (as multisets), the same CQ up to atom order
+   and the same (algorithm, over) configuration share a rewriting, so the
+   digest is computed over a canonical rendering: sorted axiom strings and
+   sorted atom strings. *)
+
+let digest ?(over = `Arbitrary) alg omq =
+  let buf = Buffer.create 256 in
+  let axiom_strings =
+    List.sort String.compare
+      (List.map (Format.asprintf "%a" Tbox.pp_axiom) (Tbox.axioms omq.tbox))
+  in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n')
+    axiom_strings;
+  Buffer.add_string buf "|q|";
+  Buffer.add_string buf (String.concat "," (Cq.answer_vars omq.cq));
+  Buffer.add_char buf '\n';
+  let atom_strings =
+    List.sort String.compare
+      (List.map (Format.asprintf "%a" Cq.pp_atom) (Cq.atoms omq.cq))
+  in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n')
+    atom_strings;
+  Buffer.add_string buf "|alg|";
+  Buffer.add_string buf (algorithm_name alg);
+  Buffer.add_string buf
+    (match over with `Complete -> "|complete" | `Arbitrary -> "|arbitrary");
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let all_tuples abox arity =
   let inds = Abox.individuals abox in
   let rec tuples n =
@@ -182,20 +228,37 @@ let inconsistent_answers ~on_inconsistent omq abox =
          (Error.Inconsistent_data
             { reason = "the data violates a disjointness axiom of the ontology" }))
 
-(* the consistency pre-check is itself a chase over the completed data, so
-   it gets its own span in the request trace *)
-let consistent omq abox =
-  Obs.with_span "chase.consistency" (fun () -> Abox.consistent omq.tbox abox)
+(* The consistency pre-check is itself a chase over the completed data, so
+   it gets its own span in the request trace.  Its verdict only depends on
+   (T, A), so it is memoised against the instance's revision counter:
+   repeated [answer] calls over unchanged data — the prepare-once /
+   answer-many shape of the service layer — run the check exactly once.
+   One slot suffices because the hot pattern is many answers against one
+   resident instance; an interleaving of instances merely re-checks. *)
+let consistency_memo : (Tbox.t * Abox.t * int * bool) option ref = ref None
 
-let answer ?budget ?(on_inconsistent = `All_tuples) ?algorithm omq abox =
+let consistent omq abox =
+  let rev = Abox.revision abox in
+  match !consistency_memo with
+  | Some (t, a, r, c) when t == omq.tbox && a == abox && r = rev -> c
+  | _ ->
+    let c =
+      Obs.with_span "chase.consistency" (fun () -> Abox.consistent omq.tbox abox)
+    in
+    consistency_memo := Some (omq.tbox, abox, rev, c);
+    c
+
+let answer_assuming_consistent ?budget ?algorithm omq abox =
   let alg =
     match algorithm with Some a -> a | None -> default_algorithm omq
   in
+  let q = rewrite ?budget ~over:`Arbitrary alg omq in
+  Eval.answers ?budget q abox
+
+let answer ?budget ?(on_inconsistent = `All_tuples) ?algorithm omq abox =
   if not (consistent omq abox) then
     inconsistent_answers ~on_inconsistent omq abox
-  else
-    let q = rewrite ?budget ~over:`Arbitrary alg omq in
-    Eval.answers ?budget q abox
+  else answer_assuming_consistent ?budget ?algorithm omq abox
 
 let answer_certain ?budget ?(on_inconsistent = `All_tuples) omq abox =
   if not (consistent omq abox) then

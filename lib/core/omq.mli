@@ -26,8 +26,22 @@ type algorithm =
 val all_algorithms : algorithm list
 val algorithm_name : algorithm -> string
 
+val algorithm_of_string : string -> algorithm option
+(** The CLI/protocol spellings: ["tw"], ["lin"], ["log"], ["ucq"]/["clipper"],
+    ["ucq-condensed"]/["rapid"], ["presto"]/["flat-tw"] (case-insensitive). *)
+
+val default_algorithm : t -> algorithm
+(** [Tw] for forest-shaped CQs, [Log] otherwise — the choice [answer] makes
+    when no algorithm is requested. *)
+
 val applicable : algorithm -> t -> bool
 (** Whether the algorithm's side conditions hold (tree shape, finite depth…). *)
+
+val digest : ?over:[ `Complete | `Arbitrary ] -> algorithm -> t -> string
+(** A content digest of (TBox, CQ, algorithm, [over]) (default
+    [`Arbitrary]), canonical up to axiom and atom order — the
+    content-addressed key under which the service layer caches rewritings:
+    equal digests guarantee interchangeable rewritings. *)
 
 type classification = {
   ontology_depth : Tbox.depth;
@@ -69,7 +83,25 @@ val answer :
     tree-shaped CQs and [Log] otherwise.  If (T,A) is inconsistent, every
     tuple over ind(A) is returned (of the answer arity), per the convention
     at the end of Section 2 — or, with [~on_inconsistent:`Error],
-    [Obda_error (Inconsistent_data _)] is raised instead. *)
+    [Obda_error (Inconsistent_data _)] is raised instead.
+
+    The consistency pre-check is memoised against {!Abox.revision}:
+    repeated [answer] calls over the same unchanged instance run the check
+    once. *)
+
+val answer_assuming_consistent :
+  ?budget:Obda_runtime.Budget.t ->
+  ?algorithm:algorithm -> t -> Abox.t -> Symbol.t list list
+(** [answer] without the consistency pre-check, for callers that maintain
+    their own consistency token (the service layer's sessions).  Unsound on
+    data whose consistency has not been established: certain answers follow
+    the paper's convention only through the check. *)
+
+val all_tuples : Abox.t -> int -> Symbol.t list list
+(** Every tuple over ind(A) of the given arity — the inconsistency
+    convention of Section 2, exposed for callers of
+    {!answer_assuming_consistent} that implement the convention
+    themselves. *)
 
 val answer_certain :
   ?budget:Obda_runtime.Budget.t ->

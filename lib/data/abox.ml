@@ -27,6 +27,10 @@ type t = {
   binary : binary_rel Symbol.Tbl.t;
   inds : unit Symbol.Tbl.t;
   mutable atom_count : int;
+  mutable revision : int;
+      (* bumped on every effective mutation: change detection for consumers
+         that cache work derived from the instance (consistency checks,
+         materialisations) *)
 }
 
 let create () =
@@ -35,7 +39,10 @@ let create () =
     binary = Symbol.Tbl.create 16;
     inds = Symbol.Tbl.create 64;
     atom_count = 0;
+    revision = 0;
   }
+
+let revision a = a.revision
 
 let note_ind a c = if not (Symbol.Tbl.mem a.inds c) then Symbol.Tbl.add a.inds c ()
 
@@ -51,6 +58,7 @@ let add_unary a p c =
   if not (Symbol.Tbl.mem rel c) then begin
     Symbol.Tbl.add rel c ();
     a.atom_count <- a.atom_count + 1;
+    a.revision <- a.revision + 1;
     note_ind a c
   end
 
@@ -78,6 +86,7 @@ let add_binary a p c d =
     push rel.fwd c d;
     push rel.bwd d c;
     a.atom_count <- a.atom_count + 1;
+    a.revision <- a.revision + 1;
     note_ind a c;
     note_ind a d
   end
@@ -85,6 +94,56 @@ let add_binary a p c d =
 let add_role a (r : Role.t) c d =
   if Role.is_inverse r then add_binary a r.Role.base d c
   else add_binary a r.Role.base c d
+
+(* Removal is rare (interactive retraction), so recomputing the individual
+   set from scratch keeps the common read paths simple. *)
+let recompute_inds a =
+  Symbol.Tbl.reset a.inds;
+  Symbol.Tbl.iter
+    (fun _ rel -> Symbol.Tbl.iter (fun c () -> note_ind a c) rel)
+    a.unary;
+  Symbol.Tbl.iter
+    (fun _ rel ->
+      Hashtbl.iter
+        (fun (c, d) () ->
+          note_ind a c;
+          note_ind a d)
+        rel.pairs)
+    a.binary
+
+let remove_unary a p c =
+  match Symbol.Tbl.find_opt a.unary p with
+  | Some rel when Symbol.Tbl.mem rel c ->
+    Symbol.Tbl.remove rel c;
+    a.atom_count <- a.atom_count - 1;
+    a.revision <- a.revision + 1;
+    recompute_inds a;
+    true
+  | _ -> false
+
+let remove_binary a p c d =
+  match Symbol.Tbl.find_opt a.binary p with
+  | Some rel when Hashtbl.mem rel.pairs (c, d) ->
+    Hashtbl.remove rel.pairs (c, d);
+    let drop tbl k v =
+      let cur = Option.value ~default:[] (Symbol.Tbl.find_opt tbl k) in
+      Symbol.Tbl.replace tbl k (List.filter (fun x -> not (Symbol.equal x v)) cur)
+    in
+    drop rel.fwd c d;
+    drop rel.bwd d c;
+    a.atom_count <- a.atom_count - 1;
+    a.revision <- a.revision + 1;
+    recompute_inds a;
+    true
+  | _ -> false
+
+let add_fact a = function
+  | Concept_assertion (p, c) -> add_unary a p c
+  | Role_assertion (p, c, d) -> add_binary a p c d
+
+let remove_fact a = function
+  | Concept_assertion (p, c) -> remove_unary a p c
+  | Role_assertion (p, c, d) -> remove_binary a p c d
 
 let mem_unary a p c =
   match Symbol.Tbl.find_opt a.unary p with
@@ -99,6 +158,10 @@ let mem_binary a p c d =
 let mem_role a (r : Role.t) c d =
   if Role.is_inverse r then mem_binary a r.Role.base d c
   else mem_binary a r.Role.base c d
+
+let mem_fact a = function
+  | Concept_assertion (p, c) -> mem_unary a p c
+  | Role_assertion (p, c, d) -> mem_binary a p c d
 
 let individuals a =
   Symbol.Tbl.fold (fun c () acc -> c :: acc) a.inds []

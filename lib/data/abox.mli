@@ -24,9 +24,25 @@ val add_binary : t -> Symbol.t -> const -> const -> unit
 val add_role : t -> Role.t -> const -> const -> unit
 (** [add_role a ρ c d] adds P(c,d) if ρ = P and P(d,c) if ρ = P⁻. *)
 
+val add_fact : t -> fact -> unit
+
+val remove_unary : t -> Symbol.t -> const -> bool
+(** [true] iff the atom was present (and is now gone). *)
+
+val remove_binary : t -> Symbol.t -> const -> const -> bool
+val remove_fact : t -> fact -> bool
+
+val revision : t -> int
+(** A counter bumped on every effective mutation (add or remove of an atom
+    not already in / still in the instance).  Two observations of the same
+    revision on the same instance guarantee the data has not changed in
+    between — the change-detection hook behind cached consistency checks
+    and the query service's dirty tracking. *)
+
 val mem_unary : t -> Symbol.t -> const -> bool
 val mem_binary : t -> Symbol.t -> const -> const -> bool
 val mem_role : t -> Role.t -> const -> const -> bool
+val mem_fact : t -> fact -> bool
 
 val individuals : t -> const list
 (** ind(A), sorted. *)

@@ -23,23 +23,42 @@ type relation = {
   tuples : (int array, unit) Hashtbl.t;
   mutable indexes : (int list * int array list KeyTbl.t) list;
       (* sorted position list -> key values -> matching tuples *)
+  mutable index_builds : int;
+      (* full-scan index constructions — additions maintain existing
+         indexes incrementally, so this stays at one per position list *)
+  mutable sorted_view : Symbol.t list list option;
+      (* memoised [relation_tuples] result, invalidated on mutation *)
 }
 
 let relation_create arity =
-  { arity; tuples = Hashtbl.create 64; indexes = [] }
+  {
+    arity;
+    tuples = Hashtbl.create 64;
+    indexes = [];
+    index_builds = 0;
+    sorted_view = None;
+  }
 
 let relation_arity r = r.arity
 let relation_size r = Hashtbl.length r.tuples
 
 let relation_tuples r =
-  Hashtbl.fold (fun t () acc -> Array.to_list t :: acc) r.tuples []
-  |> List.sort (List.compare Int.compare)
-  |> List.map (List.map Symbol.unsafe_of_int)
+  match r.sorted_view with
+  | Some view -> view
+  | None ->
+    let view =
+      Hashtbl.fold (fun t () acc -> Array.to_list t :: acc) r.tuples []
+      |> List.sort (List.compare Int.compare)
+      |> List.map (List.map Symbol.unsafe_of_int)
+    in
+    r.sorted_view <- Some view;
+    view
 
 let relation_add r tuple =
   if Hashtbl.mem r.tuples tuple then false
   else begin
     Hashtbl.add r.tuples tuple ();
+    r.sorted_view <- None;
     (* keep existing indexes in sync *)
     List.iter
       (fun (positions, tbl) ->
@@ -62,6 +81,7 @@ let relation_index r positions =
         KeyTbl.replace tbl key (tuple :: cur))
       r.tuples;
     r.indexes <- (positions, tbl) :: r.indexes;
+    r.index_builds <- r.index_builds + 1;
     tbl
 
 let relation_lookup r positions key =
@@ -389,3 +409,23 @@ let answers ?budget q abox = (run ?budget q abox).answers
 
 let boolean q abox =
   match (run q abox).answers with [] -> false | _ :: _ -> true
+
+(* Testing hooks: the unit suite pins the relation-internals contract —
+   indexes are built by one full scan per position list and then maintained
+   incrementally, and the sorted tuple view is memoised until the next
+   mutation. *)
+module Internal = struct
+  let relation_create = relation_create
+
+  let relation_add r tuple =
+    relation_add r (Array.of_list (List.map (fun (c : Symbol.t) -> (c :> int)) tuple))
+
+  let relation_lookup r positions key =
+    List.map
+      (fun t -> List.map Symbol.unsafe_of_int (Array.to_list t))
+      (relation_lookup r positions
+         (List.map (fun (c : Symbol.t) -> (c :> int)) key))
+
+  let index_builds r = r.index_builds
+  let sorted_view_memoised r = r.sorted_view <> None
+end

@@ -46,3 +46,20 @@ val answers :
   ?budget:Obda_runtime.Budget.t -> Ndl.query -> Abox.t -> Symbol.t list list
 val boolean : Ndl.query -> Abox.t -> bool
 (** For a 0-ary goal: whether the goal is derivable. *)
+
+(** Testing hooks for the relation internals.  The evaluator's performance
+    contract, pinned by the unit suite: an index over a position list is
+    built by a full scan exactly once per relation and maintained
+    incrementally by additions, and {!relation_tuples} memoises its sorted
+    view until the next mutation. *)
+module Internal : sig
+  val relation_create : int -> relation
+  val relation_add : relation -> Symbol.t list -> bool
+  val relation_lookup : relation -> int list -> Symbol.t list -> Symbol.t list list
+
+  val index_builds : relation -> int
+  (** Number of full-scan index constructions performed on this relation. *)
+
+  val sorted_view_memoised : relation -> bool
+  (** Whether a memoised {!relation_tuples} view is currently live. *)
+end

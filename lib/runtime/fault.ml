@@ -61,6 +61,8 @@ let parse_tbox = register ~layer:"parse" ~default:Parse "parse.tbox"
 let parse_cq = register ~layer:"parse" ~default:Parse "parse.cq"
 let parse_abox = register ~layer:"parse" ~default:Parse "parse.abox"
 let obs_sink_write = register ~layer:"obs" ~default:Internal "obs.sink.write"
+let service_request = register ~layer:"service" ~default:Budget "service.request"
+let service_cache = register ~layer:"service" ~default:Internal "service.cache"
 
 let sites () = List.rev !registry
 let find_site name = List.find_opt (fun s -> s.name = name) !registry

@@ -3,8 +3,9 @@
     Every place where the pipeline can legitimately fail under resource
     pressure is a named {e fault site}: the chase apply-step and null
     creation, the per-rule emission point of each of the six rewriters, the
-    round boundaries of both evaluators, the three parser entry points and
-    the trace-sink write.  A site is a [Fault.hit] call guarded — exactly
+    round boundaries of both evaluators, the three parser entry points, the
+    trace-sink write, and the query service's request dispatch and
+    rewriting-cache lookup.  A site is a [Fault.hit] call guarded — exactly
     like the [Obs] global-sink branch — by a single load-and-branch on
     {!armed}, so the machinery costs nothing when no plan is armed.
 
@@ -46,7 +47,7 @@ val site_name : site -> string
 
 val site_layer : site -> string
 (** The pipeline layer owning the site: ["chase"], ["rewrite"], ["eval"],
-    ["parse"] or ["obs"]. *)
+    ["parse"], ["obs"] or ["service"]. *)
 
 val site_default : site -> cls
 (** The class a plan directive injects when it does not name one. *)
@@ -70,6 +71,14 @@ val parse_tbox : site
 val parse_cq : site
 val parse_abox : site
 val obs_sink_write : site
+
+val service_request : site
+(** Guard at the top of every serve-loop request dispatch; an injected
+    fault there surfaces as an in-protocol [ERR] line, not a process
+    exit — the session must stay usable. *)
+
+val service_cache : site
+(** Guard on every rewriting-cache lookup of the query service. *)
 
 (** {1 Plans} *)
 

@@ -1,0 +1,50 @@
+(* A named OMQ, parsed/classified/rewritten once at PREPARE time. *)
+
+module Omq = Obda_rewriting.Omq
+module Tbox = Obda_ontology.Tbox
+module Cq = Obda_cq.Cq
+module Ndl = Obda_ndl.Ndl
+module Error = Obda_runtime.Error
+
+type t = {
+  name : string;
+  omq : Omq.t;
+  algorithm : Omq.algorithm;
+  digest : string;
+  rewriting : Ndl.query;
+  classification : Omq.classification;
+}
+
+let name p = p.name
+let omq p = p.omq
+let algorithm p = p.algorithm
+let digest p = p.digest
+let rewriting p = p.rewriting
+let classification p = p.classification
+let arity p = List.length (Cq.answer_vars p.omq.cq)
+
+let prepare ?budget ~cache ~name ?algorithm tbox cq =
+  let omq = Omq.make tbox cq in
+  let algorithm =
+    match algorithm with Some a -> a | None -> Omq.default_algorithm omq
+  in
+  if not (Omq.applicable algorithm omq) then
+    Error.not_applicable
+      ~algorithm:(Omq.algorithm_name algorithm)
+      "side conditions fail for this OMQ";
+  let digest = Omq.digest ~over:`Arbitrary algorithm omq in
+  let rewriting, origin =
+    Cache.find_or_add cache ~key:digest (fun () ->
+        Omq.rewrite ?budget ~over:`Arbitrary algorithm omq)
+  in
+  let prepared =
+    {
+      name;
+      omq;
+      algorithm;
+      digest;
+      rewriting;
+      classification = Omq.classify omq;
+    }
+  in
+  (prepared, origin)

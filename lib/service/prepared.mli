@@ -1,0 +1,37 @@
+(** Prepared ontology-mediated queries.
+
+    [prepare] runs the expensive front half of query answering once —
+    classify, pick an algorithm, rewrite to NDL — and stores the result
+    under a client-chosen name.  The rewriting itself is obtained through
+    the session's content-addressed {!Cache}, so preparing the same OMQ
+    again (under any name) reuses the cached rewriting instead of
+    rewriting anew. *)
+
+module Omq := Obda_rewriting.Omq
+
+type t
+
+val prepare :
+  ?budget:Obda_runtime.Budget.t ->
+  cache:Cache.t ->
+  name:string ->
+  ?algorithm:Omq.algorithm ->
+  Obda_ontology.Tbox.t ->
+  Obda_cq.Cq.t ->
+  t * [ `Hit | `Miss ]
+(** Build a prepared query over the given TBox.  The algorithm defaults to
+    {!Omq.default_algorithm}; an inapplicable explicit algorithm raises
+    [Obda_error (Not_applicable _)].  The rewriting is produced over
+    arbitrary instances ([`Arbitrary]) and fetched through [cache] keyed
+    by {!Omq.digest}; the second component says whether it was a cache
+    hit. *)
+
+val name : t -> string
+val omq : t -> Omq.t
+val algorithm : t -> Omq.algorithm
+val digest : t -> string
+val rewriting : t -> Obda_ndl.Ndl.query
+val classification : t -> Omq.classification
+
+val arity : t -> int
+(** Number of answer variables. *)

@@ -1,0 +1,80 @@
+(* The newline-delimited request language of [obda serve]. *)
+
+module Omq = Obda_rewriting.Omq
+
+type request =
+  | Load_ontology of string
+  | Load_data of string
+  | Prepare of { name : string; algorithm : Omq.algorithm option; cq : string }
+  | Answer of string
+  | Assert_facts of string
+  | Retract_facts of string
+  | Stats
+  | Quit
+
+let verb = function
+  | Load_ontology _ | Load_data _ -> "LOAD"
+  | Prepare _ -> "PREPARE"
+  | Answer _ -> "ANSWER"
+  | Assert_facts _ -> "ASSERT"
+  | Retract_facts _ -> "RETRACT"
+  | Stats -> "STATS"
+  | Quit -> "QUIT"
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+let trim s = String.trim s
+
+(* First whitespace-delimited token and the (trimmed) remainder. *)
+let split_word s =
+  let n = String.length s in
+  let rec word i = if i < n && not (is_space s.[i]) then word (i + 1) else i in
+  let stop = word 0 in
+  let token = String.sub s 0 stop in
+  let rest = trim (String.sub s stop (n - stop)) in
+  (token, rest)
+
+let keyword_is k token = String.uppercase_ascii token = k
+
+let parse line =
+  let line = trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    let verb, rest = split_word line in
+    match String.uppercase_ascii verb with
+    | "LOAD" ->
+      let kind, path = split_word rest in
+      if path = "" then Error "LOAD needs a kind (ONTOLOGY|DATA) and a file"
+      else if keyword_is "ONTOLOGY" kind then Ok (Some (Load_ontology path))
+      else if keyword_is "DATA" kind then Ok (Some (Load_data path))
+      else Error (Printf.sprintf "LOAD kind must be ONTOLOGY or DATA, got %S" kind)
+    | "PREPARE" ->
+      let name, rest = split_word rest in
+      if name = "" || rest = "" then
+        Error "PREPARE needs a name and a query, e.g. PREPARE q1 q(x) <- A(x)"
+      else
+        let maybe_alg, after_alg = split_word rest in
+        if keyword_is "ALG" maybe_alg then
+          let alg, cq = split_word after_alg in
+          match Omq.algorithm_of_string alg with
+          | None -> Error (Printf.sprintf "unknown algorithm %S" alg)
+          | Some _ when cq = "" -> Error "PREPARE needs a query after ALG <alg>"
+          | Some a -> Ok (Some (Prepare { name; algorithm = Some a; cq }))
+        else Ok (Some (Prepare { name; algorithm = None; cq = rest }))
+    | "ANSWER" ->
+      let name, extra = split_word rest in
+      if name = "" then Error "ANSWER needs a prepared query name"
+      else if extra <> "" then
+        Error (Printf.sprintf "ANSWER takes a single name, got extra %S" extra)
+      else Ok (Some (Answer name))
+    | "ASSERT" ->
+      if rest = "" then Error "ASSERT needs at least one fact, e.g. ASSERT A(a)"
+      else Ok (Some (Assert_facts rest))
+    | "RETRACT" ->
+      if rest = "" then Error "RETRACT needs at least one fact"
+      else Ok (Some (Retract_facts rest))
+    | "STATS" ->
+      if rest <> "" then Error "STATS takes no arguments" else Ok (Some Stats)
+    | "QUIT" | "EXIT" ->
+      if rest <> "" then Error "QUIT takes no arguments" else Ok (Some Quit)
+    | v -> Error (Printf.sprintf "unknown verb %S" v)

@@ -1,0 +1,140 @@
+(* Request execution and the serve loop. *)
+
+module Omq = Obda_rewriting.Omq
+module Tbox = Obda_ontology.Tbox
+module Cq = Obda_cq.Cq
+module Abox = Obda_data.Abox
+module Ndl = Obda_ndl.Ndl
+module Parse = Obda_parse.Parse
+module Symbol = Obda_syntax.Symbol
+module Budget = Obda_runtime.Budget
+module Error = Obda_runtime.Error
+module Fault = Obda_runtime.Fault
+module Obs = Obda_obs.Obs
+
+let origin_string = function `Hit -> "hit" | `Miss -> "miss"
+
+let tuple_string tuple =
+  String.concat "," (List.map Symbol.name tuple)
+
+let exec ?budget session (req : Protocol.request) =
+  match req with
+  | Protocol.Load_ontology file ->
+    let tbox = Parse.ontology_of_file file in
+    Session.load_ontology session tbox;
+    [
+      Format.asprintf "OK ontology axioms=%d depth=%a"
+        (List.length (Tbox.axioms tbox))
+        Tbox.pp_depth (Tbox.depth tbox);
+    ]
+  | Protocol.Load_data file ->
+    let abox = Parse.data_of_file file in
+    Session.load_data session abox;
+    [
+      Printf.sprintf "OK data atoms=%d individuals=%d"
+        (Abox.num_atoms abox) (Abox.num_individuals abox);
+    ]
+  | Protocol.Prepare { name; algorithm; cq } ->
+    let cq = Parse.query_of_string cq in
+    let prepared, origin = Session.prepare ?budget session ~name ?algorithm cq in
+    [
+      Printf.sprintf "OK prepared name=%s algorithm=%s cache=%s clauses=%d digest=%s"
+        name
+        (Omq.algorithm_name (Prepared.algorithm prepared))
+        (origin_string origin)
+        (Ndl.num_clauses (Prepared.rewriting prepared))
+        (Prepared.digest prepared);
+    ]
+  | Protocol.Answer name ->
+    let prepared =
+      match Session.find_prepared session name with
+      | Some p -> p
+      | None -> Error.internal "no prepared query named %S" name
+    in
+    let answers = Session.answer ?budget session prepared in
+    if Prepared.arity prepared = 0 then
+      [ Printf.sprintf "OK boolean=%b" (answers <> []) ]
+    else
+      Printf.sprintf "OK answers=%d" (List.length answers)
+      :: List.map tuple_string answers
+  | Protocol.Assert_facts text ->
+    let facts = Abox.to_facts (Parse.data_of_string text) in
+    let added =
+      List.fold_left
+        (fun n fact -> if Session.assert_fact session fact then n + 1 else n)
+        0 facts
+    in
+    [
+      Printf.sprintf "OK asserted added=%d atoms=%d" added
+        (Abox.num_atoms (Session.abox session));
+    ]
+  | Protocol.Retract_facts text ->
+    let facts = Abox.to_facts (Parse.data_of_string text) in
+    let removed =
+      List.fold_left
+        (fun n fact -> if Session.retract_fact session fact then n + 1 else n)
+        0 facts
+    in
+    [
+      Printf.sprintf "OK retracted removed=%d atoms=%d" removed
+        (Abox.num_atoms (Session.abox session));
+    ]
+  | Protocol.Stats ->
+    let stats = Session.stats session in
+    Printf.sprintf "OK stats=%d" (List.length stats)
+    :: List.map (fun (k, v) -> Printf.sprintf "%s %s" k v) stats
+  | Protocol.Quit -> [ "OK bye" ]
+
+let protocol_error msg line =
+  Error.Parse_error
+    {
+      loc = { file = None; line = 0; column = None };
+      msg;
+      source_line = Some line;
+    }
+
+(* Execute one input line.  Returns the response lines and whether the
+   loop should stop.  Every parsed request runs under a fresh sub-budget
+   of the session budget (own step/size allowance, shared wall deadline)
+   and a [service.request] span; typed errors become in-protocol [ERR]
+   lines, so a failed request — including a budget-exhausted one — leaves
+   the session alive and usable. *)
+let handle_line session line =
+  match Protocol.parse line with
+  | Ok None -> ([], false)
+  | Error msg ->
+    Session.count_request session;
+    ([ "ERR " ^ Error.to_string (protocol_error msg line) ], false)
+  | Ok (Some req) ->
+    Session.count_request session;
+    let stop = req = Protocol.Quit in
+    let budget = Budget.sub (Session.budget session) in
+    (match
+       Error.protect (fun () ->
+           Obs.with_span "service.request"
+             ~attrs:[ ("verb", Protocol.verb req) ]
+             (fun () ->
+               Fault.hit Fault.service_request;
+               exec ~budget session req))
+     with
+    | Ok lines -> (lines, stop)
+    | Error e -> ([ "ERR " ^ Error.to_string e ], stop))
+
+let run session ~input ~output =
+  let rec loop () =
+    match input () with
+    | None -> ()
+    | Some line ->
+      let lines, stop = handle_line session line in
+      List.iter output lines;
+      if not stop then loop ()
+  in
+  loop ()
+
+let run_channels session ic oc =
+  run session
+    ~input:(fun () -> In_channel.input_line ic)
+    ~output:(fun line ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc)

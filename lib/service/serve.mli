@@ -1,0 +1,32 @@
+(** The serve loop: execute {!Protocol} requests against a {!Session}.
+
+    Responses are newline-delimited: every request yields one [OK ...]
+    status line (possibly followed by payload lines — answer tuples,
+    stats) or a single [ERR class=... ...] line rendering the typed error
+    that aborted it.  Errors are in-protocol: a failed request, including
+    a budget-exhausted one, leaves the session alive. *)
+
+val exec :
+  ?budget:Obda_runtime.Budget.t ->
+  Session.t -> Protocol.request -> string list
+(** Execute one request, returning its response lines.  Raises
+    [Obda_error] on failure (parse errors in payloads, unknown prepared
+    names, budget exhaustion, inapplicable algorithms...). *)
+
+val handle_line : Session.t -> string -> string list * bool
+(** Parse and execute one input line under a fresh {!Obda_runtime.Budget.sub}
+    of the session budget and a [service.request] telemetry span (with a
+    [verb] attribute), mapping errors to [ERR] lines.  The boolean is
+    [true] when the loop should stop ([QUIT]).  Blank and comment lines
+    yield no response. *)
+
+val run :
+  Session.t ->
+  input:(unit -> string option) ->
+  output:(string -> unit) -> unit
+(** Drive {!handle_line} until [input] returns [None] or a [QUIT] is
+    executed. *)
+
+val run_channels : Session.t -> in_channel -> out_channel -> unit
+(** {!run} over channels, flushing after every response line — the
+    engine of [obda serve]. *)

@@ -1,0 +1,131 @@
+(* A service session: resident ontology, mutable data store, prepared
+   queries and the rewriting cache. *)
+
+module Omq = Obda_rewriting.Omq
+module Tbox = Obda_ontology.Tbox
+module Abox = Obda_data.Abox
+module Eval = Obda_ndl.Eval
+module Budget = Obda_runtime.Budget
+module Error = Obda_runtime.Error
+module Obs = Obda_obs.Obs
+
+type t = {
+  mutable tbox : Tbox.t option;
+  mutable abox : Abox.t;
+  mutable consistency : (int * bool) option;
+      (* ABox revision at the last check, and its verdict.  The pair is
+         valid only while the revision matches: any ASSERT/RETRACT/LOAD
+         bumps the revision and implicitly invalidates it. *)
+  prepared : (string, Prepared.t) Hashtbl.t;
+  cache : Cache.t;
+  budget : Budget.t;
+  mutable requests : int;
+}
+
+let create ?(budget = Budget.none) ?cache_entries ?cache_weight () =
+  {
+    tbox = None;
+    abox = Abox.create ();
+    consistency = None;
+    prepared = Hashtbl.create 16;
+    cache = Cache.create ?max_entries:cache_entries ?max_weight:cache_weight ();
+    budget;
+    requests = 0;
+  }
+
+let budget t = t.budget
+let cache t = t.cache
+let tbox t = t.tbox
+let abox t = t.abox
+let count_request t = t.requests <- t.requests + 1
+let requests t = t.requests
+
+let load_ontology t tbox =
+  t.tbox <- Some tbox;
+  (* Prepared queries were rewritten against the previous TBox. *)
+  Hashtbl.reset t.prepared;
+  t.consistency <- None
+
+let load_data t abox =
+  t.abox <- abox;
+  t.consistency <- None
+
+let assert_fact t fact =
+  if Abox.mem_fact t.abox fact then false
+  else begin
+    Abox.add_fact t.abox fact;
+    true
+  end
+
+let retract_fact t fact = Abox.remove_fact t.abox fact
+
+let consistent t =
+  match t.tbox with
+  | None -> true
+  | Some tbox ->
+    let rev = Abox.revision t.abox in
+    (match t.consistency with
+    | Some (r, verdict) when r = rev -> verdict
+    | _ ->
+      let verdict =
+        Obs.with_span "chase.consistency" (fun () ->
+            Abox.consistent tbox t.abox)
+      in
+      t.consistency <- Some (rev, verdict);
+      verdict)
+
+let consistency_cached t =
+  match (t.tbox, t.consistency) with
+  | None, _ -> Some true
+  | Some _, Some (r, verdict) when r = Abox.revision t.abox -> Some verdict
+  | _ -> None
+
+let require_tbox t =
+  match t.tbox with
+  | Some tbox -> tbox
+  | None -> Error.internal "no ontology loaded (use LOAD ONTOLOGY first)"
+
+let prepare ?budget t ~name ?algorithm cq =
+  let tbox = require_tbox t in
+  let prepared, origin =
+    Prepared.prepare ?budget ~cache:t.cache ~name ?algorithm tbox cq
+  in
+  Hashtbl.replace t.prepared name prepared;
+  (prepared, origin)
+
+let find_prepared t name = Hashtbl.find_opt t.prepared name
+
+let prepared_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.prepared []
+  |> List.sort compare
+
+let answer ?budget t p =
+  if not (consistent t) then Omq.all_tuples t.abox (Prepared.arity p)
+  else Eval.answers ?budget (Prepared.rewriting p) t.abox
+
+let stats t =
+  let cache = t.cache in
+  let consistency =
+    match consistency_cached t with
+    | Some true -> "yes"
+    | Some false -> "no"
+    | None -> "unknown"
+  in
+  [
+    ("requests", string_of_int t.requests);
+    ("ontology.loaded", if t.tbox = None then "no" else "yes");
+    ( "ontology.axioms",
+      match t.tbox with
+      | None -> "0"
+      | Some tb -> string_of_int (List.length (Tbox.axioms tb)) );
+    ("data.atoms", string_of_int (Abox.num_atoms t.abox));
+    ("data.individuals", string_of_int (Abox.num_individuals t.abox));
+    ("data.revision", string_of_int (Abox.revision t.abox));
+    ("consistent", consistency);
+    ("prepared", string_of_int (Hashtbl.length t.prepared));
+    ("cache.entries", string_of_int (Cache.length cache));
+    ("cache.weight", string_of_int (Cache.weight cache));
+    ("cache.hits", string_of_int (Cache.hits cache));
+    ("cache.misses", string_of_int (Cache.misses cache));
+    ("cache.evictions", string_of_int (Cache.evictions cache));
+  ]

@@ -1,0 +1,80 @@
+(** Service sessions.
+
+    A session holds a resident ontology, a mutable ABox store, the
+    prepared queries registered so far and the content-addressed rewriting
+    {!Cache} behind them.  Consistency of (T, A) is checked lazily and
+    memoised against {!Obda_data.Abox.revision}: answering many queries
+    over unchanged data runs the chase-based check once, and any
+    [ASSERT]/[RETRACT]/[LOAD] invalidates the memo by bumping the
+    revision. *)
+
+module Omq := Obda_rewriting.Omq
+
+type t
+
+val create :
+  ?budget:Obda_runtime.Budget.t ->
+  ?cache_entries:int ->
+  ?cache_weight:int ->
+  unit -> t
+(** A fresh session with an empty ABox and no ontology.  [budget] is the
+    session-wide resource envelope ({!budget}); [cache_entries] /
+    [cache_weight] bound the rewriting cache. *)
+
+val budget : t -> Obda_runtime.Budget.t
+val cache : t -> Cache.t
+val tbox : t -> Obda_ontology.Tbox.t option
+val abox : t -> Obda_data.Abox.t
+
+val count_request : t -> unit
+val requests : t -> int
+
+val load_ontology : t -> Obda_ontology.Tbox.t -> unit
+(** Replace the resident ontology.  Drops all prepared queries (they were
+    rewritten against the old TBox) and the consistency memo; the
+    rewriting cache survives, since its keys digest the TBox. *)
+
+val load_data : t -> Obda_data.Abox.t -> unit
+(** Replace the data store. *)
+
+val assert_fact : t -> Obda_data.Abox.fact -> bool
+(** Add one fact; [false] if it was already present (no revision bump). *)
+
+val retract_fact : t -> Obda_data.Abox.fact -> bool
+(** Remove one fact; [false] if it was absent. *)
+
+val consistent : t -> bool
+(** Whether (T, A) is consistent, from the memo when the ABox revision is
+    unchanged, recomputed (under a [chase.consistency] span) otherwise.
+    With no ontology loaded this is trivially [true]. *)
+
+val consistency_cached : t -> bool option
+(** The memoised verdict, or [None] if the next {!consistent} call will
+    recompute. *)
+
+val prepare :
+  ?budget:Obda_runtime.Budget.t ->
+  t ->
+  name:string ->
+  ?algorithm:Omq.algorithm ->
+  Obda_cq.Cq.t ->
+  Prepared.t * [ `Hit | `Miss ]
+(** Parse-free half of [PREPARE]: classify, rewrite through the cache and
+    register under [name] (replacing any previous binding).  Raises
+    [Obda_error (Internal _)] when no ontology is loaded. *)
+
+val find_prepared : t -> string -> Prepared.t option
+val prepared_names : t -> string list
+
+val answer :
+  ?budget:Obda_runtime.Budget.t -> t -> Prepared.t -> Obda_syntax.Symbol.t list list
+(** Certain answers of a prepared query over the current store: the
+    memoised consistency check, then NDL evaluation of the stored
+    rewriting — no re-parsing, no re-rewriting.  On inconsistent (T, A),
+    every tuple over ind(A) of the query's arity, per the convention at
+    the end of Section 2 of the paper. *)
+
+val stats : t -> (string * string) list
+(** Observable session state as ordered key/value pairs (the [STATS]
+    verb): request count, ontology/data sizes, data revision, consistency
+    memo state, prepared count and cache statistics. *)

@@ -177,6 +177,77 @@ let linear_case () =
       "rerun differs from baseline"));
   site_name
 
+(* The service sites are in-protocol: a fault at [service.request] or
+   [service.cache] surfaces as an [ERR class=...] line from the serve loop,
+   never as a process exit — and the session absorbs it, so the same
+   request succeeds on retry while the plan is still armed. *)
+let service_case site_name =
+  let module Session = Obda_service.Session in
+  let module Serve = Obda_service.Serve in
+  let site =
+    match Fault.find_site site_name with
+    | Some s -> s
+    | None -> failwith ("unregistered site in case table: " ^ site_name)
+  in
+  let cq_text = String.trim (String.concat " " (read_lines (data "seq.cq"))) in
+  let prepare_line = "PREPARE q " ^ cq_text in
+  let fresh () =
+    let s = Session.create () in
+    Session.load_ontology s
+      (Obda_parse.Parse.ontology_of_file (data "seq.onto"));
+    Session.load_data s (Obda_parse.Parse.data_of_file (data "seq.data"));
+    s
+  in
+  let transcript session =
+    (* sequence explicitly: [@] evaluates its right operand first *)
+    let prepared = fst (Serve.handle_line session prepare_line) in
+    let answered = fst (Serve.handle_line session "ANSWER q") in
+    prepared @ answered
+  in
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let baseline = transcript (fresh ()) in
+  check
+    (site_name ^ ": fault-free baseline")
+    (baseline <> [] && List.for_all (fun l -> not (starts_with "ERR" l)) baseline)
+    (String.concat " | " baseline);
+  (match Fault.parse_plan (site_name ^ "@1") with
+  | Error e -> check (site_name ^ ": plan parses") false e
+  | Ok plan ->
+    let session = fresh () in
+    Fault.arm plan;
+    let lines, stop = Serve.handle_line session prepare_line in
+    let expected = "ERR class=" ^ Fault.cls_name (Fault.site_default site) in
+    let got = match lines with l :: _ -> l | [] -> "<no response>" in
+    check
+      (site_name ^ ": in-protocol ERR line")
+      (starts_with expected got)
+      (Printf.sprintf "%S, want prefix %S" got expected);
+    check (site_name ^ ": loop continues past the fault") (not stop)
+      "QUIT signalled";
+    (* activation 1 has passed: the same request now succeeds with the
+       plan still armed, proving the session was not poisoned *)
+    let retry = transcript session in
+    let fired = Fault.fired () in
+    Fault.disarm ();
+    check
+      (site_name ^ ": session usable after fault")
+      (retry = baseline) "retry transcript differs from baseline";
+    check
+      (site_name ^ ": fired activation recorded")
+      (List.exists
+         (fun (s, n) -> Fault.site_name s = site_name && n = 1)
+         fired)
+      "activation 1 not in Fault.fired ()");
+  (* fault-free rerun from scratch *)
+  check
+    (site_name ^ ": fault-free rerun restores answers")
+    (transcript (fresh ()) = baseline)
+    "rerun differs from baseline";
+  site_name
+
 let () =
   let covered =
     [
@@ -199,6 +270,9 @@ let () =
       cli_case "parse.abox" [];
       (* trace-sink write: the injected run always passes --trace *)
       cli_case "obs.sink.write" [];
+      (* service layer: faults become in-protocol ERR lines *)
+      service_case "service.request";
+      service_case "service.cache";
     ]
   in
   (* exhaustiveness: every registered site must have a chaos case *)

@@ -253,6 +253,54 @@ let test_star_linear () =
     [ [ "c1" ] ]
     (show_tuples (Eval.answers starred a))
 
+(* The relation-internals contract behind evaluator rounds: one full-scan
+   index build per position list (later additions maintain it in place and
+   lookups reuse it), and a sorted tuple view that is memoised until the
+   next mutation. *)
+let test_relation_index_reuse () =
+  let module I = Eval.Internal in
+  let s = Symbol.intern in
+  let r = I.relation_create 2 in
+  check "first add" true (I.relation_add r [ s "a"; s "b" ]);
+  check "second add" true (I.relation_add r [ s "a"; s "c" ]);
+  check "duplicate add rejected" false (I.relation_add r [ s "a"; s "b" ]);
+  check_int "no index before first lookup" 0 (I.index_builds r);
+  let m1 = I.relation_lookup r [ 0 ] [ s "a" ] in
+  check_int "lookup matches" 2 (List.length m1);
+  check_int "one full-scan build" 1 (I.index_builds r);
+  ignore (I.relation_lookup r [ 0 ] [ s "a" ]);
+  ignore (I.relation_lookup r [ 0 ] [ s "z" ]);
+  check_int "repeat lookups reuse the index" 1 (I.index_builds r);
+  (* an addition after the build is visible without a rescan *)
+  check "post-index add" true (I.relation_add r [ s "a"; s "d" ]);
+  check_int "incremental maintenance, no rebuild" 1 (I.index_builds r);
+  check_int "maintained index sees the new tuple" 3
+    (List.length (I.relation_lookup r [ 0 ] [ s "a" ]));
+  (* a second position list is one more build, not a rebuild of the first *)
+  ignore (I.relation_lookup r [ 1 ] [ s "b" ]);
+  check_int "second position list builds once more" 2 (I.index_builds r)
+
+let test_relation_sorted_view_memoised () =
+  let module I = Eval.Internal in
+  let s = Symbol.intern in
+  let r = I.relation_create 1 in
+  let names ts = List.sort compare (List.map (List.map Symbol.name) ts) in
+  ignore (I.relation_add r [ s "v2" ]);
+  ignore (I.relation_add r [ s "v1" ]);
+  check "no view before first read" false (I.sorted_view_memoised r);
+  let v1 = Eval.relation_tuples r in
+  Alcotest.(check (list (list string)))
+    "view contents" [ [ "v1" ]; [ "v2" ] ] (names v1);
+  check "view memoised after read" true (I.sorted_view_memoised r);
+  let v2 = Eval.relation_tuples r in
+  check "repeat read returns the memoised list" true (v1 == v2);
+  ignore (I.relation_add r [ s "v0" ]);
+  check "mutation invalidates the view" false (I.sorted_view_memoised r);
+  Alcotest.(check (list (list string)))
+    "fresh view after mutation"
+    [ [ "v0" ]; [ "v1" ]; [ "v2" ] ]
+    (names (Eval.relation_tuples r))
+
 let suites =
   [
     ( "ndl",
@@ -272,5 +320,9 @@ let suites =
         Alcotest.test_case "inline (Tw*)" `Quick test_inline;
         Alcotest.test_case "star (generic)" `Quick test_star_generic;
         Alcotest.test_case "star (linear, Lemma 3)" `Quick test_star_linear;
+        Alcotest.test_case "relation index reuse" `Quick
+          test_relation_index_reuse;
+        Alcotest.test_case "relation sorted view memoised" `Quick
+          test_relation_sorted_view_memoised;
       ] );
   ]

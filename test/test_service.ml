@@ -1,0 +1,366 @@
+(* The query service layer: protocol parsing, the LRU rewriting cache,
+   session dirty-tracking, the serve loop's request execution, and the
+   prepare-once/answer-many contract (exactly one rewrite for any number
+   of PREPARE/ANSWER pairs of the same OMQ). *)
+
+module Cache = Obda_service.Cache
+module Prepared = Obda_service.Prepared
+module Session = Obda_service.Session
+module Protocol = Obda_service.Protocol
+module Serve = Obda_service.Serve
+module Omq = Obda_rewriting.Omq
+module Ndl = Obda_ndl.Ndl
+module Parse = Obda_parse.Parse
+module Abox = Obda_data.Abox
+module Symbol = Obda_syntax.Symbol
+module Budget = Obda_runtime.Budget
+module Error = Obda_runtime.Error
+module Obs = Obda_obs.Obs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let tbox_text = "A(x) -> R(x,_)\nR(_,x) -> A(x)"
+let tbox () = Parse.ontology_of_string tbox_text
+let cq_a () = Parse.query_of_string "q(x) <- A(x)"
+let abox () = Parse.data_of_string "A(a) R(a,b)"
+
+(* A tiny NDL query to populate cache entries without running a rewriter. *)
+let dummy_query name =
+  Omq.rewrite Omq.Ucq (Omq.make (tbox ()) (Parse.query_of_string name))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let ok_some line =
+  match Protocol.parse line with
+  | Ok (Some r) -> r
+  | Ok None -> Alcotest.failf "expected a request from %S" line
+  | Error m -> Alcotest.failf "parse of %S failed: %s" line m
+
+let test_protocol_verbs () =
+  (match ok_some "LOAD ONTOLOGY o.txt" with
+  | Protocol.Load_ontology f -> check_str "ontology file" "o.txt" f
+  | _ -> Alcotest.fail "expected Load_ontology");
+  (match ok_some "load data d.txt" with
+  | Protocol.Load_data f -> check_str "data file (case-insensitive)" "d.txt" f
+  | _ -> Alcotest.fail "expected Load_data");
+  (match ok_some "PREPARE q1 q(x) <- A(x)" with
+  | Protocol.Prepare { name; algorithm; cq } ->
+    check_str "name" "q1" name;
+    check "no algorithm" true (algorithm = None);
+    check_str "cq text" "q(x) <- A(x)" cq
+  | _ -> Alcotest.fail "expected Prepare");
+  (match ok_some "PREPARE q2 ALG ucq q(x) <- A(x)" with
+  | Protocol.Prepare { algorithm = Some a; _ } ->
+    check "explicit algorithm" true (a = Omq.Ucq)
+  | _ -> Alcotest.fail "expected Prepare with algorithm");
+  (match ok_some "ANSWER q1" with
+  | Protocol.Answer n -> check_str "answer name" "q1" n
+  | _ -> Alcotest.fail "expected Answer");
+  (match ok_some "ASSERT A(a) R(a,b)" with
+  | Protocol.Assert_facts t -> check_str "assert payload" "A(a) R(a,b)" t
+  | _ -> Alcotest.fail "expected Assert_facts");
+  (match ok_some "RETRACT A(a)" with
+  | Protocol.Retract_facts t -> check_str "retract payload" "A(a)" t
+  | _ -> Alcotest.fail "expected Retract_facts");
+  check "stats" true (ok_some "STATS" = Protocol.Stats);
+  check "quit" true (ok_some "QUIT" = Protocol.Quit);
+  check "exit alias" true (ok_some "exit" = Protocol.Quit)
+
+let test_protocol_skips_and_errors () =
+  check "blank" true (Protocol.parse "" = Ok None);
+  check "spaces" true (Protocol.parse "   " = Ok None);
+  check "comment" true (Protocol.parse "# hello" = Ok None);
+  let is_error line =
+    match Protocol.parse line with Error _ -> true | _ -> false
+  in
+  check "unknown verb" true (is_error "FROBNICATE x");
+  check "LOAD without kind" true (is_error "LOAD");
+  check "LOAD bad kind" true (is_error "LOAD TBOX o.txt");
+  check "PREPARE without query" true (is_error "PREPARE q1");
+  check "PREPARE bad algorithm" true (is_error "PREPARE q ALG nope q(x) <- A(x)");
+  check "ANSWER without name" true (is_error "ANSWER");
+  check "ANSWER extra args" true (is_error "ANSWER q1 q2");
+  check "ASSERT empty" true (is_error "ASSERT");
+  check "STATS with args" true (is_error "STATS now")
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let test_cache_hit_miss () =
+  let c = Cache.create () in
+  let builds = ref 0 in
+  let build () = incr builds; dummy_query "q(x) <- A(x)" in
+  let q1, o1 = Cache.find_or_add c ~key:"k1" build in
+  check "first lookup misses" true (o1 = `Miss);
+  let q2, o2 = Cache.find_or_add c ~key:"k1" build in
+  check "second lookup hits" true (o2 = `Hit);
+  check "hit returns the same rewriting" true (q1 == q2);
+  check_int "one build" 1 !builds;
+  check_int "hits" 1 (Cache.hits c);
+  check_int "misses" 1 (Cache.misses c);
+  check_int "entries" 1 (Cache.length c);
+  check_int "weight is Ndl.size" (Ndl.size q1) (Cache.weight c)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~max_entries:2 () in
+  let add key = ignore (Cache.find_or_add c ~key (fun () -> dummy_query "q(x) <- A(x)")) in
+  add "k1";
+  add "k2";
+  (* touch k1 so k2 becomes the LRU victim *)
+  add "k1";
+  add "k3";
+  check_int "bounded to 2 entries" 2 (Cache.length c);
+  check "k2 evicted" false (Cache.mem c "k2");
+  check "k1 kept (recently used)" true (Cache.mem c "k1");
+  check "k3 kept (new)" true (Cache.mem c "k3");
+  check_int "one eviction" 1 (Cache.evictions c);
+  Alcotest.(check (list string))
+    "MRU order" [ "k3"; "k1" ] (Cache.keys_mru_first c)
+
+let test_cache_weight_bound () =
+  let w = Ndl.size (dummy_query "q(x) <- A(x)") in
+  (* room for exactly one resident rewriting *)
+  let c = Cache.create ~max_weight:w () in
+  let add key = ignore (Cache.find_or_add c ~key (fun () -> dummy_query "q(x) <- A(x)")) in
+  add "k1";
+  add "k2";
+  check_int "one resident entry" 1 (Cache.length c);
+  check "k2 is the resident one" true (Cache.mem c "k2");
+  check_int "weight within bound" w (Cache.weight c);
+  check_int "evicted k1" 1 (Cache.evictions c)
+
+let test_cache_counters_reach_obs () =
+  let (), coll =
+    Obs.collecting (fun () ->
+        let c = Cache.create ~max_entries:1 () in
+        let add key =
+          ignore (Cache.find_or_add c ~key (fun () -> dummy_query "q(x) <- A(x)"))
+        in
+        add "k1";
+        add "k1";
+        add "k2")
+  in
+  check_int "obs hit" 1 (Obs.Collector.counter coll "service.cache.hit");
+  check_int "obs miss" 2 (Obs.Collector.counter coll "service.cache.miss");
+  check_int "obs evict" 1 (Obs.Collector.counter coll "service.cache.evict")
+
+(* ------------------------------------------------------------------ *)
+(* Session *)
+
+let test_session_consistency_memo () =
+  let s = Session.create () in
+  Session.load_ontology s (Parse.ontology_of_string "A(x), B(x) -> false");
+  Session.load_data s (Parse.data_of_string "A(a)");
+  check "no verdict yet" true (Session.consistency_cached s = None);
+  check "consistent" true (Session.consistent s);
+  check "verdict memoised" true (Session.consistency_cached s = Some true);
+  (* unchanged data: the memo answers *)
+  check "still consistent" true (Session.consistent s);
+  (* a mutation invalidates the memo through the revision counter *)
+  check "assert new fact" true
+    (Session.assert_fact s
+       (Abox.Concept_assertion (Symbol.intern "B", Symbol.intern "a")));
+  check "memo invalidated" true (Session.consistency_cached s = None);
+  check "now inconsistent" false (Session.consistent s);
+  check "retract restores" true
+    (Session.retract_fact s
+       (Abox.Concept_assertion (Symbol.intern "B", Symbol.intern "a")));
+  check "consistent again" true (Session.consistent s);
+  (* re-asserting an already-present fact is a no-op: memo survives *)
+  check "duplicate assert is a no-op" false
+    (Session.assert_fact s
+       (Abox.Concept_assertion (Symbol.intern "A", Symbol.intern "a")));
+  check "memo survives no-op" true (Session.consistency_cached s = Some true)
+
+let test_session_answer_runs_check_once () =
+  let s = Session.create () in
+  Session.load_ontology s (tbox ());
+  Session.load_data s (abox ());
+  let p, _ = Session.prepare s ~name:"q" (cq_a ()) in
+  let (), coll =
+    Obs.collecting (fun () ->
+        for _ = 1 to 50 do
+          ignore (Session.answer s p)
+        done)
+  in
+  let consistency_spans =
+    List.length
+      (List.filter
+         (fun (sp : Obs.span) -> sp.Obs.name = "chase.consistency")
+         (Obs.Collector.spans coll))
+  in
+  check_int "consistency checked once for 50 answers" 1 consistency_spans
+
+let test_session_load_ontology_drops_prepared () =
+  let s = Session.create () in
+  Session.load_ontology s (tbox ());
+  let _ = Session.prepare s ~name:"q" (cq_a ()) in
+  check "prepared registered" true (Session.find_prepared s "q" <> None);
+  Session.load_ontology s (tbox ());
+  check "reload drops prepared" true (Session.find_prepared s "q" = None);
+  Alcotest.(check (list string)) "no names" [] (Session.prepared_names s)
+
+let test_session_answer_inconsistent_convention () =
+  let s = Session.create () in
+  Session.load_ontology s
+    (Parse.ontology_of_string "A(x), B(x) -> false\nA(x) -> C(x)");
+  Session.load_data s (Parse.data_of_string "A(a) B(a) C(b)");
+  let p, _ = Session.prepare s ~name:"q" (Parse.query_of_string "q(x) <- C(x)") in
+  let answers = Session.answer s p in
+  (* inconsistent (T, A): every individual is an answer *)
+  check_int "all tuples over ind(A)" 2 (List.length answers)
+
+(* ------------------------------------------------------------------ *)
+(* Serve *)
+
+let with_temp_file content f =
+  let path = Filename.temp_file "obda_service" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      f path)
+
+let first = function
+  | line :: _ -> line
+  | [] -> Alcotest.fail "expected at least one response line"
+
+let test_serve_every_verb () =
+  with_temp_file tbox_text (fun onto_file ->
+      with_temp_file "A(a) R(a,b)" (fun data_file ->
+          let s = Session.create () in
+          let exec line = fst (Serve.handle_line s line) in
+          check "load ontology OK" true
+            (String.length (first (exec ("LOAD ONTOLOGY " ^ onto_file))) > 2);
+          check_str "load data" "OK data atoms=2 individuals=2"
+            (first (exec ("LOAD DATA " ^ data_file)));
+          let prep = first (exec "PREPARE q1 q(x) <- A(x)") in
+          check "prepare miss" true
+            (String.length prep > 0
+            && String.sub prep 0 2 = "OK"
+            && String.length prep > 30);
+          (match exec "ANSWER q1" with
+          | status :: tuples ->
+            check_str "answer status" "OK answers=2" status;
+            Alcotest.(check (list string))
+              "tuples" [ "a"; "b" ] (List.sort compare tuples)
+          | [] -> Alcotest.fail "no answer response");
+          check_str "assert" "OK asserted added=1 atoms=3"
+            (first (exec "ASSERT A(c)"));
+          check_str "answer sees the new fact" "OK answers=3"
+            (first (exec "ANSWER q1"));
+          check_str "retract" "OK retracted removed=1 atoms=2"
+            (first (exec "RETRACT A(c)"));
+          (match exec "STATS" with
+          | status :: kvs ->
+            check_str "stats status" "OK stats=13" status;
+            check "stats payload lines" true (List.length kvs = 13)
+          | [] -> Alcotest.fail "no stats response");
+          (* boolean query *)
+          ignore (exec "PREPARE b q() <- A(x)");
+          Alcotest.(check (list string))
+            "boolean answer" [ "OK boolean=true" ] (exec "ANSWER b");
+          let lines, stop = Serve.handle_line s "QUIT" in
+          check "quit stops" true stop;
+          Alcotest.(check (list string)) "quit response" [ "OK bye" ] lines))
+
+let err_class line =
+  (* "ERR class=parse msg=..." -> "parse" *)
+  match String.split_on_char ' ' line with
+  | "ERR" :: kv :: _ when String.length kv > 6 && String.sub kv 0 6 = "class=" ->
+    String.sub kv 6 (String.length kv - 6)
+  | _ -> Alcotest.failf "expected an ERR line, got %S" line
+
+let test_serve_err_leaves_session_usable () =
+  let s = Session.create ~budget:(Budget.create ~max_steps:1 ()) () in
+  Session.load_ontology s (tbox ());
+  Session.load_data s (abox ());
+  (* the rewrite exhausts the 1-step request sub-budget -> in-protocol ERR *)
+  let lines, stop = Serve.handle_line s "PREPARE q q(x) <- A(x)" in
+  check_str "budget error class" "budget" (err_class (first lines));
+  check "budget error does not stop the loop" false stop;
+  (* the session survives: requests that fit the per-request allowance
+     still succeed (each request gets a FRESH sub-budget) *)
+  let lines, _ = Serve.handle_line s "STATS" in
+  check_str "stats after failed request" "OK stats=13" (first lines);
+  (* parse errors in payloads are in-protocol too *)
+  let lines, _ = Serve.handle_line s "ASSERT A(" in
+  check_str "payload parse error" "parse" (err_class (first lines));
+  let lines, _ = Serve.handle_line s "ANSWER nosuch" in
+  check_str "unknown prepared name" "internal" (err_class (first lines))
+
+let test_serve_prepare_once_answer_many () =
+  let s = Session.create () in
+  Session.load_ontology s (tbox ());
+  Session.load_data s (abox ());
+  let (), coll =
+    Obs.collecting (fun () ->
+        for _ = 1 to 100 do
+          let lines, _ = Serve.handle_line s "PREPARE q q(x) <- A(x)" in
+          check "prepare OK" true (String.sub (first lines) 0 2 = "OK");
+          let lines, _ = Serve.handle_line s "ANSWER q" in
+          check_str "answer OK" "OK answers=2" (first lines)
+        done)
+  in
+  (* the acceptance contract: one rewrite for the whole session *)
+  check_int "exactly one cache miss" 1
+    (Obs.Collector.counter coll "service.cache.miss");
+  check_int "99 cache hits" 99
+    (Obs.Collector.counter coll "service.cache.hit");
+  check_int "no evictions" 0
+    (Obs.Collector.counter coll "service.cache.evict");
+  check_int "session cache agrees (miss)" 1 (Cache.misses (Session.cache s));
+  check_int "session cache agrees (hit)" 99 (Cache.hits (Session.cache s));
+  (* every request ran under its own service.request span *)
+  let request_spans =
+    List.filter
+      (fun (sp : Obs.span) -> sp.Obs.name = "service.request")
+      (Obs.Collector.spans coll)
+  in
+  check_int "one span per request" 200 (List.length request_spans)
+
+let test_serve_digest_shares_cache_across_names () =
+  let s = Session.create () in
+  Session.load_ontology s (tbox ());
+  (* same OMQ modulo atom order and name: one cache entry *)
+  let _ = fst (Serve.handle_line s "PREPARE q1 q(x) <- A(x), R(x,y)") in
+  let _ = fst (Serve.handle_line s "PREPARE q2 q(x) <- R(x,y), A(x)") in
+  check_int "one cache entry for both names" 1 (Cache.length (Session.cache s));
+  check_int "second prepare hit" 1 (Cache.hits (Session.cache s));
+  Alcotest.(check (list string))
+    "both names registered" [ "q1"; "q2" ] (Session.prepared_names s)
+
+let suites =
+  [
+    ( "service",
+      [
+        Alcotest.test_case "protocol verbs" `Quick test_protocol_verbs;
+        Alcotest.test_case "protocol skips and errors" `Quick
+          test_protocol_skips_and_errors;
+        Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
+        Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
+        Alcotest.test_case "cache weight bound" `Quick test_cache_weight_bound;
+        Alcotest.test_case "cache counters reach obs" `Quick
+          test_cache_counters_reach_obs;
+        Alcotest.test_case "session consistency memo" `Quick
+          test_session_consistency_memo;
+        Alcotest.test_case "session answers run check once" `Quick
+          test_session_answer_runs_check_once;
+        Alcotest.test_case "load ontology drops prepared" `Quick
+          test_session_load_ontology_drops_prepared;
+        Alcotest.test_case "inconsistent-data convention" `Quick
+          test_session_answer_inconsistent_convention;
+        Alcotest.test_case "serve: every verb" `Quick test_serve_every_verb;
+        Alcotest.test_case "serve: ERR leaves session usable" `Quick
+          test_serve_err_leaves_session_usable;
+        Alcotest.test_case "serve: prepare once, answer many" `Quick
+          test_serve_prepare_once_answer_many;
+        Alcotest.test_case "serve: digest shares cache across names" `Quick
+          test_serve_digest_shares_cache_across_names;
+      ] );
+  ]
