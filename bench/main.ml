@@ -705,6 +705,70 @@ let service_cache () =
     (!total_speedup /. float_of_int !rows)
     !rows
 
+(* ------------------------------------------------------------------ *)
+(* Parallel evaluation scaling: one Tw rewriting of the Fig. 2 sequence,
+   evaluated sequentially and on 2- and 4-worker pools over the largest
+   Table 2 dataset.  The answer sets must be identical at every worker
+   count (the partition merge re-sorts, so this is the byte-identical
+   contract of `--jobs`); the speedup column is bounded by however many
+   cores the machine actually has. *)
+
+let par_scaling () =
+  print_header
+    "par-scaling: one Tw rewriting, 1/2/4 evaluation workers (largest \
+     Table 2 dataset)";
+  let module Pool = Obda_runtime.Pool in
+  let tbox = example11 () in
+  let largest =
+    List.nth Obda_data.Generate.table2_params
+      (List.length Obda_data.Generate.table2_params - 1)
+  in
+  let dname, _, abox = build_dataset ~scale:!scale tbox largest in
+  Printf.printf "dataset %s: %d atoms over %d individuals, %d cores\n" dname
+    (Obda_data.Abox.num_atoms abox)
+    (Obda_data.Abox.num_individuals abox)
+    (Domain.recommended_domain_count ());
+  let widths = [ 7; 9; 10; 9; 10; 11 ] in
+  print_row widths [ "atoms"; "workers"; "time(s)"; "speedup"; "#tup"; "identical" ];
+  let speedup4 = ref [] in
+  List.iter
+    (fun n ->
+      let q = prefix_query sequence1 n in
+      let query = Omq.rewrite Omq.Tw (Omq.make tbox q) in
+      let run jobs =
+        let t0 = Unix.gettimeofday () in
+        let r =
+          if jobs = 1 then Eval.run query abox
+          else Pool.with_pool ~jobs (fun pool -> Eval.run ~pool query abox)
+        in
+        (Unix.gettimeofday () -. t0, r)
+      in
+      let t1, r1 = run 1 in
+      List.iter
+        (fun jobs ->
+          let t, r = if jobs = 1 then (t1, r1) else run jobs in
+          let speedup = t1 /. t in
+          if jobs = 4 then speedup4 := speedup :: !speedup4;
+          print_row widths
+            [
+              string_of_int n;
+              string_of_int jobs;
+              Printf.sprintf "%.3f" t;
+              Printf.sprintf "%.2fx" speedup;
+              string_of_int r.Eval.generated_tuples;
+              (if r.Eval.answers = r1.Eval.answers then "yes" else "NO");
+            ])
+        [ 1; 2; 4 ])
+    [ 8; 12; 15 ];
+  let mean =
+    List.fold_left ( +. ) 0. !speedup4 /. float_of_int (List.length !speedup4)
+  in
+  Printf.printf
+    "mean 4-worker speedup: %.2fx on %d core(s) (acceptance: >= 2x given >= \
+     4 cores)\n"
+    mean
+    (Domain.recommended_domain_count ())
+
 let experiments =
   [
     ("fig1", fig1);
@@ -724,6 +788,7 @@ let experiments =
     ("micro", micro);
     ("obs-overhead", obs_overhead);
     ("service-cache", service_cache);
+    ("par-scaling", par_scaling);
   ]
 
 let () =

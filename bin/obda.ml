@@ -113,6 +113,29 @@ let budget_term =
   in
   Term.(const make $ timeout $ max_steps $ max_size)
 
+(* Evaluation parallelism, shared by [answer] and [serve].  The default
+   comes from OBDA_JOBS so an unchanged invocation (the test corpus, CI)
+   can exercise the parallel path; 1 = the sequential engine. *)
+let jobs_term =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~env:(Cmd.Env.info "OBDA_JOBS")
+        ~doc:
+          "Evaluate NDL rewritings on $(docv) worker domains.  Answers are \
+           byte-identical for any $(docv); the default 1 is the sequential \
+           engine.")
+
+(* Run [f] with a worker pool when [jobs > 1] (shut down afterwards), with
+   [None] — the sequential engine — otherwise. *)
+let with_jobs jobs f =
+  if jobs < 1 then begin
+    prerr_endline "obda: --jobs must be >= 1";
+    exit 124
+  end
+  else if jobs = 1 then f None
+  else Obda_runtime.Pool.with_pool ~jobs (fun p -> f (Some p))
+
 (* ------------------------------------------------------------------ *)
 (* Fault injection (chaos testing), shared by the pipeline commands. *)
 
@@ -331,7 +354,7 @@ let rewrite_cmd =
       $ over_complete $ budget_term $ inject_term $ telemetry_term)
 
 let answer_cmd =
-  let run ontology query data mapping source algorithm use_chase budget
+  let run ontology query data mapping source algorithm use_chase budget jobs
       fallback retry fail_inconsistent inject telemetry =
     handle_errors (fun () ->
         init_telemetry ~budget telemetry;
@@ -339,6 +362,7 @@ let answer_cmd =
         let omq = load_omq ontology query in
         let on_inconsistent = if fail_inconsistent then `Error else `All_tuples in
         let answers =
+          with_jobs jobs @@ fun pool ->
           match (mapping, source) with
           | Some mf, Some sf ->
             (* virtual OBDA: unfold the rewriting through the mapping and
@@ -371,7 +395,7 @@ let answer_cmd =
                       ]
                 in
                 let r =
-                  Omq.answer_with_fallback ~budget
+                  Omq.answer_with_fallback ?pool ~budget
                     ~retry:{ Omq.max_retries = retry; escalation = 2. }
                     ?chain ~on_inconsistent omq abox
                 in
@@ -398,7 +422,7 @@ let answer_cmd =
                     attempts);
                 r.Omq.answers
               end
-              else Omq.answer ~budget ~on_inconsistent ?algorithm omq abox
+              else Omq.answer ?pool ~budget ~on_inconsistent ?algorithm omq abox
             | None ->
               prerr_endline "answer: provide -d, or --mapping with --source";
               exit 1)
@@ -476,8 +500,8 @@ let answer_cmd =
     Term.(
       const run $ ontology_arg $ query_arg $ data_opt $ mapping $ source
       $ algorithm_arg ~default:None
-      $ use_chase $ budget_term $ fallback $ retry $ fail_inconsistent
-      $ inject_term $ telemetry_term)
+      $ use_chase $ budget_term $ jobs_term $ fallback $ retry
+      $ fail_inconsistent $ inject_term $ telemetry_term)
 
 let stats_cmd =
   let run ontology =
@@ -566,30 +590,38 @@ let chase_cmd =
 
 let serve_cmd =
   let module Service = Obda_service in
-  let run ontology data script cache_entries cache_size budget inject telemetry
-      =
+  let run ontology data script cache_entries cache_size budget jobs inject
+      telemetry =
     handle_errors (fun () ->
         init_telemetry ~budget telemetry;
         arm_faults inject;
+        if jobs < 1 then begin
+          prerr_endline "obda: --jobs must be >= 1";
+          exit 124
+        end;
         let session =
           Service.Session.create ~budget ?cache_entries
-            ?cache_weight:cache_size ()
+            ?cache_weight:cache_size ~jobs ()
         in
-        (match ontology with
-        | Some file ->
-          Service.Session.load_ontology session (Parse.ontology_of_file file)
-        | None -> ());
-        (match data with
-        | Some file ->
-          Service.Session.load_data session (Parse.data_of_file file)
-        | None -> ());
-        match script with
-        | Some file ->
-          let ic = open_in file in
-          Fun.protect
-            ~finally:(fun () -> close_in_noerr ic)
-            (fun () -> Service.Serve.run_channels session ic stdout)
-        | None -> Service.Serve.run_channels session stdin stdout)
+        Fun.protect
+          ~finally:(fun () -> Service.Session.close session)
+          (fun () ->
+            (match ontology with
+            | Some file ->
+              Service.Session.load_ontology session
+                (Parse.ontology_of_file file)
+            | None -> ());
+            (match data with
+            | Some file ->
+              Service.Session.load_data session (Parse.data_of_file file)
+            | None -> ());
+            match script with
+            | Some file ->
+              let ic = open_in file in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> Service.Serve.run_channels session ic stdout)
+            | None -> Service.Serve.run_channels session stdin stdout))
   in
   let ontology =
     Arg.(
@@ -632,14 +664,16 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Serve queries over a long-lived session: a newline-delimited \
-          protocol (LOAD, PREPARE, ANSWER, ASSERT, RETRACT, STATS, QUIT) on \
-          stdin/stdout, with prepared queries backed by a content-addressed \
-          rewriting cache.  Each request runs under a fresh sub-budget of \
-          the session budget; failures are reported as in-protocol ERR \
-          lines, leaving the session usable.")
+          protocol (LOAD, PREPARE, ANSWER, BATCH, ASSERT, RETRACT, STATS, \
+          QUIT) on stdin/stdout, with prepared queries backed by a \
+          content-addressed rewriting cache.  Each request runs under a \
+          fresh sub-budget of the session budget; failures are reported as \
+          in-protocol ERR lines, leaving the session usable.  With --jobs N \
+          evaluation (ANSWER, and BATCH queries) runs on N worker domains \
+          with byte-identical responses.")
     Term.(
       const run $ ontology $ data $ script $ cache_entries $ cache_size
-      $ budget_term $ inject_term $ telemetry_term)
+      $ budget_term $ jobs_term $ inject_term $ telemetry_term)
 
 let chaos_list_cmd =
   let run () =

@@ -248,17 +248,17 @@ let consistent omq abox =
     consistency_memo := Some (omq.tbox, abox, rev, c);
     c
 
-let answer_assuming_consistent ?budget ?algorithm omq abox =
+let answer_assuming_consistent ?pool ?budget ?algorithm omq abox =
   let alg =
     match algorithm with Some a -> a | None -> default_algorithm omq
   in
   let q = rewrite ?budget ~over:`Arbitrary alg omq in
-  Eval.answers ?budget q abox
+  Eval.answers ?pool ?budget q abox
 
-let answer ?budget ?(on_inconsistent = `All_tuples) ?algorithm omq abox =
+let answer ?pool ?budget ?(on_inconsistent = `All_tuples) ?algorithm omq abox =
   if not (consistent omq abox) then
     inconsistent_answers ~on_inconsistent omq abox
-  else answer_assuming_consistent ?budget ?algorithm omq abox
+  else answer_assuming_consistent ?pool ?budget ?algorithm omq abox
 
 let answer_certain ?budget ?(on_inconsistent = `All_tuples) omq abox =
   if not (consistent omq abox) then
@@ -304,8 +304,8 @@ let default_chain preferred =
   in
   preferred :: tail
 
-let answer_with_fallback ?(budget = Budget.none) ?(retry = no_retry) ?chain
-    ?(on_inconsistent = `All_tuples) omq abox =
+let answer_with_fallback ?pool ?(budget = Budget.none) ?(retry = no_retry)
+    ?chain ?(on_inconsistent = `All_tuples) omq abox =
   let chain =
     match chain with
     | Some c ->
@@ -356,7 +356,7 @@ let answer_with_fallback ?(budget = Budget.none) ?(retry = no_retry) ?chain
                     "side conditions do not hold for this OMQ"
                 else
                   let q = rewrite ~budget:b ~over:`Arbitrary alg omq in
-                  Eval.answers ~budget:b q abox)
+                  Eval.answers ?pool ~budget:b q abox)
           with
           | answers ->
             {

@@ -76,6 +76,7 @@ val rewrite :
     inconsistent, so [Eval] alone computes certain answers on any data. *)
 
 val answer :
+  ?pool:Obda_runtime.Pool.t ->
   ?budget:Obda_runtime.Budget.t ->
   ?on_inconsistent:[ `All_tuples | `Error ] ->
   ?algorithm:algorithm -> t -> Abox.t -> Symbol.t list list
@@ -85,11 +86,17 @@ val answer :
     at the end of Section 2 — or, with [~on_inconsistent:`Error],
     [Obda_error (Inconsistent_data _)] is raised instead.
 
+    [pool] is handed to {!Obda_ndl.Eval.run}: evaluation is partitioned
+    across the pool's workers with byte-identical answers for any worker
+    count.  Rewriting and the consistency pre-check stay on the calling
+    domain.
+
     The consistency pre-check is memoised against {!Abox.revision}:
     repeated [answer] calls over the same unchanged instance run the check
     once. *)
 
 val answer_assuming_consistent :
+  ?pool:Obda_runtime.Pool.t ->
   ?budget:Obda_runtime.Budget.t ->
   ?algorithm:algorithm -> t -> Abox.t -> Symbol.t list list
 (** [answer] without the consistency pre-check, for callers that maintain
@@ -150,6 +157,7 @@ val default_retry : retry
 (** [{ max_retries = 2; escalation = 2. }]. *)
 
 val answer_with_fallback :
+  ?pool:Obda_runtime.Pool.t ->
   ?budget:Obda_runtime.Budget.t ->
   ?retry:retry ->
   ?chain:algorithm list ->

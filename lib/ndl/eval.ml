@@ -2,6 +2,7 @@ open Obda_syntax
 open Obda_data
 module Budget = Obda_runtime.Budget
 module Fault = Obda_runtime.Fault
+module Pool = Obda_runtime.Pool
 module Obs = Obda_obs.Obs
 
 exception Timeout
@@ -134,6 +135,9 @@ type env = {
   domain_set : (int, unit) Hashtbl.t;
   deadline : unit -> bool;
   budget : Budget.t;
+  observe : bool;
+      (* when false — worker domains, unobserved batch runs — the evaluator
+         must not touch the global telemetry sink or the fault registry *)
   mutable ticks : int;
 }
 
@@ -219,9 +223,20 @@ let order_atoms env nvars atoms =
   in
   pick [] atoms
 
-let eval_clause env target (c : Ndl.clause) =
+type compiled = { nvars : int; head : cterm array; body : catom list }
+
+let compile_and_order env (c : Ndl.clause) =
   let nvars, head, body = compile_clause c in
-  let body = order_atoms env nvars body in
+  { nvars; head; body = order_atoms env nvars body }
+
+(* Evaluate one compiled clause into [target].  [keep], if given, is a
+   partition filter consulted only at the clause's first atom: for a leading
+   [CPred] it receives the hash of each candidate tuple, for a leading
+   domain sweep (unbound [CDom], unbound–unbound [CEq]) the domain constant.
+   A worker passing [keep] sees a disjoint slice of the first atom's search
+   space; the union over workers is exactly the sequential enumeration. *)
+let eval_compiled env target ?keep { nvars; head; body } =
+  let accept = match keep with None -> fun _ -> true | Some k -> k in
   let binding = Array.make nvars (-1) in
   let value = function CV i -> binding.(i) | CC c -> c in
   let is_bound = function CV i -> binding.(i) >= 0 | CC _ -> true in
@@ -236,28 +251,28 @@ let eval_clause env target (c : Ndl.clause) =
     in
     if relation_add target tuple then begin
       Budget.grow env.budget;
-      Obs.incr "eval.derived_facts"
+      if env.observe then Obs.incr "eval.derived_facts"
     end
   in
-  let rec go atoms =
+  let rec go ~first atoms =
     tick env;
     match atoms with
     | [] -> emit ()
     | CEq (t1, t2) :: rest -> (
       match (is_bound t1, is_bound t2) with
-      | true, true -> if value t1 = value t2 then go rest
+      | true, true -> if value t1 = value t2 then go ~first:false rest
       | true, false -> (
         match t2 with
         | CV i ->
           binding.(i) <- value t1;
-          go rest;
+          go ~first:false rest;
           binding.(i) <- -1
         | CC _ -> assert false)
       | false, true -> (
         match t1 with
         | CV i ->
           binding.(i) <- value t2;
-          go rest;
+          go ~first:false rest;
           binding.(i) <- -1
         | CC _ -> assert false)
       | false, false -> (
@@ -266,9 +281,13 @@ let eval_clause env target (c : Ndl.clause) =
         | CV i, CV j ->
           Array.iter
             (fun c ->
-              binding.(i) <- c;
-              binding.(j) <- c;
-              go rest)
+              if (not first) || accept c then begin
+                binding.(i) <- c;
+                binding.(j) <- c;
+                go ~first:false rest;
+                binding.(i) <- -1;
+                binding.(j) <- -1
+              end)
             env.domain;
           binding.(i) <- -1;
           binding.(j) <- -1
@@ -276,15 +295,17 @@ let eval_clause env target (c : Ndl.clause) =
     | CDom t :: rest ->
       if is_bound t then begin
         (* membership in the active domain *)
-        if Hashtbl.mem env.domain_set (value t) then go rest
+        if Hashtbl.mem env.domain_set (value t) then go ~first:false rest
       end
       else (
         match t with
         | CV i ->
           Array.iter
             (fun c ->
-              binding.(i) <- c;
-              go rest)
+              if (not first) || accept c then begin
+                binding.(i) <- c;
+                go ~first:false rest
+              end)
             env.domain;
           binding.(i) <- -1
         | CC _ -> assert false)
@@ -304,30 +325,134 @@ let eval_clause env target (c : Ndl.clause) =
       let matches = relation_lookup r positions key in
       List.iter
         (fun tuple ->
-          (* bind the unbound positions, checking intra-atom repetitions *)
-          let rec bind i undo =
-            if i = arity then begin
-              go rest;
-              List.iter (fun j -> binding.(j) <- -1) undo
-            end
-            else
-              match ts.(i) with
-              | CC c -> if tuple.(i) = c then bind (i + 1) undo else List.iter (fun j -> binding.(j) <- -1) undo
-              | CV j ->
-                if binding.(j) >= 0 then
-                  if binding.(j) = tuple.(i) then bind (i + 1) undo
-                  else List.iter (fun j' -> binding.(j') <- -1) undo
-                else begin
-                  binding.(j) <- tuple.(i);
-                  bind (i + 1) (j :: undo)
-                end
-          in
-          bind 0 [])
+          if (not first) || accept (Hashtbl.hash tuple) then
+            (* bind the unbound positions, checking intra-atom repetitions *)
+            let rec bind i undo =
+              if i = arity then begin
+                go ~first:false rest;
+                List.iter (fun j -> binding.(j) <- -1) undo
+              end
+              else
+                match ts.(i) with
+                | CC c -> if tuple.(i) = c then bind (i + 1) undo else List.iter (fun j -> binding.(j) <- -1) undo
+                | CV j ->
+                  if binding.(j) >= 0 then
+                    if binding.(j) = tuple.(i) then bind (i + 1) undo
+                    else List.iter (fun j' -> binding.(j') <- -1) undo
+                  else begin
+                    binding.(j) <- tuple.(i);
+                    bind (i + 1) (j :: undo)
+                  end
+            in
+            bind 0 [])
         matches
   in
-  go body
+  go ~first:true body
 
-let run_unobserved ~budget ~deadline ~edb ~extra_domain (q : Ndl.query) abox =
+let eval_clause env target c = eval_compiled env target (compile_and_order env c)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel stratum evaluation.
+
+   After [order_atoms] the set of bound variables at each body atom is
+   static: when [go] reaches an atom, exactly the variables of earlier
+   atoms are bound.  So the index positions every [CPred] atom will probe
+   are known before evaluation starts, and a prepass on the calling domain
+   can materialise every EDB relation and build every index the workers
+   will read — leaving the worker domains with pure reads of
+   [env.relations].  Workers derive into worker-local relations (budgeted
+   by a [Budget.slice] each) and the caller merges them into the stratum's
+   global relation: the barrier between strata of [Ndl.topo_order]. *)
+
+let prepare_clause env { nvars; body; _ } =
+  let bound = Array.make nvars false in
+  List.iter
+    (fun atom ->
+      (match atom with
+      | CPred (p, ts) ->
+        let r = get_relation env p ~arity:(Array.length ts) in
+        let positions = ref [] in
+        Array.iteri
+          (fun i t ->
+            match t with
+            | CC _ -> positions := i :: !positions
+            | CV j -> if bound.(j) then positions := i :: !positions)
+          ts;
+        let positions = List.rev !positions in
+        if positions <> [] then ignore (relation_index r positions)
+      | CEq _ | CDom _ -> ());
+      (* every variable of an atom is bound once [go] moves past it *)
+      match atom with
+      | CPred (_, ts) ->
+        Array.iter (function CV j -> bound.(j) <- true | CC _ -> ()) ts
+      | CEq (t1, t2) ->
+        List.iter
+          (function CV j -> bound.(j) <- true | CC _ -> ())
+          [ t1; t2 ]
+      | CDom t -> ( match t with CV j -> bound.(j) <- true | CC _ -> ()))
+    body
+
+(* How a clause's first-atom search space is split across workers.  A
+   leading [CPred] enumerates tuples (partition by tuple hash); a leading
+   domain sweep enumerates constants (partition by constant).  Anything
+   else — a leading bound [CEq]/[CDom], an empty body — explores a
+   constant-size space, so the whole clause goes to one worker. *)
+type scheme = Enum_tuples | Enum_domain | Whole
+
+let scheme_of_body = function
+  | CPred _ :: _ -> Enum_tuples
+  | CEq (CV _, CV _) :: _ -> Enum_domain (* nothing bound at the first atom *)
+  | CDom (CV _) :: _ -> Enum_domain
+  | _ -> Whole
+
+let eval_stratum_parallel env pool target clauses =
+  let jobs = Pool.jobs pool in
+  let work =
+    Array.of_list
+      (List.map
+         (fun c ->
+           let cc = compile_and_order env c in
+           prepare_clause env cc;
+           cc)
+         clauses)
+  in
+  let schemes = Array.map (fun cc -> scheme_of_body cc.body) work in
+  let locals = Array.init jobs (fun _ -> relation_create target.arity) in
+  let slices = Array.init jobs (fun _ -> Budget.slice ~parts:jobs env.budget) in
+  Pool.run pool (fun w ->
+      let wenv =
+        { env with budget = slices.(w); observe = false; ticks = 0 }
+      in
+      let keep h = (h land max_int) mod jobs = w in
+      Array.iteri
+        (fun ci cc ->
+          match schemes.(ci) with
+          | Whole -> if ci mod jobs = w then eval_compiled wenv locals.(w) cc
+          | Enum_tuples | Enum_domain -> eval_compiled wenv locals.(w) ~keep cc)
+        work);
+  (* merge: worker budgets back into the parent for reporting, worker
+     derivations into the stratum relation (deduplicating across workers) *)
+  Array.iter (fun s -> Budget.absorb env.budget ~from:s) slices;
+  let added = ref 0 in
+  Array.iteri
+    (fun w local ->
+      let before = relation_size target in
+      Hashtbl.iter
+        (fun tuple () -> ignore (relation_add target tuple))
+        local.tuples;
+      added := !added + (relation_size target - before);
+      if env.observe && Obs.enabled () then
+        Obs.count
+          (Printf.sprintf "eval.worker%d.derived" w)
+          (relation_size local))
+    locals;
+  if env.observe then begin
+    Obs.count "eval.derived_facts" !added;
+    Obs.incr "eval.parallel_rounds"
+  end
+
+let run_unobserved ?pool ~observe ~budget ~deadline ~edb ~extra_domain
+    (q : Ndl.query) abox =
   let order = Ndl.topo_order q in
   let idb = Ndl.idb_preds q in
   let domain =
@@ -348,6 +473,7 @@ let run_unobserved ~budget ~deadline ~edb ~extra_domain (q : Ndl.query) abox =
       domain_set;
       deadline;
       budget;
+      observe;
       ticks = 0;
     }
   in
@@ -361,8 +487,10 @@ let run_unobserved ~budget ~deadline ~edb ~extra_domain (q : Ndl.query) abox =
   List.iter
     (fun p ->
       (* one materialisation round per IDB predicate (dependencies first) *)
-      Fault.hit Fault.eval_ndl_round;
-      Obs.incr "eval.rounds";
+      if observe then begin
+        Fault.hit Fault.eval_ndl_round;
+        Obs.incr "eval.rounds"
+      end;
       let clauses = Option.value ~default:[] (Symbol.Tbl.find_opt by_head p) in
       let arity =
         match clauses with
@@ -372,7 +500,11 @@ let run_unobserved ~budget ~deadline ~edb ~extra_domain (q : Ndl.query) abox =
       let target = relation_create arity in
       (* register first so self-references would be caught by topo_order *)
       Symbol.Tbl.replace env.relations p target;
-      List.iter (fun c -> eval_clause env target c) (List.rev clauses))
+      let clauses = List.rev clauses in
+      match pool with
+      | Some pool when Pool.jobs pool > 1 && clauses <> [] ->
+        eval_stratum_parallel env pool target clauses
+      | _ -> List.iter (fun c -> eval_clause env target c) clauses)
     order;
   let idb_relations =
     Symbol.Set.fold
@@ -390,9 +522,12 @@ let run_unobserved ~budget ~deadline ~edb ~extra_domain (q : Ndl.query) abox =
     | Some r -> relation_tuples r
     | None -> []
   in
-  if Obs.enabled () then begin
+  if observe && Obs.enabled () then begin
     Obs.set_int "eval.answers" (List.length answers);
     Obs.set_int "eval.generated_tuples" generated_tuples;
+    (match pool with
+    | Some p when Pool.jobs p > 1 -> Obs.set_int "eval.workers" (Pool.jobs p)
+    | _ -> ());
     if Budget.is_limited budget then begin
       Obs.set_int "budget.steps" (Budget.steps_spent budget);
       Obs.set_int "budget.size" (Budget.size_spent budget)
@@ -400,12 +535,23 @@ let run_unobserved ~budget ~deadline ~edb ~extra_domain (q : Ndl.query) abox =
   end;
   { answers; generated_tuples; idb_relations }
 
-let run ?(budget = Budget.none) ?(deadline = fun () -> false)
-    ?(edb = fun _ _ -> None) ?(extra_domain = []) q abox =
-  Obs.with_span "eval.ndl" (fun () ->
-      run_unobserved ~budget ~deadline ~edb ~extra_domain q abox)
+let run ?pool ?(observe = true) ?(budget = Budget.none)
+    ?(deadline = fun () -> false) ?(edb = fun _ _ -> None)
+    ?(extra_domain = []) q abox =
+  if observe then
+    let attrs =
+      match pool with
+      | Some p when Pool.jobs p > 1 -> [ ("workers", string_of_int (Pool.jobs p)) ]
+      | _ -> []
+    in
+    Obs.with_span ~attrs "eval.ndl" (fun () ->
+        run_unobserved ?pool ~observe ~budget ~deadline ~edb ~extra_domain q
+          abox)
+  else
+    run_unobserved ?pool ~observe ~budget ~deadline ~edb ~extra_domain q abox
 
-let answers ?budget q abox = (run ?budget q abox).answers
+let answers ?pool ?observe ?budget q abox =
+  (run ?pool ?observe ?budget q abox).answers
 
 let boolean q abox =
   match (run q abox).answers with [] -> false | _ :: _ -> true

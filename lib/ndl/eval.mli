@@ -24,6 +24,8 @@ type result = {
 }
 
 val run :
+  ?pool:Obda_runtime.Pool.t ->
+  ?observe:bool ->
   ?budget:Obda_runtime.Budget.t ->
   ?deadline:(unit -> bool) ->
   ?edb:(Symbol.t -> int -> Symbol.t list list option) ->
@@ -31,6 +33,22 @@ val run :
   Ndl.query -> Abox.t -> result
 (** Raises [Invalid_argument] on a recursive program and [Timeout] whenever
     [deadline ()] becomes true.
+
+    [pool] enables the parallel driver: for every stratum of
+    [Ndl.topo_order], clause bodies are evaluated concurrently by the
+    pool's workers — the first body atom's search space is hash-partitioned
+    across workers — and the derived relations are merged at the stratum
+    barrier.  Answers are byte-identical to the sequential engine for any
+    worker count (relations are sets and the answer view is sorted).  Each
+    worker runs under a [Budget.slice] of [budget], so step/size caps and
+    the wall deadline still bind globally (a budget error from a worker
+    reports its slice's limits).  A pool with one worker, or no pool, is
+    exactly the sequential engine.
+
+    [observe = false] runs without touching the global telemetry sink or
+    the fault registry — required when the caller itself runs on a worker
+    domain (the service layer's BATCH path); those globals are
+    single-domain.
 
     [budget] is checked on every matcher step (a budget step per visited
     search node, a size unit per materialised tuple); exhaustion raises
@@ -43,6 +61,8 @@ val run :
     domain (⊤) beyond ind(A). *)
 
 val answers :
+  ?pool:Obda_runtime.Pool.t ->
+  ?observe:bool ->
   ?budget:Obda_runtime.Budget.t -> Ndl.query -> Abox.t -> Symbol.t list list
 val boolean : Ndl.query -> Abox.t -> bool
 (** For a 0-ary goal: whether the goal is derivable. *)

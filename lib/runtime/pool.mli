@@ -1,0 +1,38 @@
+(** A reusable pool of worker domains for data-parallel evaluation.
+
+    A pool of [jobs] workers keeps [jobs - 1] domains parked between calls;
+    the calling domain participates as worker 0.  With [jobs = 1] no
+    domains exist at all and {!run} degenerates to a plain call — the
+    guarantee behind "[--jobs 1] is byte-identical to the sequential
+    engine".
+
+    The pool makes no scheduling decisions: {!run} hands every worker its
+    index and the caller is responsible for partitioning the work (the NDL
+    evaluator hash-partitions the facts of each clause's first body atom).
+
+    Worker bodies must not touch the global telemetry sink, the fault
+    registry or the symbol interner — all global mutable state in this
+    codebase is single-domain.  The evaluator obeys this by pre-resolving
+    symbols and suppressing observation inside workers. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn a pool of [jobs] workers ([jobs - 1] domains).  Raises
+    [Invalid_argument] when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f 0 .. f (jobs - 1)] concurrently, [f 0] on the
+    calling domain, and returns when all have finished.  If any call
+    raises, the remaining workers still run to completion (the pool stays
+    reusable) and the first exception — caller's first, then by worker
+    index — is re-raised.  Not reentrant: at most one [run] per pool at a
+    time.  Raises [Invalid_argument] after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run [f], and {!shutdown} even on exceptions. *)

@@ -22,6 +22,9 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable relinks : int;
+      (* recency-list splices performed by [touch]; a hit on the entry
+         already at the MRU position must not relink (the fast path) *)
 }
 
 let create ?max_entries ?max_weight () =
@@ -42,6 +45,7 @@ let create ?max_entries ?max_weight () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    relinks = 0;
   }
 
 let length t = Hashtbl.length t.tbl
@@ -49,6 +53,7 @@ let weight t = t.weight
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
+let relinks t = t.relinks
 let mem t key = Hashtbl.mem t.tbl key
 
 let unlink t e =
@@ -63,11 +68,16 @@ let push_front t e =
   (match t.mru with Some m -> m.prev <- Some e | None -> t.lru <- Some e);
   t.mru <- Some e
 
+(* [t.mru != Some e] would compare against a freshly boxed [Some], which is
+   physically unequal every time — the fast path would never fire.  Match
+   and compare the entries themselves. *)
 let touch t e =
-  if t.mru != Some e then begin
+  match t.mru with
+  | Some m when m == e -> ()
+  | _ ->
     unlink t e;
-    push_front t e
-  end
+    push_front t e;
+    t.relinks <- t.relinks + 1
 
 let over_bounds t =
   (match t.max_entries with
@@ -99,9 +109,11 @@ let find_or_add t ~key build =
     touch t e;
     (e.query, `Hit)
   | None ->
+    (* count the miss only once [build] has succeeded: a failed build adds
+       no entry, so it must not skew the hit rate or the telemetry *)
+    let query = build () in
     t.misses <- t.misses + 1;
     Obs.incr "service.cache.miss";
-    let query = build () in
     let e = { key; query; weight = Ndl.size query; prev = None; next = None } in
     Hashtbl.replace t.tbl key e;
     push_front t e;

@@ -20,10 +20,12 @@ val find_or_add :
   t -> key:string -> (unit -> Obda_ndl.Ndl.query) ->
   Obda_ndl.Ndl.query * [ `Hit | `Miss ]
 (** Return the cached rewriting for [key], or run [build], cache its
-    result and return it.  A hit refreshes the entry's recency; a miss may
-    evict least-recently-used entries (never the one just inserted).
-    Exceptions from [build] propagate and leave the cache unchanged
-    (the miss is still counted). *)
+    result and return it.  A hit refreshes the entry's recency (a no-op
+    when the entry is already most recent); a miss may evict
+    least-recently-used entries (never the one just inserted).
+    Exceptions from [build] propagate and leave the cache — entries,
+    counters and telemetry alike — unchanged: a failed build is neither a
+    hit nor a miss. *)
 
 val mem : t -> string -> bool
 val length : t -> int
@@ -33,6 +35,10 @@ val weight : t -> int
 val hits : t -> int
 val misses : t -> int
 val evictions : t -> int
+
+val relinks : t -> int
+(** Recency-list splices performed by hits: a repeated hit on the MRU
+    entry takes the fast path and does not relink. *)
 
 val keys_mru_first : t -> string list
 (** Resident keys, most recently used first (for tests and STATS). *)

@@ -7,6 +7,7 @@ type request =
   | Load_data of string
   | Prepare of { name : string; algorithm : Omq.algorithm option; cq : string }
   | Answer of string
+  | Batch of string list
   | Assert_facts of string
   | Retract_facts of string
   | Stats
@@ -16,6 +17,7 @@ let verb = function
   | Load_ontology _ | Load_data _ -> "LOAD"
   | Prepare _ -> "PREPARE"
   | Answer _ -> "ANSWER"
+  | Batch _ -> "BATCH"
   | Assert_facts _ -> "ASSERT"
   | Retract_facts _ -> "RETRACT"
   | Stats -> "STATS"
@@ -67,6 +69,15 @@ let parse line =
       else if extra <> "" then
         Error (Printf.sprintf "ANSWER takes a single name, got extra %S" extra)
       else Ok (Some (Answer name))
+    | "BATCH" ->
+      if rest = "" then
+        Error "BATCH needs one or more prepared query names"
+      else
+        let rec names acc s =
+          let name, rest = split_word s in
+          if name = "" then List.rev acc else names (name :: acc) rest
+        in
+        Ok (Some (Batch (names [] rest)))
     | "ASSERT" ->
       if rest = "" then Error "ASSERT needs at least one fact, e.g. ASSERT A(a)"
       else Ok (Some (Assert_facts rest))

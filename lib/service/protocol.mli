@@ -7,6 +7,7 @@
       LOAD DATA <file>
       PREPARE <name> [ALG <algorithm>] <query>
       ANSWER <name>
+      BATCH <name> [<name> ...]
       ASSERT <fact> [<fact> ...]
       RETRACT <fact> [<fact> ...]
       STATS
@@ -21,6 +22,9 @@ type request =
   | Load_data of string
   | Prepare of { name : string; algorithm : Omq.algorithm option; cq : string }
   | Answer of string
+  | Batch of string list
+      (** prepared query names, answered in one request — concurrently
+          when the session has [jobs > 1] *)
   | Assert_facts of string  (** unparsed fact text, one or more facts *)
   | Retract_facts of string
   | Stats

@@ -7,9 +7,11 @@ module Abox = Obda_data.Abox
 module Ndl = Obda_ndl.Ndl
 module Parse = Obda_parse.Parse
 module Symbol = Obda_syntax.Symbol
+module Eval = Obda_ndl.Eval
 module Budget = Obda_runtime.Budget
 module Error = Obda_runtime.Error
 module Fault = Obda_runtime.Fault
+module Pool = Obda_runtime.Pool
 module Obs = Obda_obs.Obs
 
 let origin_string = function `Hit -> "hit" | `Miss -> "miss"
@@ -57,6 +59,63 @@ let exec ?budget session (req : Protocol.request) =
     else
       Printf.sprintf "OK answers=%d" (List.length answers)
       :: List.map tuple_string answers
+  | Protocol.Batch names ->
+    let lookup name =
+      match Session.find_prepared session name with
+      | Some p -> (name, p)
+      | None -> Error.internal "no prepared query named %S" name
+    in
+    (* resolve every name before evaluating anything, so an unknown name
+       fails the whole request without spending evaluation budget *)
+    let work = Array.of_list (List.map lookup names) in
+    let n = Array.length work in
+    let consistent = Session.consistent session in
+    let abox = Session.abox session in
+    (* one sub-allowance per query (the wall deadline stays shared), taken
+       on the calling domain before any worker starts *)
+    let budgets =
+      Array.map (fun _ -> Option.map Budget.sub budget) work
+    in
+    let results = Array.make n [] in
+    let failures = Array.make n None in
+    let eval_one ~observe i =
+      let _, p = work.(i) in
+      results.(i) <-
+        (if not consistent then Omq.all_tuples abox (Prepared.arity p)
+         else
+           Eval.answers ~observe ?budget:budgets.(i) (Prepared.rewriting p)
+             abox)
+    in
+    (match Session.pool session with
+    | Some pool when Pool.jobs pool > 1 && not (Fault.armed ()) ->
+      (* queries round-robin across workers; [observe:false] because the
+         telemetry sink and fault registry are single-domain.  An armed
+         fault plan forces the sequential path so activation counts stay
+         deterministic. *)
+      let jobs = Pool.jobs pool in
+      Pool.run pool (fun w ->
+          let i = ref w in
+          while !i < n do
+            (try eval_one ~observe:false !i
+             with e -> failures.(!i) <- Some e);
+            i := !i + jobs
+          done);
+      (* all queries ran to completion; report the first failure by batch
+         position, matching the sequential path's first-error semantics *)
+      Array.iter (function Some e -> raise e | None -> ()) failures
+    | _ -> for i = 0 to n - 1 do eval_one ~observe:true i done);
+    Printf.sprintf "OK batch=%d" n
+    :: List.concat
+         (List.mapi
+            (fun i (name, p) ->
+              let answers = results.(i) in
+              if Prepared.arity p = 0 then
+                [ Printf.sprintf "OK name=%s boolean=%b" name (answers <> []) ]
+              else
+                Printf.sprintf "OK name=%s answers=%d" name
+                  (List.length answers)
+                :: List.map tuple_string answers)
+            (Array.to_list work))
   | Protocol.Assert_facts text ->
     let facts = Abox.to_facts (Parse.data_of_string text) in
     let added =
@@ -131,9 +190,16 @@ let run session ~input ~output =
   in
   loop ()
 
+(* [In_channel.input_line] splits on ['\n'] only, so a CRLF client (or a
+   CRLF [--script] fixture) would hand every request a trailing ['\r'];
+   strip it at the read site, mirroring the data-format parsers. *)
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
 let run_channels session ic oc =
   run session
-    ~input:(fun () -> In_channel.input_line ic)
+    ~input:(fun () -> Option.map strip_cr (In_channel.input_line ic))
     ~output:(fun line ->
       output_string oc line;
       output_char oc '\n';

@@ -11,7 +11,17 @@ val exec :
   Session.t -> Protocol.request -> string list
 (** Execute one request, returning its response lines.  Raises
     [Obda_error] on failure (parse errors in payloads, unknown prepared
-    names, budget exhaustion, inapplicable algorithms...). *)
+    names, budget exhaustion, inapplicable algorithms...).
+
+    [BATCH] answers several prepared queries in one request — concurrently
+    on the session pool when the session has [jobs > 1] (each query under
+    its own [Budget.sub] of the request budget; an armed fault plan forces
+    the sequential path so activation counts stay deterministic).  Every
+    name is resolved before anything is evaluated, the response interleaves
+    one [OK name=... answers=N] (or [boolean=...]) header with its tuples
+    per query in request order, and the first failing query (by batch
+    position) fails the whole request.  Responses are byte-identical for
+    any [jobs]. *)
 
 val handle_line : Session.t -> string -> string list * bool
 (** Parse and execute one input line under a fresh {!Obda_runtime.Budget.sub}
@@ -29,4 +39,5 @@ val run :
 
 val run_channels : Session.t -> in_channel -> out_channel -> unit
 (** {!run} over channels, flushing after every response line — the
-    engine of [obda serve]. *)
+    engine of [obda serve].  A trailing ['\r'] is stripped from every
+    input line, so CRLF clients and CRLF script fixtures are accepted. *)

@@ -7,6 +7,7 @@ module Abox = Obda_data.Abox
 module Eval = Obda_ndl.Eval
 module Budget = Obda_runtime.Budget
 module Error = Obda_runtime.Error
+module Pool = Obda_runtime.Pool
 module Obs = Obda_obs.Obs
 
 type t = {
@@ -19,10 +20,15 @@ type t = {
   prepared : (string, Prepared.t) Hashtbl.t;
   cache : Cache.t;
   budget : Budget.t;
+  jobs : int;
+  mutable pool : Pool.t option;
+      (* created on first use so a [--jobs 1] session never spawns domains *)
   mutable requests : int;
 }
 
-let create ?(budget = Budget.none) ?cache_entries ?cache_weight () =
+let create ?(budget = Budget.none) ?cache_entries ?cache_weight ?(jobs = 1) ()
+    =
+  if jobs < 1 then invalid_arg "Session.create: jobs < 1";
   {
     tbox = None;
     abox = Abox.create ();
@@ -30,6 +36,8 @@ let create ?(budget = Budget.none) ?cache_entries ?cache_weight () =
     prepared = Hashtbl.create 16;
     cache = Cache.create ?max_entries:cache_entries ?max_weight:cache_weight ();
     budget;
+    jobs;
+    pool = None;
     requests = 0;
   }
 
@@ -37,6 +45,22 @@ let budget t = t.budget
 let cache t = t.cache
 let tbox t = t.tbox
 let abox t = t.abox
+let jobs t = t.jobs
+
+let pool t =
+  if t.jobs <= 1 then None
+  else
+    match t.pool with
+    | Some _ as p -> p
+    | None ->
+      let p = Pool.create ~jobs:t.jobs in
+      t.pool <- Some p;
+      Some p
+
+let close t =
+  (match t.pool with Some p -> Pool.shutdown p | None -> ());
+  t.pool <- None
+
 let count_request t = t.requests <- t.requests + 1
 let requests t = t.requests
 
@@ -101,7 +125,7 @@ let prepared_names t =
 
 let answer ?budget t p =
   if not (consistent t) then Omq.all_tuples t.abox (Prepared.arity p)
-  else Eval.answers ?budget (Prepared.rewriting p) t.abox
+  else Eval.answers ?pool:(pool t) ?budget (Prepared.rewriting p) t.abox
 
 let stats t =
   let cache = t.cache in
@@ -113,6 +137,7 @@ let stats t =
   in
   [
     ("requests", string_of_int t.requests);
+    ("jobs", string_of_int t.jobs);
     ("ontology.loaded", if t.tbox = None then "no" else "yes");
     ( "ontology.axioms",
       match t.tbox with

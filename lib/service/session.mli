@@ -16,15 +16,30 @@ val create :
   ?budget:Obda_runtime.Budget.t ->
   ?cache_entries:int ->
   ?cache_weight:int ->
+  ?jobs:int ->
   unit -> t
 (** A fresh session with an empty ABox and no ontology.  [budget] is the
     session-wide resource envelope ({!budget}); [cache_entries] /
-    [cache_weight] bound the rewriting cache. *)
+    [cache_weight] bound the rewriting cache.  [jobs] (default 1) is the
+    evaluation parallelism: with [jobs > 1] a worker {!Obda_runtime.Pool}
+    is created on first use and every {!answer} (and the serve loop's
+    [BATCH] verb) evaluates on it — answers are byte-identical to
+    [jobs = 1].  Raises [Invalid_argument] when [jobs < 1]. *)
 
 val budget : t -> Obda_runtime.Budget.t
 val cache : t -> Cache.t
 val tbox : t -> Obda_ontology.Tbox.t option
 val abox : t -> Obda_data.Abox.t
+
+val jobs : t -> int
+
+val pool : t -> Obda_runtime.Pool.t option
+(** The session's worker pool — [None] for a [jobs = 1] session, otherwise
+    created (once) on first call. *)
+
+val close : t -> unit
+(** Shut down the worker pool, if one was created.  The session remains
+    usable: the next {!pool} call recreates it.  Idempotent. *)
 
 val count_request : t -> unit
 val requests : t -> int
@@ -70,9 +85,10 @@ val answer :
   ?budget:Obda_runtime.Budget.t -> t -> Prepared.t -> Obda_syntax.Symbol.t list list
 (** Certain answers of a prepared query over the current store: the
     memoised consistency check, then NDL evaluation of the stored
-    rewriting — no re-parsing, no re-rewriting.  On inconsistent (T, A),
-    every tuple over ind(A) of the query's arity, per the convention at
-    the end of Section 2 of the paper. *)
+    rewriting — no re-parsing, no re-rewriting, on the session's worker
+    pool when [jobs > 1].  On inconsistent (T, A), every tuple over ind(A)
+    of the query's arity, per the convention at the end of Section 2 of
+    the paper. *)
 
 val stats : t -> (string * string) list
 (** Observable session state as ordered key/value pairs (the [STATS]

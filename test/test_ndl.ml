@@ -253,6 +253,101 @@ let test_star_linear () =
     [ [ "c1" ] ]
     (show_tuples (Eval.answers starred a))
 
+(* Satellite regression tests for the CPred binding/undo paths: every case
+   is checked sequentially and under a 4-worker pool, and the two runs must
+   agree tuple for tuple (the parallel driver partitions the first body
+   atom's search space, so these shapes exercise every partition scheme). *)
+let check_seq_par msg q a expected =
+  let seq = show_tuples (Eval.answers q a) in
+  let par =
+    Obda_runtime.Pool.with_pool ~jobs:4 (fun pool ->
+        show_tuples (Eval.answers ~pool q a))
+  in
+  Alcotest.(check (list (list string))) (msg ^ " (sequential)") expected seq;
+  Alcotest.(check (list (list string))) (msg ^ " (4 workers)") expected par
+
+let test_repeated_vars_in_atom () =
+  (* R(x,x): the second occurrence of x is bound when the first position
+     binds it, so matching R(a,b) must fail and undo the binding of x. *)
+  let q =
+    Ndl.make ~goal:(sym "G12") ~goal_args:[ "x" ]
+      [ { Ndl.head = (sym "G12", [ v "x" ]); body = [ p "R" [ v "x"; v "x" ] ] } ]
+  in
+  let a =
+    abox_of_facts
+      [ `B ("R", "a", "a"); `B ("R", "a", "b"); `B ("R", "b", "a"); `B ("R", "c", "c") ]
+  in
+  check_seq_par "diagonal only" q a [ [ "a" ]; [ "c" ] ];
+  (* the failed R(a,b) probe must not leave x bound: a second atom over the
+     same variable still enumerates freely *)
+  let q2 =
+    Ndl.make ~goal:(sym "G13") ~goal_args:[ "x"; "y" ]
+      [
+        {
+          Ndl.head = (sym "G13", [ v "x"; v "y" ]);
+          body = [ p "R" [ v "x"; v "x" ]; p "R" [ v "x"; v "y" ] ];
+        };
+      ]
+  in
+  check_seq_par "binding undone after mismatch" q2 a
+    [ [ "a"; "a" ]; [ "a"; "b" ]; [ "c"; "c" ] ]
+
+let test_constants_at_indexed_positions () =
+  (* A bound constant at an indexed position of a non-leading atom: the
+     lookup uses the index, and a mismatch must undo only the variables
+     bound by this atom, not the constant check's context. *)
+  let q =
+    Ndl.make ~goal:(sym "G14") ~goal_args:[ "x" ]
+      [
+        {
+          Ndl.head = (sym "G14", [ v "x" ]);
+          body = [ p "A" [ v "x" ]; p "R" [ v "x"; Ndl.Cst (sym "b") ] ];
+        };
+      ]
+  in
+  let a =
+    abox_of_facts
+      [
+        `U ("A", "a"); `U ("A", "c"); `U ("A", "d");
+        `B ("R", "a", "b"); `B ("R", "c", "z"); `B ("R", "d", "b"); `B ("R", "d", "z");
+      ]
+  in
+  check_seq_par "constant at indexed position" q a [ [ "a" ]; [ "d" ] ];
+  (* constants in the leading atom: the first-atom partition filter must
+     still see every matching tuple exactly once *)
+  let q2 =
+    Ndl.make ~goal:(sym "G15") ~goal_args:[ "y" ]
+      [
+        {
+          Ndl.head = (sym "G15", [ v "y" ]);
+          body = [ p "R" [ Ndl.Cst (sym "d"); v "y" ] ];
+        };
+      ]
+  in
+  check_seq_par "constant in leading atom" q2 a [ [ "b" ]; [ "z" ] ]
+
+let test_unbound_unbound_eq_sweep () =
+  (* x = y with both sides unbound sweeps the active domain; the parallel
+     driver partitions that sweep by constant. *)
+  let q =
+    Ndl.make ~goal:(sym "G16") ~goal_args:[ "x"; "y" ]
+      [
+        {
+          Ndl.head = (sym "G16", [ v "x"; v "y" ]);
+          body = [ Ndl.Eq (v "x", v "y"); p "A" [ v "x" ] ];
+        };
+      ]
+  in
+  let a = abox_of_facts [ `U ("A", "a"); `U ("A", "b"); `U ("B", "c") ] in
+  check_seq_par "unbound-unbound Eq sweep" q a [ [ "a"; "a" ]; [ "b"; "b" ] ];
+  (* x = x: one variable, still a domain sweep, each constant once *)
+  let q2 =
+    Ndl.make ~goal:(sym "G17") ~goal_args:[ "x" ]
+      [ { Ndl.head = (sym "G17", [ v "x" ]); body = [ Ndl.Eq (v "x", v "x") ] } ]
+  in
+  check_seq_par "x = x sweeps the domain once" q2 a
+    [ [ "a" ]; [ "b" ]; [ "c" ] ]
+
 (* The relation-internals contract behind evaluator rounds: one full-scan
    index build per position list (later additions maintain it in place and
    lookups reuse it), and a sorted tuple view that is memoised until the
@@ -320,6 +415,12 @@ let suites =
         Alcotest.test_case "inline (Tw*)" `Quick test_inline;
         Alcotest.test_case "star (generic)" `Quick test_star_generic;
         Alcotest.test_case "star (linear, Lemma 3)" `Quick test_star_linear;
+        Alcotest.test_case "repeated variables in one atom" `Quick
+          test_repeated_vars_in_atom;
+        Alcotest.test_case "constants at indexed positions" `Quick
+          test_constants_at_indexed_positions;
+        Alcotest.test_case "unbound-unbound Eq domain sweep" `Quick
+          test_unbound_unbound_eq_sweep;
         Alcotest.test_case "relation index reuse" `Quick
           test_relation_index_reuse;
         Alcotest.test_case "relation sorted view memoised" `Quick

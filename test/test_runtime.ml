@@ -705,6 +705,98 @@ let test_generate_default_seed () =
   check "default seed is 42" true (gen () = gen ~seed:42 ());
   check "the seed actually matters" true (gen () <> gen ~seed:43 ())
 
+(* ------------------------------------------------------------------ *)
+(* The worker pool and per-worker budget slices *)
+
+module Pool = Obda_runtime.Pool
+
+let test_pool_runs_every_index () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      check_int "jobs" 4 (Pool.jobs pool);
+      let hits = Array.make 4 0 in
+      Pool.run pool (fun i -> hits.(i) <- hits.(i) + 1);
+      check "every index ran once" true (hits = [| 1; 1; 1; 1 |]);
+      (* the pool is reusable across runs *)
+      Pool.run pool (fun i -> hits.(i) <- hits.(i) + 10);
+      check "reused pool ran every index again" true (hits = [| 11; 11; 11; 11 |]))
+
+let test_pool_single_job_is_inline () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let d = Domain.self () in
+      let same = ref false in
+      Pool.run pool (fun i -> same := i = 0 && Domain.self () = d);
+      check "jobs=1 runs on the calling domain" true !same);
+  check "jobs < 1 rejected" true
+    (match Pool.create ~jobs:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+exception Boom of int
+
+let test_pool_propagates_failure () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let ran = Array.make 3 false in
+      (match
+         Pool.run pool (fun i ->
+             ran.(i) <- true;
+             if i = 1 then raise (Boom i))
+       with
+      | () -> Alcotest.fail "worker exception was swallowed"
+      | exception Boom 1 -> ()
+      | exception e -> raise e);
+      check "other workers still ran" true (ran = [| true; true; true |]);
+      (* the failed run must not poison the pool *)
+      let ok = ref 0 in
+      Pool.run pool (fun _ -> incr ok);
+      check_int "pool survives a failing run" 3 !ok);
+  (* shutdown is idempotent and run-after-shutdown is rejected *)
+  let pool = Pool.create ~jobs:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  check "run after shutdown rejected" true
+    (match Pool.run pool (fun _ -> ()) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_budget_slice () =
+  let b = Budget.create ~max_steps:10 ~max_size:7 () in
+  Budget.step b;
+  (* ceil(10/4) = 3 steps, ceil(7/4) = 2 size per slice *)
+  let s = Budget.slice ~parts:4 b in
+  check "slice counters restart" true
+    (Budget.steps_spent s = 0 && Budget.size_spent s = 0);
+  check "slice step limit is ceil(limit/parts)" true
+    (Budget.steps_remaining s = Some 3);
+  check "slice size limit is ceil(limit/parts)" true
+    (Budget.size_remaining s = Some 2);
+  check "parts below one rejected" true
+    (match Budget.slice ~parts:0 b with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* a slice of an unlimited budget stays unlimited *)
+  let u = Budget.slice ~parts:8 Budget.none in
+  check "slice of none is unlimited" true (not (Budget.is_limited u));
+  (* absorb adds worker spend back for reporting, without enforcing *)
+  Budget.step s;
+  Budget.step s;
+  Budget.grow s;
+  Budget.absorb b ~from:s;
+  check_int "absorb accumulates steps" 3 (Budget.steps_spent b);
+  check_int "absorb accumulates size" 1 (Budget.size_spent b);
+  (* absorbing into the shared [none] must not mutate it *)
+  let before = Budget.steps_spent Budget.none in
+  Budget.absorb Budget.none ~from:s;
+  check_int "absorb into none is a no-op" before (Budget.steps_spent Budget.none)
+
+let test_slice_shares_deadline () =
+  let b = Budget.create ~timeout:0.02 () in
+  let s = Budget.slice ~parts:2 b in
+  Unix.sleepf 0.03;
+  check "slice shares the absolute deadline" true
+    (match Budget.check_deadline s with
+    | exception Error.Obda_error (Error.Budget_exhausted _) -> true
+    | () -> false)
+
 let suites =
   [
     ( "runtime",
@@ -748,5 +840,14 @@ let suites =
           test_parser_buffer_boundaries;
         Alcotest.test_case "generator default seed" `Quick
           test_generate_default_seed;
+        Alcotest.test_case "pool runs every index" `Quick
+          test_pool_runs_every_index;
+        Alcotest.test_case "pool single job inline" `Quick
+          test_pool_single_job_is_inline;
+        Alcotest.test_case "pool failure propagation" `Quick
+          test_pool_propagates_failure;
+        Alcotest.test_case "budget slices" `Quick test_budget_slice;
+        Alcotest.test_case "slice deadline shared" `Quick
+          test_slice_shares_deadline;
       ] );
   ]

@@ -15,6 +15,7 @@ module Abox = Obda_data.Abox
 module Symbol = Obda_syntax.Symbol
 module Budget = Obda_runtime.Budget
 module Error = Obda_runtime.Error
+module Fault = Obda_runtime.Fault
 module Obs = Obda_obs.Obs
 
 let check = Alcotest.(check bool)
@@ -147,6 +148,77 @@ let test_cache_counters_reach_obs () =
   check_int "obs miss" 2 (Obs.Collector.counter coll "service.cache.miss");
   check_int "obs evict" 1 (Obs.Collector.counter coll "service.cache.evict")
 
+let test_cache_mru_fast_path () =
+  let c = Cache.create () in
+  let add key =
+    ignore (Cache.find_or_add c ~key (fun () -> dummy_query "q(x) <- A(x)"))
+  in
+  add "k1";
+  add "k2";
+  add "k3";
+  check_int "inserts are not relinks" 0 (Cache.relinks c);
+  (* repeated hits on the MRU entry must take the fast path: no splice,
+     and the recency order is left exactly as it was *)
+  add "k3";
+  add "k3";
+  check_int "MRU hits do not relink" 0 (Cache.relinks c);
+  Alcotest.(check (list string))
+    "order unchanged by MRU hits" [ "k3"; "k2"; "k1" ] (Cache.keys_mru_first c);
+  (* a hit on a non-MRU entry is the slow path: one splice, promoted *)
+  add "k1";
+  check_int "non-MRU hit relinks once" 1 (Cache.relinks c);
+  Alcotest.(check (list string))
+    "promoted to the front" [ "k1"; "k3"; "k2" ] (Cache.keys_mru_first c);
+  (* and the freshly promoted entry is back on the fast path *)
+  add "k1";
+  check_int "promoted entry hits the fast path" 1 (Cache.relinks c)
+
+let test_cache_failed_build_counts_nothing () =
+  let (), coll =
+    Obs.collecting (fun () ->
+        let c = Cache.create () in
+        check "build failure propagates" true
+          (try
+             ignore (Cache.find_or_add c ~key:"k" (fun () -> failwith "boom"));
+             false
+           with Failure _ -> true);
+        check_int "no resident entry" 0 (Cache.length c);
+        check_int "failed build is not a miss" 0 (Cache.misses c);
+        check_int "nor a hit" 0 (Cache.hits c);
+        (* the retry builds for real and is the first (and only) miss *)
+        let _, o =
+          Cache.find_or_add c ~key:"k" (fun () -> dummy_query "q(x) <- A(x)")
+        in
+        check "retry misses" true (o = `Miss);
+        check_int "one miss after the retry" 1 (Cache.misses c))
+  in
+  check_int "telemetry agrees with the counter" 1
+    (Obs.Collector.counter coll "service.cache.miss")
+
+let test_cache_fault_site_counts_nothing () =
+  (* an injected fault at service.cache fires before the table is probed:
+     like a failed build, it must leave every counter untouched *)
+  let c = Cache.create () in
+  match Fault.parse_plan "service.cache@1" with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    Fault.arm plan;
+    Fun.protect ~finally:Fault.disarm (fun () ->
+        check "injected fault raises Obda_error" true
+          (try
+             ignore
+               (Cache.find_or_add c ~key:"k" (fun () ->
+                    dummy_query "q(x) <- A(x)"));
+             false
+           with Error.Obda_error _ -> true);
+        check_int "no miss counted" 0 (Cache.misses c);
+        check_int "no resident entry" 0 (Cache.length c);
+        (* the plan selects activation 1 only: the retry goes through *)
+        let _, o =
+          Cache.find_or_add c ~key:"k" (fun () -> dummy_query "q(x) <- A(x)")
+        in
+        check "retry succeeds with the plan still armed" true (o = `Miss))
+
 (* ------------------------------------------------------------------ *)
 (* Session *)
 
@@ -258,8 +330,8 @@ let test_serve_every_verb () =
             (first (exec "RETRACT A(c)"));
           (match exec "STATS" with
           | status :: kvs ->
-            check_str "stats status" "OK stats=13" status;
-            check "stats payload lines" true (List.length kvs = 13)
+            check_str "stats status" "OK stats=14" status;
+            check "stats payload lines" true (List.length kvs = 14)
           | [] -> Alcotest.fail "no stats response");
           (* boolean query *)
           ignore (exec "PREPARE b q() <- A(x)");
@@ -287,7 +359,7 @@ let test_serve_err_leaves_session_usable () =
   (* the session survives: requests that fit the per-request allowance
      still succeed (each request gets a FRESH sub-budget) *)
   let lines, _ = Serve.handle_line s "STATS" in
-  check_str "stats after failed request" "OK stats=13" (first lines);
+  check_str "stats after failed request" "OK stats=14" (first lines);
   (* parse errors in payloads are in-protocol too *)
   let lines, _ = Serve.handle_line s "ASSERT A(" in
   check_str "payload parse error" "parse" (err_class (first lines));
@@ -335,6 +407,140 @@ let test_serve_digest_shares_cache_across_names () =
   Alcotest.(check (list string))
     "both names registered" [ "q1"; "q2" ] (Session.prepared_names s)
 
+(* ------------------------------------------------------------------ *)
+(* CRLF input and BATCH *)
+
+let test_serve_crlf_input () =
+  with_temp_file tbox_text (fun onto_file ->
+      let script =
+        String.concat "\r\n"
+          [
+            "LOAD ONTOLOGY " ^ onto_file;
+            "PREPARE q q(x) <- A(x)";
+            "ANSWER q";
+            "QUIT";
+            "";
+          ]
+      in
+      with_temp_file script (fun script_file ->
+          with_temp_file "" (fun out_file ->
+              let s = Session.create () in
+              Session.load_data s (abox ());
+              let ic = open_in_bin script_file in
+              let oc = open_out out_file in
+              Fun.protect
+                ~finally:(fun () ->
+                  close_in_noerr ic;
+                  close_out_noerr oc)
+                (fun () -> Serve.run_channels s ic oc);
+              let lines =
+                In_channel.with_open_text out_file In_channel.input_lines
+              in
+              check "no ERR despite CRLF line endings" true
+                (List.for_all
+                   (fun l ->
+                     not (String.length l >= 3 && String.sub l 0 3 = "ERR"))
+                   lines);
+              check "query answered" true
+                (List.mem "OK answers=2" lines);
+              check "loop reached QUIT" true
+                (match List.rev lines with "OK bye" :: _ -> true | _ -> false))))
+
+let test_protocol_batch () =
+  (match ok_some "BATCH q1 q2 q1" with
+  | Protocol.Batch names ->
+    Alcotest.(check (list string)) "names in order" [ "q1"; "q2"; "q1" ] names
+  | _ -> Alcotest.fail "expected Batch");
+  (match ok_some "batch  q1" with
+  | Protocol.Batch names ->
+    Alcotest.(check (list string))
+      "single name, case-insensitive verb" [ "q1" ] names
+  | _ -> Alcotest.fail "expected Batch");
+  check "BATCH without names is an error" true
+    (match Protocol.parse "BATCH" with Error _ -> true | _ -> false)
+
+(* One session per worker count: prepare two queries (one boolean), read
+   their individual ANSWER responses, and require the BATCH response to be
+   exactly "OK batch=N" followed by those responses retagged with
+   "name=..." — in request order, byte for byte, sequential or pooled. *)
+let test_serve_batch_matches_individual () =
+  let run jobs =
+    let s = Session.create ~jobs () in
+    Fun.protect
+      ~finally:(fun () -> Session.close s)
+      (fun () ->
+        Session.load_ontology s (tbox ());
+        Session.load_data s (abox ());
+        ignore (Serve.handle_line s "PREPARE q1 q(x) <- A(x)");
+        ignore (Serve.handle_line s "PREPARE qb q() <- R(x,y)");
+        let individual name = fst (Serve.handle_line s ("ANSWER " ^ name)) in
+        let q1 = individual "q1" and qb = individual "qb" in
+        (fst (Serve.handle_line s "BATCH q1 qb q1"), q1, qb))
+  in
+  let retag name = function
+    | status :: tuples
+      when String.length status > 3 && String.sub status 0 3 = "OK " ->
+      Printf.sprintf "OK name=%s %s" name
+        (String.sub status 3 (String.length status - 3))
+      :: tuples
+    | other -> other
+  in
+  List.iter
+    (fun jobs ->
+      let batch, q1, qb = run jobs in
+      Alcotest.(check (list string))
+        (Printf.sprintf "batch at jobs=%d matches individual answers" jobs)
+        (("OK batch=3" :: retag "q1" q1) @ retag "qb" qb @ retag "q1" q1)
+        batch)
+    [ 1; 2 ]
+
+let test_serve_batch_errors () =
+  let s = Session.create () in
+  Session.load_ontology s (tbox ());
+  Session.load_data s (abox ());
+  ignore (Serve.handle_line s "PREPARE q1 q(x) <- A(x)");
+  let lines, stop = Serve.handle_line s "BATCH q1 nosuch" in
+  check "unknown name is in-protocol" false stop;
+  check_str "names resolve before anything evaluates" "internal"
+    (err_class (first lines));
+  (* the session survives the failed batch *)
+  check_str "session still answers" "OK batch=1"
+    (first (fst (Serve.handle_line s "BATCH q1")))
+
+let test_serve_batch_fault_armed_forces_sequential () =
+  (* with a pool, batch queries run on worker domains with telemetry off;
+     an armed fault plan must force the sequential observed path so
+     activation counts stay deterministic *)
+  let s = Session.create ~jobs:2 () in
+  Fun.protect
+    ~finally:(fun () -> Session.close s)
+    (fun () ->
+      Session.load_ontology s (tbox ());
+      Session.load_data s (abox ());
+      ignore (Serve.handle_line s "PREPARE q1 q(x) <- A(x)");
+      check "consistency settled before collecting" true (Session.consistent s);
+      let eval_spans f =
+        let (), coll = Obs.collecting f in
+        List.length
+          (List.filter
+             (fun (sp : Obs.span) -> sp.Obs.name = "eval.ndl")
+             (Obs.Collector.spans coll))
+      in
+      let pooled =
+        eval_spans (fun () -> ignore (Serve.handle_line s "BATCH q1 q1"))
+      in
+      check_int "pooled batch keeps workers off the global sink" 0 pooled;
+      match Fault.parse_plan "service.request@999" with
+      | Error e -> Alcotest.fail e
+      | Ok plan ->
+        Fault.arm plan;
+        Fun.protect ~finally:Fault.disarm (fun () ->
+            let sequential =
+              eval_spans (fun () -> ignore (Serve.handle_line s "BATCH q1 q1"))
+            in
+            check_int "armed plan forces the observed sequential path" 2
+              sequential))
+
 let suites =
   [
     ( "service",
@@ -362,5 +568,17 @@ let suites =
           test_serve_prepare_once_answer_many;
         Alcotest.test_case "serve: digest shares cache across names" `Quick
           test_serve_digest_shares_cache_across_names;
+        Alcotest.test_case "cache MRU fast path" `Quick test_cache_mru_fast_path;
+        Alcotest.test_case "cache failed build counts nothing" `Quick
+          test_cache_failed_build_counts_nothing;
+        Alcotest.test_case "cache fault site counts nothing" `Quick
+          test_cache_fault_site_counts_nothing;
+        Alcotest.test_case "serve: CRLF input" `Quick test_serve_crlf_input;
+        Alcotest.test_case "protocol BATCH" `Quick test_protocol_batch;
+        Alcotest.test_case "serve: BATCH matches individual answers" `Quick
+          test_serve_batch_matches_individual;
+        Alcotest.test_case "serve: BATCH errors" `Quick test_serve_batch_errors;
+        Alcotest.test_case "serve: BATCH under an armed fault plan" `Quick
+          test_serve_batch_fault_armed_forces_sequential;
       ] );
   ]
