@@ -192,6 +192,41 @@ let print_header title =
 
 let cell_of_option = function Some n -> string_of_int n | None -> "-"
 
+(* ------------------------------------------------------------------ *)
+(* Experiment persistence: the harness appends one JSON line per run to
+   BENCH_<experiment>.json — timestamp, duration, status and whatever
+   metrics the experiment recorded — so successive runs accumulate a
+   comparable history next to the printed tables. *)
+
+module Json = Obda_obs.Json
+
+let current_metrics : (string * Json.t) list ref = ref []
+let reset_metrics () = current_metrics := []
+let record_metric key v = current_metrics := (key, v) :: !current_metrics
+let record_int key n = record_metric key (Json.Int n)
+let record_float key x = record_metric key (Json.Float x)
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let persist_experiment ~name ~duration ~status =
+  let row =
+    Json.Assoc
+      (("ts", Json.String (iso8601 (Unix.time ())))
+      :: ("experiment", Json.String name)
+      :: ("status", Json.String status)
+      :: ("duration_s", Json.Float duration)
+      :: List.rev !current_metrics)
+  in
+  let path = "BENCH_" ^ name ^ ".json" in
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
+  output_string oc (Json.to_string row);
+  output_char oc '\n';
+  close_out oc
+
 let cell_of_outcome field = function
   | Ok_result r -> (
     match field with

@@ -699,6 +699,7 @@ let service_cache () =
           Printf.sprintf "%d/%d" hits (hits + misses);
         ])
     [ 4; 6; 8; 10; 12 ];
+  record_float "mean_speedup" (!total_speedup /. float_of_int !rows);
   Printf.printf
     "mean prepared-vs-cold speedup: %.1fx over %d query sizes (acceptance: \
      >= 5x)\n"
@@ -763,6 +764,7 @@ let par_scaling () =
   let mean =
     List.fold_left ( +. ) 0. !speedup4 /. float_of_int (List.length !speedup4)
   in
+  record_float "mean_speedup_4w" mean;
   Printf.printf
     "mean 4-worker speedup: %.2fx on %d core(s) (acceptance: >= 2x given >= \
      4 cores)\n"
@@ -789,6 +791,7 @@ let experiments =
     ("obs-overhead", obs_overhead);
     ("service-cache", service_cache);
     ("par-scaling", par_scaling);
+    ("serve-load", Serve_load.run);
   ]
 
 let () =
@@ -822,16 +825,26 @@ let () =
   let to_run =
     if !chosen = [] then List.map fst experiments else List.rev !chosen
   in
-  (* one broken experiment must not take down the remaining tables *)
+  (* one broken experiment must not take down the remaining tables; every
+     experiment — aborted or not — appends its timestamped row to
+     BENCH_<experiment>.json *)
   List.iter
     (fun name ->
-      try (List.assoc name experiments) ()
-      with exn ->
-        flush stdout;
-        let msg =
-          match Obda_runtime.Error.of_exn exn with
-          | Some e -> Obda_runtime.Error.to_string e
-          | None -> Printexc.to_string exn
-        in
-        Printf.printf "experiment %s aborted: %s\n%!" name msg)
+      reset_metrics ();
+      let t0 = Unix.gettimeofday () in
+      let status =
+        try
+          (List.assoc name experiments) ();
+          "ok"
+        with exn ->
+          flush stdout;
+          let msg =
+            match Obda_runtime.Error.of_exn exn with
+            | Some e -> Obda_runtime.Error.to_string e
+            | None -> Printexc.to_string exn
+          in
+          Printf.printf "experiment %s aborted: %s\n%!" name msg;
+          "aborted"
+      in
+      persist_experiment ~name ~duration:(Unix.gettimeofday () -. t0) ~status)
     to_run

@@ -1,0 +1,147 @@
+(* serve-load: a closed-loop load generator against the concurrent network
+   server.  1/8/64 clients hammer one shared session over a Unix socket
+   with a mixed workload — every fourth client alternates ASSERT/RETRACT of
+   its own fact, everyone else issues ANSWER — and the harness reports
+   req/s with p50/p95/p99 latency per level.
+
+   The workload doubles as a snapshot-correctness check: the prepared
+   query is qsq(x,y) <- A(x), A(y), whose certain-answer count over any
+   frozen ABox is n² for n resident A-facts.  A torn read — evaluation
+   overlapping a writer's mutation — would produce a non-square count
+   (n·(n+1) and the like), so "every response was a perfect square" is
+   exactly "every ANSWER saw one frozen revision". *)
+
+open Bench_support
+module Server = Obda_service.Server
+module Client = Obda_service.Client
+module Session = Obda_service.Session
+module Abox = Obda_data.Abox
+module Symbol = Obda_syntax.Symbol
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    sorted.(min (n - 1)
+              (int_of_float ((p /. 100. *. float_of_int (n - 1)) +. 0.5)))
+
+let is_square n =
+  n >= 0
+  &&
+  let r = int_of_float (sqrt (float_of_int n) +. 0.5) in
+  r * r = n
+
+let connections = 8
+let ops_per_client = 40
+let seed_facts = 10
+
+let run () =
+  print_header
+    "serve-load: closed-loop clients over a Unix socket, mixed \
+     ASSERT/RETRACT + ANSWER (answer counts must stay perfect squares)";
+  let session = Session.create () in
+  Session.load_ontology session (example11 ());
+  ignore
+    (Session.assert_facts session
+       (List.init seed_facts (fun i ->
+            Abox.Concept_assertion
+              (Symbol.intern "A", Symbol.intern (Printf.sprintf "base%d" i)))));
+  let path = Filename.temp_file "obda-bench" ".sock" in
+  Sys.remove path;
+  let address = Server.Unix_socket path in
+  let server =
+    Server.create ~connections ~backlog:128 ~max_inflight:connections address
+      session
+  in
+  let server_thread = Thread.create (fun () -> ignore (Server.run server)) () in
+  let c0 = Client.connect address in
+  (match Client.request c0 "PREPARE qsq q(x,y) <- A(x), A(y)" with
+  | first :: _ when String.starts_with ~prefix:"OK" first -> ()
+  | other -> failwith ("PREPARE failed: " ^ String.concat " | " other));
+  ignore (Client.request c0 "QUIT");
+  Client.close c0;
+  Printf.printf
+    "server: connections=%d backlog=128 max-inflight=%d; %d seed facts, %d \
+     ops/client\n"
+    connections connections seed_facts ops_per_client;
+  let widths = [ 9; 7; 9; 10; 10; 10; 9; 7 ] in
+  print_row widths
+    [ "clients"; "reqs"; "req/s"; "p50(ms)"; "p95(ms)"; "p99(ms)"; "squares"; "errs" ];
+  let all_square = ref true in
+  List.iter
+    (fun clients ->
+      let latencies = Array.make (clients * ops_per_client) 0. in
+      let non_square = Atomic.make 0 in
+      let errors = Atomic.make 0 in
+      let t0 = Unix.gettimeofday () in
+      let client_body ci =
+        let cl = Client.connect address in
+        let fact = Printf.sprintf "A(w%d_%d)" clients ci in
+        let present = ref false in
+        for op = 0 to ops_per_client - 1 do
+          let req =
+            if ci mod 4 = 0 && op mod 2 = 1 then
+              if !present then begin
+                present := false;
+                "RETRACT " ^ fact
+              end
+              else begin
+                present := true;
+                "ASSERT " ^ fact
+              end
+            else "ANSWER qsq"
+          in
+          let t = Unix.gettimeofday () in
+          let resp = Client.request cl req in
+          latencies.((ci * ops_per_client) + op) <-
+            (Unix.gettimeofday () -. t) *. 1000.;
+          match resp with
+          | first :: _ when String.starts_with ~prefix:"OK answers=" first -> (
+            match int_of_string_opt (String.sub first 11 (String.length first - 11)) with
+            | Some n when is_square n -> ()
+            | _ -> Atomic.incr non_square)
+          | first :: _ when String.starts_with ~prefix:"OK" first -> ()
+          | _ -> Atomic.incr errors
+        done;
+        ignore (Client.request cl "QUIT");
+        Client.close cl
+      in
+      let threads =
+        List.init clients (fun ci -> Thread.create client_body ci)
+      in
+      List.iter Thread.join threads;
+      let wall = Unix.gettimeofday () -. t0 in
+      let reqs = clients * ops_per_client in
+      Array.sort compare latencies;
+      let p50 = percentile latencies 50.
+      and p95 = percentile latencies 95.
+      and p99 = percentile latencies 99. in
+      let rate = float_of_int reqs /. wall in
+      let squares_ok = Atomic.get non_square = 0 in
+      if not squares_ok then all_square := false;
+      let tag fmt = Printf.sprintf "c%d.%s" clients fmt in
+      record_float (tag "req_s") rate;
+      record_float (tag "p50_ms") p50;
+      record_float (tag "p95_ms") p95;
+      record_float (tag "p99_ms") p99;
+      record_int (tag "non_square") (Atomic.get non_square);
+      record_int (tag "errors") (Atomic.get errors);
+      print_row widths
+        [
+          string_of_int clients;
+          string_of_int reqs;
+          Printf.sprintf "%.0f" rate;
+          Printf.sprintf "%.2f" p50;
+          Printf.sprintf "%.2f" p95;
+          Printf.sprintf "%.2f" p99;
+          (if squares_ok then "yes" else "NO");
+          string_of_int (Atomic.get errors);
+        ])
+    [ 1; 8; 64 ];
+  Server.stop server;
+  Thread.join server_thread;
+  Session.close session;
+  Printf.printf
+    "(squares=yes on every level: no ANSWER ever saw a torn revision; \
+     acceptance: all yes, errs 0)\n";
+  if not !all_square then failwith "snapshot isolation violated"

@@ -588,15 +588,63 @@ let chase_cmd =
     Term.(const run $ ontology_arg $ data_arg $ depth $ budget_term
           $ inject_term $ telemetry_term)
 
+(* --tcp HOST:PORT (or just PORT, meaning 127.0.0.1). *)
+let tcp_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some port -> Ok ("127.0.0.1", port)
+    | None -> (
+      match String.rindex_opt s ':' with
+      | None -> Error (`Msg "expected HOST:PORT or PORT")
+      | Some i -> (
+        let host = String.sub s 0 i in
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+        with
+        | Some port -> Ok (host, port)
+        | None -> Error (`Msg "expected HOST:PORT or PORT")))
+  in
+  let print ppf (host, port) = Format.fprintf ppf "%s:%d" host port in
+  Arg.conv (parse, print)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some tcp_conv) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"TCP endpoint ($(docv), or just PORT for 127.0.0.1).")
+
+let server_address socket tcp =
+  match (socket, tcp) with
+  | Some _, Some _ ->
+    prerr_endline "obda: --socket and --tcp are mutually exclusive";
+    exit 124
+  | Some path, None -> Some (Obda_service.Server.Unix_socket path)
+  | None, Some (host, port) -> Some (Obda_service.Server.Tcp (host, port))
+  | None, None -> None
+
 let serve_cmd =
   let module Service = Obda_service in
-  let run ontology data script cache_entries cache_size budget jobs inject
+  let run ontology data script cache_entries cache_size socket tcp connections
+      backlog max_inflight idle_timeout request_timeout budget jobs inject
       telemetry =
     handle_errors (fun () ->
         init_telemetry ~budget telemetry;
         arm_faults inject;
         if jobs < 1 then begin
           prerr_endline "obda: --jobs must be >= 1";
+          exit 124
+        end;
+        let address = server_address socket tcp in
+        if address <> None && jobs > 1 then begin
+          prerr_endline
+            "obda: the network server requires --jobs 1; use --connections N \
+             to parallelise across connections";
           exit 124
         end;
         let session =
@@ -615,13 +663,41 @@ let serve_cmd =
             | Some file ->
               Service.Session.load_data session (Parse.data_of_file file)
             | None -> ());
-            match script with
-            | Some file ->
-              let ic = open_in file in
-              Fun.protect
-                ~finally:(fun () -> close_in_noerr ic)
-                (fun () -> Service.Serve.run_channels session ic stdout)
-            | None -> Service.Serve.run_channels session stdin stdout))
+            match address with
+            | Some address ->
+              if script <> None then begin
+                prerr_endline "obda: --script does not combine with a socket";
+                exit 124
+              end;
+              let server =
+                Service.Server.create ?connections ?backlog ?max_inflight
+                  ?idle_timeout ?request_timeout address session
+              in
+              (* graceful shutdown: stop accepting, drain requests in
+                 flight, then exit through the normal teardown with the
+                 conventional 128+signal code *)
+              List.iter
+                (fun (signal, code) ->
+                  try
+                    Sys.set_signal signal
+                      (Sys.Signal_handle
+                         (fun _ -> Service.Server.request_stop server ~code))
+                  with Invalid_argument _ | Sys_error _ -> ())
+                [ (Sys.sigint, 130); (Sys.sigterm, 143) ];
+              Printf.eprintf "obda: serving on %s (connections=%d)\n%!"
+                (Service.Server.address_string
+                   (Service.Server.address server))
+                (Option.value connections ~default:4);
+              let code = Service.Server.run server in
+              if code <> 0 then exit code
+            | None -> (
+              match script with
+              | Some file ->
+                let ic = open_in file in
+                Fun.protect
+                  ~finally:(fun () -> close_in_noerr ic)
+                  (fun () -> Service.Serve.run_channels session ic stdout)
+              | None -> Service.Serve.run_channels session stdin stdout)))
   in
   let ontology =
     Arg.(
@@ -660,6 +736,53 @@ let serve_cmd =
             "Bound the rewriting cache to a total of $(docv) NDL atoms \
              across resident rewritings (LRU eviction).")
   in
+  let connections =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "connections" ] ~docv:"N"
+          ~doc:
+            "Serve up to $(docv) connections concurrently (default 4; \
+             socket mode).")
+  in
+  let backlog =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:
+            "Bound the accepted-but-unclaimed connection queue to $(docv) \
+             (default 16); beyond it connections are shed with ERR \
+             class=overloaded.")
+  in
+  let max_inflight =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admit at most $(docv) concurrently executing requests (default: \
+             --connections); excess requests get an in-protocol ERR \
+             class=overloaded and the connection stays open.")
+  in
+  let idle_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Close a connection that sends no request for $(docv) seconds \
+             (after an ERR class=budget line).")
+  in
+  let request_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock cap per request, combined with the session --timeout \
+             (the tighter deadline wins).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -670,10 +793,78 @@ let serve_cmd =
           fresh sub-budget of the session budget; failures are reported as \
           in-protocol ERR lines, leaving the session usable.  With --jobs N \
           evaluation (ANSWER, and BATCH queries) runs on N worker domains \
-          with byte-identical responses.")
+          with byte-identical responses.  With --socket or --tcp the \
+          protocol is served over the network instead: --connections \
+          concurrent clients against one shared session, every \
+          ANSWER/BATCH isolated on a copy-on-write ABox snapshot, with \
+          admission control, idle/request timeouts and graceful drain on \
+          SIGTERM/SIGINT.")
     Term.(
       const run $ ontology $ data $ script $ cache_entries $ cache_size
-      $ budget_term $ jobs_term $ inject_term $ telemetry_term)
+      $ socket_arg $ tcp_arg $ connections $ backlog $ max_inflight
+      $ idle_timeout $ request_timeout $ budget_term $ jobs_term
+      $ inject_term $ telemetry_term)
+
+let client_cmd =
+  let module Service = Obda_service in
+  let run socket tcp script =
+    handle_errors (fun () ->
+        let address =
+          match server_address socket tcp with
+          | Some a -> a
+          | None ->
+            prerr_endline "obda: client needs --socket or --tcp";
+            exit 124
+        in
+        let client =
+          try Service.Client.connect address
+          with Unix.Unix_error (e, _, _) ->
+            Printf.eprintf "obda: cannot connect to %s: %s\n"
+              (Service.Server.address_string address)
+              (Unix.error_message e);
+            exit 1
+        in
+        Fun.protect
+          ~finally:(fun () -> Service.Client.close client)
+          (fun () ->
+            let serve_input ic =
+              let rec loop () =
+                match In_channel.input_line ic with
+                | None -> ()
+                | Some line ->
+                  let responses = Service.Client.request client line in
+                  List.iter print_endline responses;
+                  flush stdout;
+                  let quit =
+                    match responses with [ "OK bye" ] -> true | _ -> false
+                  in
+                  if not quit then loop ()
+              in
+              loop ()
+            in
+            match script with
+            | Some file ->
+              let ic = open_in file in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> serve_input ic)
+            | None -> serve_input stdin))
+  in
+  let script =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:
+            "Send the request lines of $(docv) instead of reading from \
+             stdin.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Connect to a running obda serve socket and exchange protocol \
+          lines: requests from stdin (or --script), responses to stdout.")
+    Term.(const run $ socket_arg $ tcp_arg $ script)
 
 let chaos_list_cmd =
   let run () =
@@ -719,6 +910,7 @@ let main =
       gen_data_cmd;
       chase_cmd;
       serve_cmd;
+      client_cmd;
       chaos_list_cmd;
     ]
 

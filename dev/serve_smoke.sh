@@ -1,0 +1,71 @@
+#!/bin/sh
+# Serve smoke: boot the network server on a Unix socket, drive 8
+# concurrent clients with mixed ASSERT/RETRACT + ANSWER traffic, check
+# that trivial load sheds nothing, then SIGTERM the server and check the
+# graceful drain exits 143.
+set -e
+cd "$(dirname "$0")/.."
+
+dune build bin/obda.exe
+OBDA=_build/default/bin/obda.exe
+
+dir=$(mktemp -d)
+sock="$dir/obda.sock"
+
+"$OBDA" serve --socket "$sock" --connections 8 \
+  -o test/corpus/good.onto -d test/corpus/good.data &
+server=$!
+trap 'kill "$server" 2>/dev/null; rm -rf "$dir"' EXIT
+
+# wait for the listener to bind
+i=0
+while [ ! -S "$sock" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "server never bound $sock" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# one client prepares; 8 concurrent clients then issue mixed traffic
+printf 'PREPARE q q(x) <- A(x)\nQUIT\n' \
+  | "$OBDA" client --socket "$sock" > "$dir/prep.out"
+
+pids=
+for c in 1 2 3 4 5 6 7 8; do
+  printf 'ASSERT A(s%d)\nANSWER q\nRETRACT A(s%d)\nANSWER q\nQUIT\n' "$c" "$c" \
+    | "$OBDA" client --socket "$sock" > "$dir/c$c.out" &
+  pids="$pids $!"
+done
+for p in $pids; do
+  wait "$p"
+done
+
+# no client may have been shed or errored at this load
+if grep -h '^ERR' "$dir/prep.out" "$dir"/c*.out; then
+  echo "unexpected ERR under trivial load" >&2
+  exit 1
+fi
+
+# the server's own books agree: zero requests shed
+printf 'STATS\nQUIT\n' | "$OBDA" client --socket "$sock" > "$dir/stats.out"
+if ! grep -q '^server\.requests\.shed 0$' "$dir/stats.out"; then
+  echo "requests shed at trivial load:" >&2
+  cat "$dir/stats.out" >&2
+  exit 1
+fi
+
+# graceful shutdown: SIGTERM drains and exits 143
+kill -TERM "$server"
+set +e
+wait "$server"
+code=$?
+set -e
+trap 'rm -rf "$dir"' EXIT
+if [ "$code" -ne 143 ]; then
+  echo "expected exit 143 after SIGTERM, got $code" >&2
+  exit 1
+fi
+
+echo "serve smoke: 8 clients served, 0 requests shed, SIGTERM drained with exit 143"

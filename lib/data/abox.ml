@@ -23,14 +23,17 @@ type binary_rel = {
 }
 
 type t = {
-  unary : unary_rel Symbol.Tbl.t;
-  binary : binary_rel Symbol.Tbl.t;
-  inds : unit Symbol.Tbl.t;
+  mutable unary : unary_rel Symbol.Tbl.t;
+  mutable binary : binary_rel Symbol.Tbl.t;
+  mutable inds : unit Symbol.Tbl.t;
   mutable atom_count : int;
   mutable revision : int;
       (* bumped on every effective mutation: change detection for consumers
          that cache work derived from the instance (consistency checks,
          materialisations) *)
+  mutable shared : bool;
+      (* the tables are shared with at least one [snapshot]; the next
+         mutation must [unshare] first (copy-on-write) *)
 }
 
 let create () =
@@ -40,22 +43,72 @@ let create () =
     inds = Symbol.Tbl.create 64;
     atom_count = 0;
     revision = 0;
+    shared = false;
   }
 
 let revision a = a.revision
 
+(* O(1) freeze: both records now point at the same tables, and both carry
+   [shared = true], so whichever side is mutated first pays the copy. *)
+let snapshot a =
+  a.shared <- true;
+  {
+    unary = a.unary;
+    binary = a.binary;
+    inds = a.inds;
+    atom_count = a.atom_count;
+    revision = a.revision;
+    shared = true;
+  }
+
+let copy_binary_rel rel =
+  {
+    pairs = Hashtbl.copy rel.pairs;
+    fwd = Symbol.Tbl.copy rel.fwd;
+    bwd = Symbol.Tbl.copy rel.bwd;
+  }
+
+(* First mutation after a [snapshot]: replace the shared tables with private
+   copies.  Two levels deep — the outer per-predicate tables and the inner
+   relation tables — but not the adjacency lists, which are immutable. *)
+let unshare a =
+  if a.shared then begin
+    let unary = Symbol.Tbl.create (max 16 (Symbol.Tbl.length a.unary)) in
+    Symbol.Tbl.iter
+      (fun p rel -> Symbol.Tbl.add unary p (Symbol.Tbl.copy rel))
+      a.unary;
+    let binary = Symbol.Tbl.create (max 16 (Symbol.Tbl.length a.binary)) in
+    Symbol.Tbl.iter
+      (fun p rel -> Symbol.Tbl.add binary p (copy_binary_rel rel))
+      a.binary;
+    a.unary <- unary;
+    a.binary <- binary;
+    a.inds <- Symbol.Tbl.copy a.inds;
+    a.shared <- false
+  end
+
 let note_ind a c = if not (Symbol.Tbl.mem a.inds c) then Symbol.Tbl.add a.inds c ()
 
+(* Every mutator tests for effectiveness on the (possibly shared) tables
+   first — a no-op add or remove must not pay the copy — and only then
+   unshares and re-resolves the relation from the private tables. *)
+
 let add_unary a p c =
-  let rel =
+  let present =
     match Symbol.Tbl.find_opt a.unary p with
-    | Some r -> r
-    | None ->
-      let r = Symbol.Tbl.create 64 in
-      Symbol.Tbl.add a.unary p r;
-      r
+    | Some rel -> Symbol.Tbl.mem rel c
+    | None -> false
   in
-  if not (Symbol.Tbl.mem rel c) then begin
+  if not present then begin
+    unshare a;
+    let rel =
+      match Symbol.Tbl.find_opt a.unary p with
+      | Some r -> r
+      | None ->
+        let r = Symbol.Tbl.create 64 in
+        Symbol.Tbl.add a.unary p r;
+        r
+    in
     Symbol.Tbl.add rel c ();
     a.atom_count <- a.atom_count + 1;
     a.revision <- a.revision + 1;
@@ -63,21 +116,27 @@ let add_unary a p c =
   end
 
 let add_binary a p c d =
-  let rel =
+  let present =
     match Symbol.Tbl.find_opt a.binary p with
-    | Some r -> r
-    | None ->
-      let r =
-        {
-          pairs = Hashtbl.create 64;
-          fwd = Symbol.Tbl.create 64;
-          bwd = Symbol.Tbl.create 64;
-        }
-      in
-      Symbol.Tbl.add a.binary p r;
-      r
+    | Some rel -> Hashtbl.mem rel.pairs (c, d)
+    | None -> false
   in
-  if not (Hashtbl.mem rel.pairs (c, d)) then begin
+  if not present then begin
+    unshare a;
+    let rel =
+      match Symbol.Tbl.find_opt a.binary p with
+      | Some r -> r
+      | None ->
+        let r =
+          {
+            pairs = Hashtbl.create 64;
+            fwd = Symbol.Tbl.create 64;
+            bwd = Symbol.Tbl.create 64;
+          }
+        in
+        Symbol.Tbl.add a.binary p r;
+        r
+    in
     Hashtbl.add rel.pairs (c, d) ();
     let push tbl k v =
       let cur = Option.value ~default:[] (Symbol.Tbl.find_opt tbl k) in
@@ -114,6 +173,8 @@ let recompute_inds a =
 let remove_unary a p c =
   match Symbol.Tbl.find_opt a.unary p with
   | Some rel when Symbol.Tbl.mem rel c ->
+    unshare a;
+    let rel = Option.get (Symbol.Tbl.find_opt a.unary p) in
     Symbol.Tbl.remove rel c;
     a.atom_count <- a.atom_count - 1;
     a.revision <- a.revision + 1;
@@ -124,6 +185,8 @@ let remove_unary a p c =
 let remove_binary a p c d =
   match Symbol.Tbl.find_opt a.binary p with
   | Some rel when Hashtbl.mem rel.pairs (c, d) ->
+    unshare a;
+    let rel = Option.get (Symbol.Tbl.find_opt a.binary p) in
     Hashtbl.remove rel.pairs (c, d);
     let drop tbl k v =
       let cur = Option.value ~default:[] (Symbol.Tbl.find_opt tbl k) in

@@ -39,6 +39,24 @@ val revision : t -> int
     between — the change-detection hook behind cached consistency checks
     and the query service's dirty tracking. *)
 
+val snapshot : t -> t
+(** An O(1) copy-on-write snapshot: the result shares the live instance's
+    tables and carries its current {!revision}.  The first effective
+    mutation on either side — original or snapshot — copies the shared
+    tables before writing, so a snapshot is immutable for as long as its
+    holder does not mutate it, no matter what happens to the original.
+    This is the isolation mechanism behind the query service: every
+    [ANSWER]/[BATCH] evaluates against a frozen revision while concurrent
+    writers advance the live store to new ones.  Snapshots of snapshots
+    are equally O(1).
+
+    Mutation and snapshotting on the same instance must still be
+    serialised externally (the service session holds its lock around
+    both); the guarantee is that a snapshot taken under that discipline
+    can then be {e read} from any number of domains with no further
+    synchronisation, because the tables it points at are never written
+    again. *)
+
 val mem_unary : t -> Symbol.t -> const -> bool
 val mem_binary : t -> Symbol.t -> const -> const -> bool
 val mem_role : t -> Role.t -> const -> const -> bool

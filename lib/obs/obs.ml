@@ -42,38 +42,63 @@ type state = {
 }
 
 (* The single telemetry slot.  [None] is the fast path: every recording
-   entry point starts with one load and branch on this reference. *)
+   entry point starts with one load and branch on this reference.  The
+   enabled path is guarded by [lock]: the network server records spans and
+   counters from several domains at once, and serialising the bookkeeping
+   (and the sink writes, which become line-atomic) is what keeps the
+   single-slot design safe there.  Under concurrency the span stack is
+   global, so parent attribution across simultaneous connections is
+   approximate — every span is still emitted exactly once with correct
+   timing. *)
 let current : state option ref = ref None
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+    Mutex.unlock lock;
+    v
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
 
 let enabled () = !current <> None
 let now () = Unix.gettimeofday ()
 
 let install sink =
-  current :=
-    Some
-      {
-        sink;
-        t0 = now ();
-        counters = Hashtbl.create 32;
-        gauges = Hashtbl.create 32;
-        stack = [];
-        next_id = 0;
-      }
+  locked (fun () ->
+      current :=
+        Some
+          {
+            sink;
+            t0 = now ();
+            counters = Hashtbl.create 32;
+            gauges = Hashtbl.create 32;
+            stack = [];
+            next_id = 0;
+          })
 
 let flush () =
   match !current with
   | None -> ()
-  | Some st ->
-    let items =
-      Hashtbl.fold (fun k r acc -> (k, Counter, Int !r) :: acc) st.counters []
-    in
-    let items =
-      Hashtbl.fold (fun k v acc -> (k, Gauge, v) :: acc) st.gauges items
-    in
-    List.iter
-      (fun (k, kind, v) -> st.sink.on_metric kind k v)
-      (List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) items);
-    st.sink.on_flush ()
+  | Some _ ->
+    locked (fun () ->
+        match !current with
+        | None -> ()
+        | Some st ->
+          let items =
+            Hashtbl.fold
+              (fun k r acc -> (k, Counter, Int !r) :: acc)
+              st.counters []
+          in
+          let items =
+            Hashtbl.fold (fun k v acc -> (k, Gauge, v) :: acc) st.gauges items
+          in
+          List.iter
+            (fun (k, kind, v) -> st.sink.on_metric kind k v)
+            (List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) items);
+          st.sink.on_flush ())
 
 let uninstall () =
   match !current with
@@ -94,43 +119,48 @@ let with_span ?(attrs = []) name f =
   match !current with
   | None -> f ()
   | Some st ->
-    let id = st.next_id in
-    st.next_id <- id + 1;
-    let parent, depth =
-      match st.stack with
-      | [] -> (None, 0)
-      | o :: _ -> (Some o.oid, o.odepth + 1)
+    let o, id, parent, depth =
+      locked (fun () ->
+          let id = st.next_id in
+          st.next_id <- id + 1;
+          let parent, depth =
+            match st.stack with
+            | [] -> (None, 0)
+            | o :: _ -> (Some o.oid, o.odepth + 1)
+          in
+          let o =
+            { oid = id; oparent = parent; odepth = depth; oname = name;
+              oattrs = attrs; ostart = now () }
+          in
+          st.stack <- o :: st.stack;
+          (o, id, parent, depth))
     in
-    let o =
-      { oid = id; oparent = parent; odepth = depth; oname = name;
-        oattrs = attrs; ostart = now () }
-    in
-    st.stack <- o :: st.stack;
     let close outcome =
-      (* pop to (and including) this span, tolerating unbalanced inner
-         spans left open by a non-local exit *)
-      (match !current with
-      | Some st' when st' == st ->
-        let rec pop = function
-          | top :: rest ->
-            if top.oid = id then st.stack <- rest
-            else pop rest
-          | [] -> st.stack <- []
-        in
-        pop st.stack
-      | _ -> ());
-      let t1 = now () in
-      st.sink.on_span
-        {
-          id;
-          parent;
-          depth;
-          name;
-          attrs;
-          start = o.ostart -. st.t0;
-          duration = t1 -. o.ostart;
-          outcome;
-        }
+      locked (fun () ->
+          (* pop to (and including) this span, tolerating unbalanced inner
+             spans left open by a non-local exit *)
+          (match !current with
+          | Some st' when st' == st ->
+            let rec pop = function
+              | top :: rest ->
+                if top.oid = id then st.stack <- rest
+                else pop rest
+              | [] -> st.stack <- []
+            in
+            pop st.stack
+          | _ -> ());
+          let t1 = now () in
+          st.sink.on_span
+            {
+              id;
+              parent;
+              depth;
+              name;
+              attrs;
+              start = o.ostart -. st.t0;
+              duration = t1 -. o.ostart;
+              outcome;
+            })
     in
     (match f () with
     | v ->
@@ -143,31 +173,35 @@ let with_span ?(attrs = []) name f =
 let count name by =
   match !current with
   | None -> ()
-  | Some st -> (
-    match Hashtbl.find_opt st.counters name with
-    | Some r -> r := !r + by
-    | None -> Hashtbl.add st.counters name (ref by))
+  | Some st ->
+    locked (fun () ->
+        match Hashtbl.find_opt st.counters name with
+        | Some r -> r := !r + by
+        | None -> Hashtbl.add st.counters name (ref by))
 
 let incr name = count name 1
 
 let set_int name v =
   match !current with
   | None -> ()
-  | Some st -> Hashtbl.replace st.gauges name (Int v)
+  | Some st -> locked (fun () -> Hashtbl.replace st.gauges name (Int v))
 
 let set_float name v =
   match !current with
   | None -> ()
-  | Some st -> Hashtbl.replace st.gauges name (Float v)
+  | Some st -> locked (fun () -> Hashtbl.replace st.gauges name (Float v))
 
 let counter_value name =
   match !current with
   | None -> 0
-  | Some st -> (
-    match Hashtbl.find_opt st.counters name with Some r -> !r | None -> 0)
+  | Some st ->
+    locked (fun () ->
+        match Hashtbl.find_opt st.counters name with Some r -> !r | None -> 0)
 
 let gauge_value name =
-  match !current with None -> None | Some st -> Hashtbl.find_opt st.gauges name
+  match !current with
+  | None -> None
+  | Some st -> locked (fun () -> Hashtbl.find_opt st.gauges name)
 
 (* ------------------------------------------------------------------ *)
 (* Sinks *)

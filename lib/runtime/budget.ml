@@ -31,7 +31,20 @@ let none =
 let is_limited b =
   b.deadline <> None || b.max_steps <> None || b.max_size <> None
 
-let sub b = { b with steps = 0; size = 0 }
+let sub ?timeout b =
+  match timeout with
+  | None -> { b with steps = 0; size = 0 }
+  | Some s ->
+    (* per-request wall allowance: the tighter of [now + s] and the
+       parent's own deadline, so a request timeout can never extend the
+       session's total time envelope *)
+    let d = Unix.gettimeofday () +. s in
+    let deadline, timeout_ms =
+      match b.deadline with
+      | Some pd when pd < d -> (Some pd, b.timeout_ms)
+      | _ -> (Some d, int_of_float (s *. 1000.))
+    in
+    { b with deadline; timeout_ms; steps = 0; size = 0 }
 
 let sub_scaled ~factor b =
   if factor < 1. then invalid_arg "Budget.sub_scaled: factor < 1";

@@ -25,11 +25,14 @@ val none : t
 
 val is_limited : t -> bool
 
-val sub : t -> t
+val sub : ?timeout:float -> t -> t
 (** A fresh budget for one attempt of a fallback chain: the step and size
     counters restart from zero with the same limits, but the absolute
     wall-clock deadline is shared with the parent, so retrying a request
-    never extends its total time allowance. *)
+    never extends its total time allowance.  With [timeout] (seconds) the
+    sub-budget additionally gets a deadline of [now + timeout], clamped to
+    the parent's own deadline — the per-request wall timeout of the
+    network server. *)
 
 val sub_scaled : factor:float -> t -> t
 (** Like {!sub}, but the step and size {e limits} are multiplied by

@@ -63,6 +63,10 @@ let parse_abox = register ~layer:"parse" ~default:Parse "parse.abox"
 let obs_sink_write = register ~layer:"obs" ~default:Internal "obs.sink.write"
 let service_request = register ~layer:"service" ~default:Budget "service.request"
 let service_cache = register ~layer:"service" ~default:Internal "service.cache"
+let serve_accept = register ~layer:"serve" ~default:Internal "serve.accept"
+let serve_connection =
+  register ~layer:"serve" ~default:Internal "serve.connection"
+let abox_snapshot = register ~layer:"data" ~default:Internal "abox.snapshot"
 
 let sites () = List.rev !registry
 let find_site name = List.find_opt (fun s -> s.name = name) !registry

@@ -80,6 +80,23 @@ val service_request : site
 val service_cache : site
 (** Guard on every rewriting-cache lookup of the query service. *)
 
+val serve_accept : site
+(** Guard in the network server's accept loop, hit once per accepted
+    connection before it is admitted: an injected fault sheds exactly that
+    connection (one [ERR] line, then close) and the listener keeps
+    accepting. *)
+
+val serve_connection : site
+(** Guard at the top of every connection handler: an injected fault
+    terminates exactly that connection with an [ERR] line — neighbouring
+    connections and the listener are unaffected. *)
+
+val abox_snapshot : site
+(** Guard on every copy-on-write ABox freeze ({!Obda_data.Abox.snapshot}
+    via the session): an injected fault surfaces as the in-protocol [ERR]
+    of the [ANSWER]/[BATCH] that requested the snapshot, leaving the
+    session usable. *)
+
 (** {1 Plans} *)
 
 type selector =

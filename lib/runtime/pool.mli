@@ -10,10 +10,12 @@
     index and the caller is responsible for partitioning the work (the NDL
     evaluator hash-partitions the facts of each clause's first body atom).
 
-    Worker bodies must not touch the global telemetry sink, the fault
-    registry or the symbol interner — all global mutable state in this
-    codebase is single-domain.  The evaluator obeys this by pre-resolving
-    symbols and suppressing observation inside workers. *)
+    The symbol interner and the telemetry sink are mutex-guarded, so
+    worker bodies may intern and observe (the network server's connection
+    workers do both).  The fault registry's activation counters are still
+    single-domain: deterministic fault plans require sequential request
+    execution, and the evaluator keeps [observe:false] inside workers so
+    per-clause counters stay exact. *)
 
 type t
 

@@ -1,0 +1,155 @@
+(* A small blocking client for the newline protocol: connect, send one
+   request line, read the complete (possibly multi-line) response.  Used by
+   [obda client], the load generator and the tests. *)
+
+module Error = Obda_runtime.Error
+
+type t = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  chunk : Bytes.t;
+  mutable at_eof : bool;
+}
+
+let connect address =
+  let fd =
+    match (address : Server.address) with
+    | Server.Unix_socket path ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         (try Unix.close fd with _ -> ());
+         raise e);
+      fd
+    | Server.Tcp (host, port) ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         let addr =
+           try Unix.inet_addr_of_string host
+           with _ -> (
+             match Unix.gethostbyname host with
+             | { Unix.h_addr_list = [||]; _ } ->
+               Error.internal "cannot resolve host %S" host
+             | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+         in
+         Unix.connect fd (Unix.ADDR_INET (addr, port))
+       with e ->
+         (try Unix.close fd with _ -> ());
+         raise e);
+      fd
+  in
+  { fd; buf = Buffer.create 256; chunk = Bytes.create 4096; at_eof = false }
+
+let close t = try Unix.close t.fd with _ -> ()
+
+let send t line =
+  let s = line ^ "\n" in
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write t.fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let extract_line t =
+  let s = Buffer.contents t.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+    Buffer.clear t.buf;
+    Buffer.add_substring t.buf s (i + 1) (String.length s - i - 1);
+    Some (strip_cr (String.sub s 0 i))
+
+let read_line t =
+  let rec loop () =
+    match extract_line t with
+    | Some line -> Some line
+    | None ->
+      if t.at_eof then
+        if Buffer.length t.buf > 0 then begin
+          let line = strip_cr (Buffer.contents t.buf) in
+          Buffer.clear t.buf;
+          Some line
+        end
+        else None
+      else begin
+        (match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+        | 0 -> t.at_eof <- true
+        | n -> Buffer.add_subbytes t.buf t.chunk 0 n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        loop ()
+      end
+  in
+  loop ()
+
+(* [key=N] field of a status line, if present. *)
+let int_field line key =
+  let prefix = key ^ "=" in
+  String.split_on_char ' ' line
+  |> List.find_map (fun tok ->
+         if String.starts_with ~prefix tok then
+           int_of_string_opt
+             (String.sub tok (String.length prefix)
+                (String.length tok - String.length prefix))
+         else None)
+
+let read_extra t n acc =
+  let rec go n acc =
+    if n = 0 then List.rev acc
+    else
+      match read_line t with
+      | None -> List.rev acc (* truncated response: return what we have *)
+      | Some line -> go (n - 1) (line :: acc)
+  in
+  go n acc
+
+(* Read one complete response.  Payload length is announced by the status
+   line: [OK answers=N] and [OK stats=N] are followed by N lines;
+   [OK batch=K] by K per-query headers, each [OK name=... answers=N]
+   header by its own N tuple lines.  Everything else is a single line. *)
+let read_response t =
+  match read_line t with
+  | None -> []
+  | Some first ->
+    let payload =
+      if String.starts_with ~prefix:"OK answers=" first
+         || String.starts_with ~prefix:"OK stats=" first
+      then
+        match int_field first "answers" with
+        | Some n -> read_extra t n []
+        | None -> (
+          match int_field first "stats" with
+          | Some n -> read_extra t n []
+          | None -> [])
+      else if String.starts_with ~prefix:"OK batch=" first then
+        match int_field first "batch" with
+        | None -> []
+        | Some k ->
+          let rec queries k acc =
+            if k = 0 then List.rev acc
+            else
+              match read_line t with
+              | None -> List.rev acc
+              | Some header ->
+                let tuples =
+                  match int_field header "answers" with
+                  | Some n -> read_extra t n []
+                  | None -> []
+                in
+                queries (k - 1) (List.rev_append (header :: tuples) acc)
+          in
+          queries k []
+      else []
+    in
+    first :: payload
+
+let request t line =
+  send t line;
+  read_response t

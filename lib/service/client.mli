@@ -1,0 +1,25 @@
+(** Blocking client for the {!Serve} newline protocol.
+
+    One request line in, one complete response out — the reader uses the
+    counts announced on status lines ([OK answers=N], [OK stats=N],
+    [OK batch=K] with per-query [answers=N] headers) to know how many
+    payload lines to consume, so it needs no timeouts and never
+    over-reads.  Not thread-safe: use one client per thread. *)
+
+type t
+
+val connect : Server.address -> t
+(** Raises [Unix.Unix_error] when the server is not there. *)
+
+val close : t -> unit
+
+val send : t -> string -> unit
+(** Write one request line (the newline is appended). *)
+
+val read_response : t -> string list
+(** Read one complete response: the status line plus its announced
+    payload lines.  [[]] on a closed connection; a truncated response
+    returns the lines that did arrive. *)
+
+val request : t -> string -> string list
+(** {!send} then {!read_response}. *)

@@ -53,7 +53,10 @@ let exec ?budget session (req : Protocol.request) =
       | Some p -> p
       | None -> Error.internal "no prepared query named %S" name
     in
-    let answers = Session.answer ?budget session prepared in
+    (* snapshot isolation: evaluate against a frozen revision, so
+       concurrent writers on other connections never tear this answer *)
+    let snap = Session.freeze session in
+    let answers = Session.answer_at ?budget session prepared snap in
     if Prepared.arity prepared = 0 then
       [ Printf.sprintf "OK boolean=%b" (answers <> []) ]
     else
@@ -69,8 +72,11 @@ let exec ?budget session (req : Protocol.request) =
        fails the whole request without spending evaluation budget *)
     let work = Array.of_list (List.map lookup names) in
     let n = Array.length work in
-    let consistent = Session.consistent session in
-    let abox = Session.abox session in
+    (* one frozen revision for the whole batch: every query of the request
+       sees the same data, whatever concurrent writers do *)
+    let snap = Session.freeze session in
+    let consistent = Session.consistent_at session snap in
+    let abox = Session.snapshot_abox snap in
     (* one sub-allowance per query (the wall deadline stays shared), taken
        on the calling domain before any worker starts *)
     let budgets =
@@ -117,23 +123,17 @@ let exec ?budget session (req : Protocol.request) =
                 :: List.map tuple_string answers)
             (Array.to_list work))
   | Protocol.Assert_facts text ->
+    (* parse outside the session lock; apply atomically, so a concurrent
+       freeze sees all of this request's facts or none of them *)
     let facts = Abox.to_facts (Parse.data_of_string text) in
-    let added =
-      List.fold_left
-        (fun n fact -> if Session.assert_fact session fact then n + 1 else n)
-        0 facts
-    in
+    let added = Session.assert_facts session facts in
     [
       Printf.sprintf "OK asserted added=%d atoms=%d" added
         (Abox.num_atoms (Session.abox session));
     ]
   | Protocol.Retract_facts text ->
     let facts = Abox.to_facts (Parse.data_of_string text) in
-    let removed =
-      List.fold_left
-        (fun n fact -> if Session.retract_fact session fact then n + 1 else n)
-        0 facts
-    in
+    let removed = Session.retract_facts session facts in
     [
       Printf.sprintf "OK retracted removed=%d atoms=%d" removed
         (Abox.num_atoms (Session.abox session));
@@ -158,7 +158,7 @@ let protocol_error msg line =
    and a [service.request] span; typed errors become in-protocol [ERR]
    lines, so a failed request — including a budget-exhausted one — leaves
    the session alive and usable. *)
-let handle_line session line =
+let handle_line ?budget session line =
   match Protocol.parse line with
   | Ok None -> ([], false)
   | Error msg ->
@@ -167,7 +167,11 @@ let handle_line session line =
   | Ok (Some req) ->
     Session.count_request session;
     let stop = req = Protocol.Quit in
-    let budget = Budget.sub (Session.budget session) in
+    let budget =
+      match budget with
+      | Some b -> b
+      | None -> Budget.sub (Session.budget session)
+    in
     (match
        Error.protect (fun () ->
            Obs.with_span "service.request"

@@ -13,6 +13,12 @@ val exec :
     [Obda_error] on failure (parse errors in payloads, unknown prepared
     names, budget exhaustion, inapplicable algorithms...).
 
+    [ANSWER] and [BATCH] evaluate against a {!Session.freeze} snapshot —
+    one frozen ABox revision per request — so concurrent [ASSERT]/
+    [RETRACT]/[LOAD] traffic on other connections can never tear an
+    answer set.  [ASSERT]/[RETRACT] apply all facts of the request
+    atomically under the session lock.
+
     [BATCH] answers several prepared queries in one request — concurrently
     on the session pool when the session has [jobs > 1] (each query under
     its own [Budget.sub] of the request budget; an armed fault plan forces
@@ -23,12 +29,14 @@ val exec :
     position) fails the whole request.  Responses are byte-identical for
     any [jobs]. *)
 
-val handle_line : Session.t -> string -> string list * bool
-(** Parse and execute one input line under a fresh {!Obda_runtime.Budget.sub}
-    of the session budget and a [service.request] telemetry span (with a
-    [verb] attribute), mapping errors to [ERR] lines.  The boolean is
-    [true] when the loop should stop ([QUIT]).  Blank and comment lines
-    yield no response. *)
+val handle_line :
+  ?budget:Obda_runtime.Budget.t -> Session.t -> string -> string list * bool
+(** Parse and execute one input line under a [service.request] telemetry
+    span (with a [verb] attribute), mapping errors to [ERR] lines.  The
+    request budget defaults to a fresh {!Obda_runtime.Budget.sub} of the
+    session budget; the network server passes one with a per-request wall
+    deadline instead.  The boolean is [true] when the loop should stop
+    ([QUIT]).  Blank and comment lines yield no response. *)
 
 val run :
   Session.t ->

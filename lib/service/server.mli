@@ -1,0 +1,87 @@
+(** The concurrent network server: the {!Serve} request loop over a Unix
+    or TCP socket, N connections at a time against one shared {!Session}.
+
+    Concurrency model — one domain pool of [connections + 1] workers:
+    worker 0 accepts, the others each drive one connection's serve loop.
+    The shared session must have [jobs = 1] (enforced by {!create}); the
+    server gets its parallelism across connections, and every [ANSWER] /
+    [BATCH] evaluates against a copy-on-write {!Session.freeze} snapshot,
+    so writers on other connections never tear an answer set.
+
+    Robustness:
+    - {b Admission control} — at most [max_inflight] requests execute at
+      once; excess requests are shed with an in-protocol
+      [ERR class=overloaded] line (the connection stays open).  [QUIT] /
+      [EXIT] and blank/comment lines are exempt, so clients can always
+      leave.  A full pending-connection queue (> [backlog]) sheds the
+      whole connection the same way.
+    - {b Timeouts} — [idle_timeout] closes a connection that sends nothing
+      (after an [ERR class=budget resource=idle-seconds] line);
+      [request_timeout] caps each request's wall clock via
+      {!Obda_runtime.Budget.sub}'s deadline.
+    - {b Graceful shutdown} — {!request_stop} is async-signal-safe (one
+      atomic write): the accept loop stops accepting, requests in flight
+      finish, connections close, queued-but-unserved descriptors are
+      dropped, telemetry is flushed, and {!run} returns the requested
+      exit code.
+
+    Fault sites: [serve.accept] sheds exactly one incoming connection
+    (listener survives), [serve.connection] kills exactly one established
+    connection (server keeps serving), [abox.snapshot] fails the freeze
+    inside one request (in-protocol [ERR]). *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+type t
+
+val create :
+  ?connections:int ->
+  ?backlog:int ->
+  ?max_inflight:int ->
+  ?idle_timeout:float ->
+  ?request_timeout:float ->
+  address ->
+  Session.t ->
+  t
+(** Bind and listen immediately (clients may connect before {!run} starts
+    accepting).  [connections] (default 4) concurrent connection workers;
+    [backlog] (default 16) bounds the accepted-but-unclaimed queue;
+    [max_inflight] (default [connections]) bounds concurrently executing
+    requests; timeouts are in seconds (default: none).  [Tcp (host, 0)]
+    binds an ephemeral port — read it back with {!address}.  Raises
+    [Invalid_argument] on a [jobs <> 1] session or nonsensical bounds,
+    and [Unix.Unix_error] when binding fails (stale socket file, port in
+    use). *)
+
+val run : t -> int
+(** Serve until {!request_stop}.  Installs the STATS hook (see
+    {!stats_rows}), ignores [SIGPIPE] for the duration, then runs the
+    accept loop and connection workers on an internal domain pool.
+    Returns the exit code passed to {!request_stop} (0 for {!stop});
+    the listener is closed and a Unix socket path unlinked on the way
+    out.  Not reentrant. *)
+
+val request_stop : t -> code:int -> unit
+(** Begin graceful shutdown; {!run} will return [code] (the first call
+    wins).  One atomic write — async-signal-safe, callable from a
+    [Sys.signal] handler, another domain or a thread; the accept loop
+    notices within one poll tick (0.1 s) and wakes the parked workers. *)
+
+val stop : t -> unit
+(** [request_stop ~code:0]. *)
+
+val address : t -> address
+(** The bound address, with an ephemeral TCP port resolved to its actual
+    value. *)
+
+val address_string : address -> string
+(** ["unix:PATH"] or ["tcp:HOST:PORT"] — log/display form. *)
+
+val session : t -> Session.t
+
+val stats_rows : t -> (string * string) list
+(** The server rows appended to [STATS] via {!Session.set_stats_hook}:
+    [server.uptime-s], [server.connections.accepted] / [.active] /
+    [.shed], [server.requests.served] / [.shed], and
+    [server.snapshot.revisions] (the {!Session.frozen_span} as ["lo-hi"],
+    or ["-"] before the first freeze). *)

@@ -1,5 +1,14 @@
 (* A service session: resident ontology, mutable data store, prepared
-   queries and the rewriting cache. *)
+   queries and the rewriting cache.
+
+   Sessions are shared by the concurrent network server, so every state
+   transition — loads, fact mutations, prepared-registry and cache updates,
+   consistency-memo writes — happens under the session lock.  Reads that
+   feed evaluation go through [freeze]: an O(1) copy-on-write ABox snapshot
+   taken under the lock, after which evaluation proceeds with no lock held
+   at all.  The consistency memo is keyed by (generation, revision) —
+   generation bumps on every LOAD — so verdicts computed against different
+   frozen revisions never collide. *)
 
 module Omq = Obda_rewriting.Omq
 module Tbox = Obda_ontology.Tbox
@@ -7,16 +16,20 @@ module Abox = Obda_data.Abox
 module Eval = Obda_ndl.Eval
 module Budget = Obda_runtime.Budget
 module Error = Obda_runtime.Error
+module Fault = Obda_runtime.Fault
 module Pool = Obda_runtime.Pool
 module Obs = Obda_obs.Obs
 
 type t = {
+  lock : Mutex.t;
   mutable tbox : Tbox.t option;
   mutable abox : Abox.t;
-  mutable consistency : (int * bool) option;
-      (* ABox revision at the last check, and its verdict.  The pair is
-         valid only while the revision matches: any ASSERT/RETRACT/LOAD
-         bumps the revision and implicitly invalidates it. *)
+  mutable generation : int;
+      (* bumped on LOAD ONTOLOGY / LOAD DATA: revisions of different
+         stores (or against different TBoxes) must not share memo slots *)
+  consistency : (int * int, bool) Hashtbl.t;
+      (* (generation, revision) -> verdict; bounded (reset over
+         [memo_bound]), idempotent to racing writers *)
   prepared : (string, Prepared.t) Hashtbl.t;
   cache : Cache.t;
   budget : Budget.t;
@@ -24,21 +37,40 @@ type t = {
   mutable pool : Pool.t option;
       (* created on first use so a [--jobs 1] session never spawns domains *)
   mutable requests : int;
+  mutable frozen_span : (int * int) option;
+      (* min/max ABox revision ever served through [freeze] *)
+  mutable stats_hook : (unit -> (string * string) list) option;
 }
+
+let memo_bound = 128
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
 
 let create ?(budget = Budget.none) ?cache_entries ?cache_weight ?(jobs = 1) ()
     =
   if jobs < 1 then invalid_arg "Session.create: jobs < 1";
   {
+    lock = Mutex.create ();
     tbox = None;
     abox = Abox.create ();
-    consistency = None;
+    generation = 0;
+    consistency = Hashtbl.create 16;
     prepared = Hashtbl.create 16;
     cache = Cache.create ?max_entries:cache_entries ?max_weight:cache_weight ();
     budget;
     jobs;
     pool = None;
     requests = 0;
+    frozen_span = None;
+    stats_hook = None;
   }
 
 let budget t = t.budget
@@ -50,59 +82,117 @@ let jobs t = t.jobs
 let pool t =
   if t.jobs <= 1 then None
   else
-    match t.pool with
-    | Some _ as p -> p
-    | None ->
-      let p = Pool.create ~jobs:t.jobs in
-      t.pool <- Some p;
-      Some p
+    with_lock t (fun () ->
+        match t.pool with
+        | Some _ as p -> p
+        | None ->
+          let p = Pool.create ~jobs:t.jobs in
+          t.pool <- Some p;
+          Some p)
 
 let close t =
-  (match t.pool with Some p -> Pool.shutdown p | None -> ());
-  t.pool <- None
+  let p = with_lock t (fun () -> let p = t.pool in t.pool <- None; p) in
+  match p with Some p -> Pool.shutdown p | None -> ()
 
-let count_request t = t.requests <- t.requests + 1
+let count_request t = with_lock t (fun () -> t.requests <- t.requests + 1)
 let requests t = t.requests
 
+let set_stats_hook t hook = with_lock t (fun () -> t.stats_hook <- Some hook)
+
 let load_ontology t tbox =
-  t.tbox <- Some tbox;
-  (* Prepared queries were rewritten against the previous TBox. *)
-  Hashtbl.reset t.prepared;
-  t.consistency <- None
+  with_lock t (fun () ->
+      t.tbox <- Some tbox;
+      (* Prepared queries were rewritten against the previous TBox. *)
+      Hashtbl.reset t.prepared;
+      t.generation <- t.generation + 1;
+      Hashtbl.reset t.consistency)
 
 let load_data t abox =
-  t.abox <- abox;
-  t.consistency <- None
+  with_lock t (fun () ->
+      t.abox <- abox;
+      t.generation <- t.generation + 1;
+      Hashtbl.reset t.consistency)
 
-let assert_fact t fact =
-  if Abox.mem_fact t.abox fact then false
-  else begin
-    Abox.add_fact t.abox fact;
-    true
-  end
+let assert_facts t facts =
+  with_lock t (fun () ->
+      List.fold_left
+        (fun n fact ->
+          if Abox.mem_fact t.abox fact then n
+          else begin
+            Abox.add_fact t.abox fact;
+            n + 1
+          end)
+        0 facts)
 
-let retract_fact t fact = Abox.remove_fact t.abox fact
+let retract_facts t facts =
+  with_lock t (fun () ->
+      List.fold_left
+        (fun n fact -> if Abox.remove_fact t.abox fact then n + 1 else n)
+        0 facts)
 
-let consistent t =
-  match t.tbox with
+let assert_fact t fact = assert_facts t [ fact ] = 1
+let retract_fact t fact = retract_facts t [ fact ] = 1
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type snapshot = {
+  sdata : Abox.t;
+  srev : int;
+  sgen : int;
+  stbox : Tbox.t option;
+}
+
+let snapshot_abox s = s.sdata
+let snapshot_revision s = s.srev
+
+let freeze t =
+  Fault.hit Fault.abox_snapshot;
+  with_lock t (fun () ->
+      let rev = Abox.revision t.abox in
+      t.frozen_span <-
+        (match t.frozen_span with
+        | None -> Some (rev, rev)
+        | Some (lo, hi) -> Some (min lo rev, max hi rev));
+      {
+        sdata = Abox.snapshot t.abox;
+        srev = rev;
+        sgen = t.generation;
+        stbox = t.tbox;
+      })
+
+let frozen_span t = with_lock t (fun () -> t.frozen_span)
+
+let consistent_at t (s : snapshot) =
+  match s.stbox with
   | None -> true
-  | Some tbox ->
-    let rev = Abox.revision t.abox in
-    (match t.consistency with
-    | Some (r, verdict) when r = rev -> verdict
-    | _ ->
+  | Some tbox -> (
+    let key = (s.sgen, s.srev) in
+    match with_lock t (fun () -> Hashtbl.find_opt t.consistency key) with
+    | Some verdict -> verdict
+    | None ->
+      (* computed outside the lock on the frozen tables; racing readers of
+         the same revision compute the same verdict, so the blind replace
+         below is idempotent *)
       let verdict =
         Obs.with_span "chase.consistency" (fun () ->
-            Abox.consistent tbox t.abox)
+            Abox.consistent tbox s.sdata)
       in
-      t.consistency <- Some (rev, verdict);
+      with_lock t (fun () ->
+          if Hashtbl.length t.consistency >= memo_bound then
+            Hashtbl.reset t.consistency;
+          Hashtbl.replace t.consistency key verdict);
       verdict)
 
+let consistent t = consistent_at t (freeze t)
+
 let consistency_cached t =
-  match (t.tbox, t.consistency) with
-  | None, _ -> Some true
-  | Some _, Some (r, verdict) when r = Abox.revision t.abox -> Some verdict
-  | _ -> None
+  match t.tbox with
+  | None -> Some true
+  | Some _ ->
+    with_lock t (fun () ->
+        Hashtbl.find_opt t.consistency
+          (t.generation, Abox.revision t.abox))
 
 let require_tbox t =
   match t.tbox with
@@ -111,46 +201,60 @@ let require_tbox t =
 
 let prepare ?budget t ~name ?algorithm cq =
   let tbox = require_tbox t in
-  let prepared, origin =
-    Prepared.prepare ?budget ~cache:t.cache ~name ?algorithm tbox cq
-  in
-  Hashtbl.replace t.prepared name prepared;
-  (prepared, origin)
+  with_lock t (fun () ->
+      let prepared, origin =
+        Prepared.prepare ?budget ~cache:t.cache ~name ?algorithm tbox cq
+      in
+      Hashtbl.replace t.prepared name prepared;
+      (prepared, origin))
 
-let find_prepared t name = Hashtbl.find_opt t.prepared name
+let find_prepared t name =
+  with_lock t (fun () -> Hashtbl.find_opt t.prepared name)
 
 let prepared_names t =
-  Hashtbl.fold (fun name _ acc -> name :: acc) t.prepared []
+  with_lock t (fun () ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) t.prepared [])
   |> List.sort compare
 
-let answer ?budget t p =
-  if not (consistent t) then Omq.all_tuples t.abox (Prepared.arity p)
-  else Eval.answers ?pool:(pool t) ?budget (Prepared.rewriting p) t.abox
+let answer_at ?budget t p s =
+  if not (consistent_at t s) then Omq.all_tuples s.sdata (Prepared.arity p)
+  else Eval.answers ?pool:(pool t) ?budget (Prepared.rewriting p) s.sdata
+
+let answer ?budget t p = answer_at ?budget t p (freeze t)
 
 let stats t =
-  let cache = t.cache in
-  let consistency =
-    match consistency_cached t with
-    | Some true -> "yes"
-    | Some false -> "no"
-    | None -> "unknown"
+  let base =
+    with_lock t (fun () ->
+        let cache = t.cache in
+        let consistency =
+          match
+            if t.tbox = None then Some true
+            else
+              Hashtbl.find_opt t.consistency
+                (t.generation, Abox.revision t.abox)
+          with
+          | Some true -> "yes"
+          | Some false -> "no"
+          | None -> "unknown"
+        in
+        [
+          ("requests", string_of_int t.requests);
+          ("jobs", string_of_int t.jobs);
+          ("ontology.loaded", if t.tbox = None then "no" else "yes");
+          ( "ontology.axioms",
+            match t.tbox with
+            | None -> "0"
+            | Some tb -> string_of_int (List.length (Tbox.axioms tb)) );
+          ("data.atoms", string_of_int (Abox.num_atoms t.abox));
+          ("data.individuals", string_of_int (Abox.num_individuals t.abox));
+          ("data.revision", string_of_int (Abox.revision t.abox));
+          ("consistent", consistency);
+          ("prepared", string_of_int (Hashtbl.length t.prepared));
+          ("cache.entries", string_of_int (Cache.length cache));
+          ("cache.weight", string_of_int (Cache.weight cache));
+          ("cache.hits", string_of_int (Cache.hits cache));
+          ("cache.misses", string_of_int (Cache.misses cache));
+          ("cache.evictions", string_of_int (Cache.evictions cache));
+        ])
   in
-  [
-    ("requests", string_of_int t.requests);
-    ("jobs", string_of_int t.jobs);
-    ("ontology.loaded", if t.tbox = None then "no" else "yes");
-    ( "ontology.axioms",
-      match t.tbox with
-      | None -> "0"
-      | Some tb -> string_of_int (List.length (Tbox.axioms tb)) );
-    ("data.atoms", string_of_int (Abox.num_atoms t.abox));
-    ("data.individuals", string_of_int (Abox.num_individuals t.abox));
-    ("data.revision", string_of_int (Abox.revision t.abox));
-    ("consistent", consistency);
-    ("prepared", string_of_int (Hashtbl.length t.prepared));
-    ("cache.entries", string_of_int (Cache.length cache));
-    ("cache.weight", string_of_int (Cache.weight cache));
-    ("cache.hits", string_of_int (Cache.hits cache));
-    ("cache.misses", string_of_int (Cache.misses cache));
-    ("cache.evictions", string_of_int (Cache.evictions cache));
-  ]
+  match t.stats_hook with None -> base | Some hook -> base @ hook ()

@@ -3,10 +3,16 @@
     A session holds a resident ontology, a mutable ABox store, the
     prepared queries registered so far and the content-addressed rewriting
     {!Cache} behind them.  Consistency of (T, A) is checked lazily and
-    memoised against {!Obda_data.Abox.revision}: answering many queries
-    over unchanged data runs the chase-based check once, and any
-    [ASSERT]/[RETRACT]/[LOAD] invalidates the memo by bumping the
-    revision. *)
+    memoised per (generation, revision) — generation bumps on every load,
+    revision on every effective mutation — so answering many queries over
+    unchanged data runs the chase-based check once.
+
+    Sessions are safe to share across domains: every mutation happens
+    under an internal lock, and reads that feed evaluation go through
+    {!freeze}, an O(1) copy-on-write snapshot of the ABox
+    ({!Obda_data.Abox.snapshot}).  An [ANSWER]/[BATCH] evaluated via
+    {!answer_at} sees exactly the frozen revision, no matter how many
+    [ASSERT]/[RETRACT] writers advance the live store concurrently. *)
 
 module Omq := Obda_rewriting.Omq
 
@@ -24,7 +30,9 @@ val create :
     evaluation parallelism: with [jobs > 1] a worker {!Obda_runtime.Pool}
     is created on first use and every {!answer} (and the serve loop's
     [BATCH] verb) evaluates on it — answers are byte-identical to
-    [jobs = 1].  Raises [Invalid_argument] when [jobs < 1]. *)
+    [jobs = 1].  The network server requires [jobs = 1] (it parallelises
+    across connections instead; the pool's [run] is not reentrant).
+    Raises [Invalid_argument] when [jobs < 1]. *)
 
 val budget : t -> Obda_runtime.Budget.t
 val cache : t -> Cache.t
@@ -46,11 +54,12 @@ val requests : t -> int
 
 val load_ontology : t -> Obda_ontology.Tbox.t -> unit
 (** Replace the resident ontology.  Drops all prepared queries (they were
-    rewritten against the old TBox) and the consistency memo; the
-    rewriting cache survives, since its keys digest the TBox. *)
+    rewritten against the old TBox), bumps the generation and clears the
+    consistency memo; the rewriting cache survives, since its keys digest
+    the TBox. *)
 
 val load_data : t -> Obda_data.Abox.t -> unit
-(** Replace the data store. *)
+(** Replace the data store (bumps the generation). *)
 
 val assert_fact : t -> Obda_data.Abox.fact -> bool
 (** Add one fact; [false] if it was already present (no revision bump). *)
@@ -58,14 +67,46 @@ val assert_fact : t -> Obda_data.Abox.fact -> bool
 val retract_fact : t -> Obda_data.Abox.fact -> bool
 (** Remove one fact; [false] if it was absent. *)
 
+val assert_facts : t -> Obda_data.Abox.fact list -> int
+(** Add a list of facts atomically — one lock acquisition, so a concurrent
+    {!freeze} observes either none or all of them.  Returns the number
+    actually added. *)
+
+val retract_facts : t -> Obda_data.Abox.fact list -> int
+(** Remove a list of facts atomically; returns the number removed. *)
+
+(** {1 Snapshots} *)
+
+type snapshot
+(** A frozen view of the session's data: the copy-on-write ABox snapshot,
+    its revision, the generation and the TBox it was taken under.  Reading
+    a snapshot needs no synchronisation. *)
+
+val freeze : t -> snapshot
+(** Take a snapshot of the current store (O(1); under the session lock).
+    Guarded by the [abox.snapshot] fault site.  Updates the served
+    revision span reported by {!frozen_span}. *)
+
+val snapshot_abox : snapshot -> Obda_data.Abox.t
+val snapshot_revision : snapshot -> int
+
+val frozen_span : t -> (int * int) option
+(** [Some (lo, hi)] — the smallest and largest ABox revision ever handed
+    out by {!freeze}; [None] before the first freeze.  The [STATS] server
+    rows render this as the snapshot revision span. *)
+
+val consistent_at : t -> snapshot -> bool
+(** Whether (T, A) is consistent at the snapshot's revision, from the
+    (generation, revision) memo when available, recomputed on the frozen
+    tables (under a [chase.consistency] span) otherwise.  With no ontology
+    loaded this is trivially [true]. *)
+
 val consistent : t -> bool
-(** Whether (T, A) is consistent, from the memo when the ABox revision is
-    unchanged, recomputed (under a [chase.consistency] span) otherwise.
-    With no ontology loaded this is trivially [true]. *)
+(** {!consistent_at} on a fresh {!freeze} of the live store. *)
 
 val consistency_cached : t -> bool option
-(** The memoised verdict, or [None] if the next {!consistent} call will
-    recompute. *)
+(** The memoised verdict for the live store's current (generation,
+    revision), or [None] if the next {!consistent} call will recompute. *)
 
 val prepare :
   ?budget:Obda_runtime.Budget.t ->
@@ -75,22 +116,34 @@ val prepare :
   Obda_cq.Cq.t ->
   Prepared.t * [ `Hit | `Miss ]
 (** Parse-free half of [PREPARE]: classify, rewrite through the cache and
-    register under [name] (replacing any previous binding).  Raises
-    [Obda_error (Internal _)] when no ontology is loaded. *)
+    register under [name] (replacing any previous binding), all under the
+    session lock.  Raises [Obda_error (Internal _)] when no ontology is
+    loaded. *)
 
 val find_prepared : t -> string -> Prepared.t option
 val prepared_names : t -> string list
 
+val answer_at :
+  ?budget:Obda_runtime.Budget.t ->
+  t -> Prepared.t -> snapshot -> Obda_syntax.Symbol.t list list
+(** Certain answers of a prepared query over the frozen snapshot: the
+    memoised consistency check at the snapshot's revision, then NDL
+    evaluation of the stored rewriting — no re-parsing, no re-rewriting,
+    and no lock held during evaluation.  On inconsistent (T, A), every
+    tuple over ind(A) of the query's arity, per the convention at the end
+    of Section 2 of the paper. *)
+
 val answer :
   ?budget:Obda_runtime.Budget.t -> t -> Prepared.t -> Obda_syntax.Symbol.t list list
-(** Certain answers of a prepared query over the current store: the
-    memoised consistency check, then NDL evaluation of the stored
-    rewriting — no re-parsing, no re-rewriting, on the session's worker
-    pool when [jobs > 1].  On inconsistent (T, A), every tuple over ind(A)
-    of the query's arity, per the convention at the end of Section 2 of
-    the paper. *)
+(** {!answer_at} on a fresh {!freeze} of the live store. *)
+
+val set_stats_hook : t -> (unit -> (string * string) list) -> unit
+(** Register extra rows appended to {!stats} — the network server's
+    uptime/connection/shed/revision-span rows.  Plain sessions have no
+    hook, so existing [STATS] fixtures keep their exact row count. *)
 
 val stats : t -> (string * string) list
 (** Observable session state as ordered key/value pairs (the [STATS]
     verb): request count, ontology/data sizes, data revision, consistency
-    memo state, prepared count and cache statistics. *)
+    memo state, prepared count and cache statistics — plus the rows of the
+    {!set_stats_hook} hook, when one is registered. *)

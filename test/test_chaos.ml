@@ -248,6 +248,143 @@ let service_case site_name =
     "rerun differs from baseline";
   site_name
 
+(* [abox.snapshot] fires inside the freeze an ANSWER takes before
+   evaluating: an in-protocol ERR, the serve loop continues, and the same
+   request succeeds on retry — the session is never poisoned mid-freeze. *)
+let snapshot_case () =
+  let site_name = "abox.snapshot" in
+  let module Session = Obda_service.Session in
+  let module Serve = Obda_service.Serve in
+  let cq_text = String.trim (String.concat " " (read_lines (data "seq.cq"))) in
+  let fresh () =
+    let s = Session.create () in
+    Session.load_ontology s
+      (Obda_parse.Parse.ontology_of_file (data "seq.onto"));
+    Session.load_data s (Obda_parse.Parse.data_of_file (data "seq.data"));
+    ignore (Serve.handle_line s ("PREPARE q " ^ cq_text));
+    s
+  in
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let session = fresh () in
+  let baseline = fst (Serve.handle_line session "ANSWER q") in
+  check
+    (site_name ^ ": fault-free baseline")
+    (match baseline with l :: _ -> starts_with "OK answers=" l | [] -> false)
+    (String.concat " | " baseline);
+  (match Fault.parse_plan (site_name ^ "@1") with
+  | Error e -> check (site_name ^ ": plan parses") false e
+  | Ok plan ->
+    Fault.arm plan;
+    let lines, stop = Serve.handle_line session "ANSWER q" in
+    check
+      (site_name ^ ": in-protocol ERR on the freeze")
+      (match lines with l :: _ -> starts_with "ERR class=internal" l | [] -> false)
+      (String.concat " | " lines);
+    check (site_name ^ ": loop continues past the fault") (not stop)
+      "QUIT signalled";
+    let retry = fst (Serve.handle_line session "ANSWER q") in
+    let fired = Fault.fired () in
+    Fault.disarm ();
+    check
+      (site_name ^ ": retry answers at the live revision")
+      (retry = baseline) "retry differs from baseline";
+    check
+      (site_name ^ ": fired activation recorded")
+      (List.exists
+         (fun (s, n) -> Fault.site_name s = site_name && n = 1)
+         fired)
+      "activation 1 not in Fault.fired ()");
+  site_name
+
+(* The network-server sites guard the accept loop ([serve.accept]) and the
+   per-connection handler ([serve.connection]): an injected fault shears
+   off exactly one connection — the shed client reads a single ERR line
+   and then EOF — while the listener survives and keeps serving.  Driven
+   against an in-process server over a Unix socket. *)
+let server_case site_name =
+  let module Session = Obda_service.Session in
+  let module Server = Obda_service.Server in
+  let module Client = Obda_service.Client in
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let session = Session.create () in
+  Session.load_ontology session
+    (Obda_parse.Parse.ontology_of_file (data "seq.onto"));
+  Session.load_data session (Obda_parse.Parse.data_of_file (data "seq.data"));
+  let path = Filename.temp_file "obda-chaos" ".sock" in
+  Sys.remove path;
+  let address = Server.Unix_socket path in
+  let server = Server.create ~connections:2 address session in
+  let code = ref (-2) in
+  let thread = Thread.create (fun () -> code := Server.run server) () in
+  (* fault-free baseline connection *)
+  let c = Client.connect address in
+  let baseline = Client.request c "STATS" in
+  check
+    (site_name ^ ": fault-free baseline")
+    (match baseline with l :: _ -> starts_with "OK stats=" l | [] -> false)
+    (String.concat " | " baseline);
+  ignore (Client.request c "QUIT");
+  Client.close c;
+  (match Fault.parse_plan (site_name ^ "@1") with
+  | Error e -> check (site_name ^ ": plan parses") false e
+  | Ok plan ->
+    Fault.arm plan;
+    Thread.delay 0.05;
+    (* the faulted connection gets one ERR line, then EOF *)
+    let c1 = Client.connect address in
+    let shed = Client.read_response c1 in
+    check
+      (site_name ^ ": exactly one connection killed with an ERR line")
+      (match shed with [ l ] -> starts_with "ERR class=internal" l | _ -> false)
+      (String.concat " | " shed);
+    check
+      (site_name ^ ": killed connection reads EOF")
+      (Client.read_response c1 = [])
+      "more data after the ERR";
+    Client.close c1;
+    (* activation 1 has passed: the next connection is served normally
+       with the plan still armed — the listener survived *)
+    let c2 = Client.connect address in
+    let again = Client.request c2 "STATS" in
+    check
+      (site_name ^ ": server keeps serving")
+      (match again with l :: _ -> starts_with "OK stats=" l | [] -> false)
+      (String.concat " | " again);
+    ignore (Client.request c2 "QUIT");
+    Client.close c2;
+    (* the hit counter was bumped on another domain; give the publication
+       a moment before reading it from this one *)
+    let rec fired_eventually tries =
+      let hit =
+        List.exists
+          (fun (s, n) -> Fault.site_name s = site_name && n = 1)
+          (Fault.fired ())
+      in
+      if hit || tries = 0 then hit
+      else begin
+        Thread.delay 0.02;
+        fired_eventually (tries - 1)
+      end
+    in
+    let hit = fired_eventually 50 in
+    Fault.disarm ();
+    check (site_name ^ ": fired activation recorded") hit
+      "activation 1 not in Fault.fired ()");
+  Server.stop server;
+  Thread.join thread;
+  check
+    (site_name ^ ": graceful stop after the fault")
+    (!code = 0)
+    (Printf.sprintf "run returned %d" !code);
+  Session.close session;
+  site_name
+
 let () =
   let covered =
     [
@@ -273,6 +410,10 @@ let () =
       (* service layer: faults become in-protocol ERR lines *)
       service_case "service.request";
       service_case "service.cache";
+      snapshot_case ();
+      (* network-server sites: an in-process server over a Unix socket *)
+      server_case "serve.accept";
+      server_case "serve.connection";
     ]
   in
   (* exhaustiveness: every registered site must have a chaos case *)

@@ -109,6 +109,64 @@ let test_generator () =
   check_int "deterministic for a fixed seed" (Abox.num_atoms a)
     (Abox.num_atoms a')
 
+(* Copy-on-write snapshots: a snapshot is a frozen view — mutations on
+   either side never show through, no-op mutations stay cheap no-ops, and
+   revisions advance only on the mutated store. *)
+let test_snapshot_isolation () =
+  let a = abox_of_facts [ `U ("A", "c1"); `B ("R", "c1", "c2") ] in
+  let r0 = Abox.revision a in
+  let s = Abox.snapshot a in
+  check_int "snapshot shares the revision" r0 (Abox.revision s);
+  check_int "snapshot shares the atoms" 2 (Abox.num_atoms s);
+  (* writer side: the live store moves on, the snapshot does not *)
+  Abox.add_unary a (sym "A") (sym "c3");
+  check "live store sees the add" true (Abox.mem_unary a (sym "A") (sym "c3"));
+  check "snapshot does not" false (Abox.mem_unary s (sym "A") (sym "c3"));
+  check_int "snapshot atom count frozen" 2 (Abox.num_atoms s);
+  check_int "snapshot revision frozen" r0 (Abox.revision s);
+  check "live revision advanced" true (Abox.revision a > r0);
+  (* removals do not reach the snapshot either *)
+  check "retract from the live store" true
+    (Abox.remove_binary a (sym "R") (sym "c1") (sym "c2"));
+  check "snapshot keeps the edge" true
+    (Abox.mem_binary s (sym "R") (sym "c1") (sym "c2"));
+  check "and the inverse adjacency" true
+    (Abox.mem_role s (role "R-") (sym "c2") (sym "c1"))
+
+let test_snapshot_mutable_both_ways () =
+  let a = abox_of_facts [ `U ("A", "c1") ] in
+  let s = Abox.snapshot a in
+  (* the snapshot itself is a first-class store: mutating it unshares
+     without disturbing the original *)
+  Abox.add_unary s (sym "B") (sym "c1");
+  check "snapshot sees its own write" true (Abox.mem_unary s (sym "B") (sym "c1"));
+  check "original does not" false (Abox.mem_unary a (sym "B") (sym "c1"));
+  check_int "original atom count untouched" 1 (Abox.num_atoms a);
+  (* snapshot-of-snapshot chains behave the same way *)
+  let s2 = Abox.snapshot s in
+  Abox.add_unary s2 (sym "C") (sym "c1");
+  check "grandchild write is private" false (Abox.mem_unary s (sym "C") (sym "c1"));
+  check_int "grandchild has all three atoms" 3 (Abox.num_atoms s2)
+
+let test_snapshot_noop_mutations () =
+  let a = abox_of_facts [ `U ("A", "c1"); `B ("R", "c1", "c2") ] in
+  let r0 = Abox.revision a in
+  let s = Abox.snapshot a in
+  (* ineffective mutations must not bump the revision (and, internally,
+     must not pay the unshare copy) *)
+  Abox.add_unary a (sym "A") (sym "c1");
+  check "removing an absent fact is false" false
+    (Abox.remove_unary a (sym "B") (sym "c1"));
+  check "removing from an absent relation is false" false
+    (Abox.remove_binary a (sym "S") (sym "c1") (sym "c2"));
+  check_int "no-ops leave the revision alone" r0 (Abox.revision a);
+  check_int "snapshot untouched" 2 (Abox.num_atoms s);
+  (* individuals recompute correctly on the unshared copy after a retract *)
+  check "retract c2's only atom" true
+    (Abox.remove_binary a (sym "R") (sym "c1") (sym "c2"));
+  check_int "live individuals recomputed" 1 (Abox.num_individuals a);
+  check_int "snapshot individuals frozen" 2 (Abox.num_individuals s)
+
 let test_scale () =
   let p = { Generate.vertices = 1000; edge_prob = 0.05; concept_prob = 0.1 } in
   let s = Generate.scale 0.1 p in
@@ -130,5 +188,10 @@ let suites =
         Alcotest.test_case "role consistency" `Quick test_consistency_roles;
         Alcotest.test_case "random generator" `Quick test_generator;
         Alcotest.test_case "scaling" `Quick test_scale;
+        Alcotest.test_case "snapshot isolation" `Quick test_snapshot_isolation;
+        Alcotest.test_case "snapshot mutable both ways" `Quick
+          test_snapshot_mutable_both_ways;
+        Alcotest.test_case "snapshot no-op mutations" `Quick
+          test_snapshot_noop_mutations;
       ] );
   ]

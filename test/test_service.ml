@@ -541,6 +541,239 @@ let test_serve_batch_fault_armed_forces_sequential () =
             check_int "armed plan forces the observed sequential path" 2
               sequential))
 
+(* ------------------------------------------------------------------ *)
+(* Snapshots and the stats hook *)
+
+let test_session_freeze_isolation () =
+  let s = Session.create () in
+  Session.load_ontology s (tbox ());
+  Session.load_data s (abox ());
+  let p, _ = Session.prepare s ~name:"q" (cq_a ()) in
+  let snap = Session.freeze s in
+  check_int "frozen answers" 2 (List.length (Session.answer_at s p snap));
+  check_int "writer adds one fact" 1
+    (Session.assert_facts s
+       [ Abox.Concept_assertion (Symbol.intern "A", Symbol.intern "c") ]);
+  (* the snapshot is immune to the concurrent write... *)
+  check_int "snapshot still answers 2" 2
+    (List.length (Session.answer_at s p snap));
+  (* ...while a fresh freeze sees it *)
+  check_int "live store answers 3" 3 (List.length (Session.answer s p));
+  match Session.frozen_span s with
+  | Some (lo, hi) ->
+    check "span covers both served revisions" true (hi > lo)
+  | None -> Alcotest.fail "no frozen span after two freezes"
+
+let test_session_stats_hook () =
+  let s = Session.create () in
+  check_int "plain session: exactly 14 rows" 14 (List.length (Session.stats s));
+  Session.set_stats_hook s (fun () -> [ ("x.one", "1"); ("x.two", "2") ]);
+  let rows = Session.stats s in
+  check_int "hook rows appended" 16 (List.length rows);
+  check_str "base rows first" "requests" (fst (List.hd rows));
+  check_str "hook rows last" "x.two" (fst (List.hd (List.rev rows)))
+
+let test_budget_sub_timeout () =
+  let b = Budget.create ~timeout:10. () in
+  (match Budget.wall_remaining (Budget.sub ~timeout:0.05 b) with
+  | Some r -> check "tighter request deadline wins" true (r <= 0.05 +. 1e-3)
+  | None -> Alcotest.fail "sub-budget lost the deadline");
+  (match Budget.wall_remaining (Budget.sub ~timeout:30. b) with
+  | Some r -> check "parent deadline kept when tighter" true (r <= 10.)
+  | None -> Alcotest.fail "sub-budget lost the deadline");
+  match Budget.wall_remaining (Budget.sub ~timeout:0.05 Budget.none) with
+  | Some r -> check "timeout applies to an unlimited parent" true (r <= 0.05 +. 1e-3)
+  | None -> Alcotest.fail "timeout dropped on unlimited parent"
+
+(* Property: every answer set observed by a reader racing the writers
+   equals the sequential evaluation at SOME revision the writer actually
+   produced — the snapshot-isolation acceptance criterion. *)
+let test_race_readers_vs_writers () =
+  let module Pool = Obda_runtime.Pool in
+  let n_ops = 40 in
+  let readers = 3 in
+  let reads_per_reader = 60 in
+  let mk () =
+    let s = Session.create () in
+    Session.load_ontology s (tbox ());
+    Session.load_data s (abox ());
+    s
+  in
+  let fact i =
+    Abox.Concept_assertion (Symbol.intern "A", Symbol.intern (Printf.sprintf "w%d" i))
+  in
+  (* op k asserts a fresh fact (even k) or retracts the previous one (odd
+     k): every op is effective, so the revision sequence is dense and
+     identical across replays *)
+  let apply s k =
+    if k mod 2 = 0 then ignore (Session.assert_facts s [ fact k ])
+    else ignore (Session.retract_facts s [ fact (k - 1) ])
+  in
+  (* sequential replay: expected sorted answer set per revision *)
+  let expected = Hashtbl.create 64 in
+  let ref_s = mk () in
+  let ref_p, _ = Session.prepare ref_s ~name:"q" (cq_a ()) in
+  let record () =
+    let snap = Session.freeze ref_s in
+    Hashtbl.replace expected
+      (Session.snapshot_revision snap)
+      (List.sort compare (Session.answer_at ref_s ref_p snap))
+  in
+  record ();
+  for k = 0 to n_ops - 1 do
+    apply ref_s k;
+    record ()
+  done;
+  (* the race: one writer domain against [readers] reader domains *)
+  let s = mk () in
+  let p, _ = Session.prepare s ~name:"q" (cq_a ()) in
+  let observations = Array.make readers [] in
+  Pool.with_pool ~jobs:(readers + 1) (fun pool ->
+      Pool.run pool (fun w ->
+          if w = 0 then
+            for k = 0 to n_ops - 1 do
+              apply s k
+            done
+          else begin
+            let mine = ref [] in
+            for _ = 1 to reads_per_reader do
+              let snap = Session.freeze s in
+              let answers = Session.answer_at s p snap in
+              mine :=
+                (Session.snapshot_revision snap, List.sort compare answers)
+                :: !mine
+            done;
+            observations.(w - 1) <- !mine
+          end));
+  let total = ref 0 and bad = ref [] in
+  Array.iter
+    (List.iter (fun (rev, answers) ->
+         incr total;
+         match Hashtbl.find_opt expected rev with
+         | Some e when e = answers -> ()
+         | Some e ->
+           bad :=
+             Printf.sprintf "rev %d: %d answers, want %d" rev
+               (List.length answers) (List.length e)
+             :: !bad
+         | None -> bad := Printf.sprintf "rev %d never produced" rev :: !bad))
+    observations;
+  check ("every observation matches sequential replay at its revision: "
+         ^ String.concat "; " !bad)
+    true (!bad = []);
+  check_int "all reads accounted for" (readers * reads_per_reader) !total
+
+(* ------------------------------------------------------------------ *)
+(* The network server, in-process over a Unix socket *)
+
+module Server = Obda_service.Server
+module Client = Obda_service.Client
+
+let with_server ?connections ?backlog ?max_inflight ?idle_timeout f =
+  let session = Session.create () in
+  Session.load_ontology session (tbox ());
+  Session.load_data session (abox ());
+  let path = Filename.temp_file "obda_test" ".sock" in
+  Sys.remove path;
+  let address = Server.Unix_socket path in
+  let server =
+    Server.create ?connections ?backlog ?max_inflight ?idle_timeout address
+      session
+  in
+  let t = Thread.create (fun () -> ignore (Server.run server)) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Thread.join t;
+      Session.close session)
+    (fun () -> f address server)
+
+let starts_with prefix s = String.starts_with ~prefix s
+
+let test_server_end_to_end () =
+  with_server (fun address server ->
+      let c = Client.connect address in
+      check "prepare over the wire" true
+        (starts_with "OK prepared" (first (Client.request c "PREPARE q q(x) <- A(x)")));
+      (match Client.request c "ANSWER q" with
+      | status :: tuples ->
+        check_str "answer status" "OK answers=2" status;
+        check_int "tuples follow" 2 (List.length tuples)
+      | [] -> Alcotest.fail "no answer response");
+      check_str "assert" "OK asserted added=1 atoms=3"
+        (first (Client.request c "ASSERT A(c)"));
+      (match Client.request c "STATS" with
+      | status :: rows ->
+        check_str "stats with the server rows" "OK stats=21" status;
+        check "snapshot-span row present" true
+          (List.exists (starts_with "server.snapshot.revisions ") rows);
+        check "shed counter present and zero" true
+          (List.mem "server.requests.shed 0" rows)
+      | [] -> Alcotest.fail "no stats response");
+      (* a second concurrent connection shares the session *)
+      let c2 = Client.connect address in
+      check_str "second connection sees the assert" "OK answers=3"
+        (first (Client.request c2 "ANSWER q"));
+      (* EOF without QUIT: clean end, session stays reusable *)
+      Client.close c;
+      Client.close c2;
+      let c3 = Client.connect address in
+      check_str "session reusable after bare EOF" "OK answers=3"
+        (first (Client.request c3 "ANSWER q"));
+      Alcotest.(check (list string))
+        "quit" [ "OK bye" ] (Client.request c3 "QUIT");
+      Client.close c3;
+      ignore server)
+
+let test_server_overload () =
+  (* max_inflight = 0: every real request is shed, in protocol *)
+  with_server ~max_inflight:0 (fun address server ->
+      let c = Client.connect address in
+      let shed = first (Client.request c "STATS") in
+      check "request shed with ERR class=overloaded" true
+        (starts_with "ERR class=overloaded" shed);
+      check "connection survives the shed" true
+        (starts_with "ERR class=overloaded" (first (Client.request c "ANSWER q")));
+      let rows = Server.stats_rows server in
+      check "shed counter advanced" true
+        (match List.assoc_opt "server.requests.shed" rows with
+        | Some n -> int_of_string n >= 2
+        | None -> false);
+      (* QUIT is exempt from admission: clients can always leave *)
+      Alcotest.(check (list string))
+        "QUIT exempt from admission" [ "OK bye" ] (Client.request c "QUIT");
+      Client.close c)
+
+let test_server_idle_timeout () =
+  with_server ~idle_timeout:0.3 (fun address _server ->
+      let c = Client.connect address in
+      (* send nothing: the server closes the connection with a budget ERR *)
+      (match Client.read_response c with
+      | line :: _ -> check "idle ERR line" true (starts_with "ERR class=budget" line)
+      | [] -> Alcotest.fail "connection closed without the idle ERR");
+      check "EOF after the idle close" true (Client.read_response c = []);
+      Client.close c)
+
+let test_server_graceful_stop () =
+  let session = Session.create () in
+  Session.load_ontology session (tbox ());
+  Session.load_data session (abox ());
+  let path = Filename.temp_file "obda_test" ".sock" in
+  Sys.remove path;
+  let address = Server.Unix_socket path in
+  let server = Server.create ~connections:2 address session in
+  let code = ref (-2) in
+  let t = Thread.create (fun () -> code := Server.run server) () in
+  let c = Client.connect address in
+  check "served before the stop" true
+    (starts_with "OK stats=" (first (Client.request c "STATS")));
+  Server.request_stop server ~code:143;
+  Thread.join t;
+  check_int "run returns the requested code" 143 !code;
+  check "socket path unlinked on the way out" false (Sys.file_exists path);
+  Client.close c;
+  Session.close session
+
 let suites =
   [
     ( "service",
@@ -580,5 +813,20 @@ let suites =
         Alcotest.test_case "serve: BATCH errors" `Quick test_serve_batch_errors;
         Alcotest.test_case "serve: BATCH under an armed fault plan" `Quick
           test_serve_batch_fault_armed_forces_sequential;
+        Alcotest.test_case "session: freeze isolation" `Quick
+          test_session_freeze_isolation;
+        Alcotest.test_case "session: stats hook" `Quick test_session_stats_hook;
+        Alcotest.test_case "budget: per-request sub-deadline" `Quick
+          test_budget_sub_timeout;
+        Alcotest.test_case "race: readers vs writers (snapshot property)"
+          `Quick test_race_readers_vs_writers;
+        Alcotest.test_case "server: end to end over a socket" `Quick
+          test_server_end_to_end;
+        Alcotest.test_case "server: admission control sheds in protocol"
+          `Quick test_server_overload;
+        Alcotest.test_case "server: idle timeout" `Quick
+          test_server_idle_timeout;
+        Alcotest.test_case "server: graceful stop returns the code" `Quick
+          test_server_graceful_stop;
       ] );
   ]
