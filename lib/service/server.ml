@@ -184,13 +184,17 @@ let stats_rows t =
    oversubscribed; QUIT/EXIT (and blank/comment lines) are exempt, so a
    client can always leave an overloaded server cleanly. *)
 
+(* [Ok ()] when admitted; [Error inflight] with the observed in-flight
+   count when shed, so the overload diagnostic reports what was actually
+   seen rather than echoing the limit. *)
 let try_admit t =
   Mutex.lock t.m;
-  let ok = t.inflight < t.max_inflight in
+  let inflight = t.inflight in
+  let ok = inflight < t.max_inflight in
   if ok then t.inflight <- t.inflight + 1
   else t.shed_requests <- t.shed_requests + 1;
   Mutex.unlock t.m;
-  ok
+  if ok then Ok () else Error inflight
 
 let release t =
   Mutex.lock t.m;
@@ -280,25 +284,26 @@ let handle_request t fd line =
     send_lines fd lines;
     stop
   end
-  else if not (try_admit t) then begin
-    Obs.incr "serve.request.shed";
-    send_lines fd
-      [
-        Printf.sprintf "ERR class=overloaded inflight=%d limit=%d"
-          t.max_inflight t.max_inflight;
-      ];
-    false
-  end
   else
-    Fun.protect
-      ~finally:(fun () -> release t)
-      (fun () ->
-        let budget =
-          Budget.sub ?timeout:t.request_timeout (Session.budget t.session)
-        in
-        let lines, stop = Serve.handle_line ~budget t.session line in
-        send_lines fd lines;
-        stop)
+    match try_admit t with
+    | Error inflight ->
+      Obs.incr "serve.request.shed";
+      send_lines fd
+        [
+          Printf.sprintf "ERR class=overloaded inflight=%d limit=%d" inflight
+            t.max_inflight;
+        ];
+      false
+    | Ok () ->
+      Fun.protect
+        ~finally:(fun () -> release t)
+        (fun () ->
+          let budget =
+            Budget.sub ?timeout:t.request_timeout (Session.budget t.session)
+          in
+          let lines, stop = Serve.handle_line ~budget t.session line in
+          send_lines fd lines;
+          stop)
 
 let handle_connection t fd =
   Mutex.lock t.m;
@@ -341,7 +346,8 @@ let handle_connection t fd =
 let enqueue t fd =
   Mutex.lock t.m;
   t.accepted <- t.accepted + 1;
-  let room = Queue.length t.pending < t.backlog in
+  let pending = Queue.length t.pending in
+  let room = pending < t.backlog in
   if room then begin
     Queue.push fd t.pending;
     Condition.signal t.cv
@@ -351,7 +357,7 @@ let enqueue t fd =
   if not room then begin
     Obs.incr "serve.connection.shed";
     send_line_opt fd
-      (Printf.sprintf "ERR class=overloaded pending=%d backlog=%d" t.backlog
+      (Printf.sprintf "ERR class=overloaded pending=%d backlog=%d" pending
          t.backlog);
     try Unix.close fd with _ -> ()
   end
@@ -390,15 +396,20 @@ let accept_loop t =
       loop ()
     end
   in
-  (try loop ()
-   with e ->
-     (* An accept-loop failure must not strand parked workers. *)
-     request_stop t ~code:1;
-     raise e);
-  (* Stop: wake every parked worker so they observe the stop and drain. *)
-  Mutex.lock t.m;
-  Condition.broadcast t.cv;
-  Mutex.unlock t.m
+  (* An accept-loop failure must not strand parked workers: whether the
+     loop stopped cleanly or raised (e.g. EMFILE on accept), wake every
+     parked worker so they observe the stop and drain — the broadcast runs
+     before any exception propagates to [Pool.run]. *)
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.m;
+      Condition.broadcast t.cv;
+      Mutex.unlock t.m)
+    (fun () ->
+      try loop ()
+      with e ->
+        request_stop t ~code:1;
+        raise e)
 
 (* Next accepted descriptor, or [None] once stopping.  On stop, queued
    descriptors are closed unserved — only requests already executing

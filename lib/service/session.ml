@@ -115,23 +115,29 @@ let load_data t abox =
 
 let assert_facts t facts =
   with_lock t (fun () ->
-      List.fold_left
-        (fun n fact ->
-          if Abox.mem_fact t.abox fact then n
-          else begin
-            Abox.add_fact t.abox fact;
-            n + 1
-          end)
-        0 facts)
+      let added =
+        List.fold_left
+          (fun n fact ->
+            if Abox.mem_fact t.abox fact then n
+            else begin
+              Abox.add_fact t.abox fact;
+              n + 1
+            end)
+          0 facts
+      in
+      (added, Abox.num_atoms t.abox))
 
 let retract_facts t facts =
   with_lock t (fun () ->
-      List.fold_left
-        (fun n fact -> if Abox.remove_fact t.abox fact then n + 1 else n)
-        0 facts)
+      let removed =
+        List.fold_left
+          (fun n fact -> if Abox.remove_fact t.abox fact then n + 1 else n)
+          0 facts
+      in
+      (removed, Abox.num_atoms t.abox))
 
-let assert_fact t fact = assert_facts t [ fact ] = 1
-let retract_fact t fact = retract_facts t [ fact ] = 1
+let assert_fact t fact = fst (assert_facts t [ fact ]) = 1
+let retract_fact t fact = fst (retract_facts t [ fact ]) = 1
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots *)
@@ -223,7 +229,11 @@ let answer_at ?budget t p s =
 let answer ?budget t p = answer_at ?budget t p (freeze t)
 
 let stats t =
-  let base =
+  (* Capture the hook under the lock (it is written under the lock by
+     [set_stats_hook]), but invoke it only after release: the server's
+     hook takes its own mutex, and holding both invites lock-order
+     trouble. *)
+  let base, hook =
     with_lock t (fun () ->
         let cache = t.cache in
         let consistency =
@@ -237,24 +247,25 @@ let stats t =
           | Some false -> "no"
           | None -> "unknown"
         in
-        [
-          ("requests", string_of_int t.requests);
-          ("jobs", string_of_int t.jobs);
-          ("ontology.loaded", if t.tbox = None then "no" else "yes");
-          ( "ontology.axioms",
-            match t.tbox with
-            | None -> "0"
-            | Some tb -> string_of_int (List.length (Tbox.axioms tb)) );
-          ("data.atoms", string_of_int (Abox.num_atoms t.abox));
-          ("data.individuals", string_of_int (Abox.num_individuals t.abox));
-          ("data.revision", string_of_int (Abox.revision t.abox));
-          ("consistent", consistency);
-          ("prepared", string_of_int (Hashtbl.length t.prepared));
-          ("cache.entries", string_of_int (Cache.length cache));
-          ("cache.weight", string_of_int (Cache.weight cache));
-          ("cache.hits", string_of_int (Cache.hits cache));
-          ("cache.misses", string_of_int (Cache.misses cache));
-          ("cache.evictions", string_of_int (Cache.evictions cache));
-        ])
+        ( [
+            ("requests", string_of_int t.requests);
+            ("jobs", string_of_int t.jobs);
+            ("ontology.loaded", if t.tbox = None then "no" else "yes");
+            ( "ontology.axioms",
+              match t.tbox with
+              | None -> "0"
+              | Some tb -> string_of_int (List.length (Tbox.axioms tb)) );
+            ("data.atoms", string_of_int (Abox.num_atoms t.abox));
+            ("data.individuals", string_of_int (Abox.num_individuals t.abox));
+            ("data.revision", string_of_int (Abox.revision t.abox));
+            ("consistent", consistency);
+            ("prepared", string_of_int (Hashtbl.length t.prepared));
+            ("cache.entries", string_of_int (Cache.length cache));
+            ("cache.weight", string_of_int (Cache.weight cache));
+            ("cache.hits", string_of_int (Cache.hits cache));
+            ("cache.misses", string_of_int (Cache.misses cache));
+            ("cache.evictions", string_of_int (Cache.evictions cache));
+          ],
+          t.stats_hook ))
   in
-  match t.stats_hook with None -> base | Some hook -> base @ hook ()
+  match hook with None -> base | Some hook -> base @ hook ()

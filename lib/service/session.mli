@@ -67,13 +67,16 @@ val assert_fact : t -> Obda_data.Abox.fact -> bool
 val retract_fact : t -> Obda_data.Abox.fact -> bool
 (** Remove one fact; [false] if it was absent. *)
 
-val assert_facts : t -> Obda_data.Abox.fact list -> int
+val assert_facts : t -> Obda_data.Abox.fact list -> int * int
 (** Add a list of facts atomically — one lock acquisition, so a concurrent
-    {!freeze} observes either none or all of them.  Returns the number
-    actually added. *)
+    {!freeze} observes either none or all of them.  Returns [(added,
+    atoms)]: the number actually added and the post-apply store size,
+    both observed under the lock so the pair is consistent even with
+    concurrent writers. *)
 
-val retract_facts : t -> Obda_data.Abox.fact list -> int
-(** Remove a list of facts atomically; returns the number removed. *)
+val retract_facts : t -> Obda_data.Abox.fact list -> int * int
+(** Remove a list of facts atomically; returns [(removed, atoms)] as for
+    {!assert_facts}. *)
 
 (** {1 Snapshots} *)
 

@@ -552,8 +552,9 @@ let test_session_freeze_isolation () =
   let snap = Session.freeze s in
   check_int "frozen answers" 2 (List.length (Session.answer_at s p snap));
   check_int "writer adds one fact" 1
-    (Session.assert_facts s
-       [ Abox.Concept_assertion (Symbol.intern "A", Symbol.intern "c") ]);
+    (fst
+       (Session.assert_facts s
+          [ Abox.Concept_assertion (Symbol.intern "A", Symbol.intern "c") ]));
   (* the snapshot is immune to the concurrent write... *)
   check_int "snapshot still answers 2" 2
     (List.length (Session.answer_at s p snap));
