@@ -212,11 +212,28 @@ let iso8601 t =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec
 
+(* provenance columns: which commit and machine produced a history row —
+   without them two BENCH_*.json runs from different checkouts are not
+   comparable *)
+let git_rev =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+       let rev = try input_line ic with End_of_file -> "" in
+       match (Unix.close_process_in ic, rev) with
+       | Unix.WEXITED 0, rev when rev <> "" -> rev
+       | _ -> "unknown"
+     with _ -> "unknown")
+
+let hostname = lazy (try Unix.gethostname () with _ -> "unknown")
+
 let persist_experiment ~name ~duration ~status =
   let row =
     Json.Assoc
       (("ts", Json.String (iso8601 (Unix.time ())))
       :: ("experiment", Json.String name)
+      :: ("git_rev", Json.String (Lazy.force git_rev))
+      :: ("hostname", Json.String (Lazy.force hostname))
       :: ("status", Json.String status)
       :: ("duration_s", Json.Float duration)
       :: List.rev !current_metrics)

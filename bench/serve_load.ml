@@ -17,13 +17,18 @@ module Client = Obda_service.Client
 module Session = Obda_service.Session
 module Abox = Obda_data.Abox
 module Symbol = Obda_syntax.Symbol
+module Histogram = Obda_obs.Histogram
 
-let percentile sorted p =
+(* exact sorted-array percentile at the same rank convention as
+   [Histogram.quantile] (rank = max 1 (ceil (q * n)), 1-based), so the
+   two estimates bracket the same order statistic and must agree within
+   one bucket's relative error *)
+let percentile sorted q =
   let n = Array.length sorted in
   if n = 0 then 0.
   else
-    sorted.(min (n - 1)
-              (int_of_float ((p /. 100. *. float_of_int (n - 1)) +. 0.5)))
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+    sorted.(min (n - 1) (rank - 1))
 
 let is_square n =
   n >= 0
@@ -68,9 +73,20 @@ let run () =
   print_row widths
     [ "clients"; "reqs"; "req/s"; "p50(ms)"; "p95(ms)"; "p99(ms)"; "squares"; "errs" ];
   let all_square = ref true in
+  let all_agree = ref true in
+  let prev_recording = Histogram.recording () in
+  Histogram.set_enabled true;
   List.iter
     (fun clients ->
       let latencies = Array.make (clients * ops_per_client) 0. in
+      (* one histogram per client thread, merged after the join: the same
+         shape the server uses per connection, so this doubles as a merge
+         correctness check under real contention *)
+      let hists =
+        Array.init clients (fun ci ->
+            Histogram.create ~scale:1e9
+              (Printf.sprintf "load.c%d.%d" clients ci))
+      in
       let non_square = Atomic.make 0 in
       let errors = Atomic.make 0 in
       let t0 = Unix.gettimeofday () in
@@ -93,8 +109,9 @@ let run () =
           in
           let t = Unix.gettimeofday () in
           let resp = Client.request cl req in
-          latencies.((ci * ops_per_client) + op) <-
-            (Unix.gettimeofday () -. t) *. 1000.;
+          let dt = Unix.gettimeofday () -. t in
+          latencies.((ci * ops_per_client) + op) <- dt;
+          Histogram.record hists.(ci) dt;
           match resp with
           | first :: _ when String.starts_with ~prefix:"OK answers=" first -> (
             match int_of_string_opt (String.sub first 11 (String.length first - 11)) with
@@ -113,9 +130,29 @@ let run () =
       let wall = Unix.gettimeofday () -. t0 in
       let reqs = clients * ops_per_client in
       Array.sort compare latencies;
-      let p50 = percentile latencies 50.
-      and p95 = percentile latencies 95.
-      and p99 = percentile latencies 99. in
+      let merged =
+        Histogram.create ~scale:1e9 (Printf.sprintf "load.c%d" clients)
+      in
+      Array.iter (fun h -> Histogram.merge_into ~into:merged h) hists;
+      let snap = Histogram.snapshot merged in
+      (* histogram quantile (bucket upper bound) vs the exact order
+         statistic at the same rank: the exact value must lie inside the
+         quantile's bucket, i.e. in (hq/ratio, hq] *)
+      let quantile_ms q =
+        let hq = Histogram.quantile snap q in
+        let exact = percentile latencies q in
+        if not (exact <= hq *. 1.000001 && exact > hq /. Histogram.ratio *. 0.999999)
+        then begin
+          all_agree := false;
+          Printf.printf
+            "DISAGREE c%d q%.2f: histogram %.6fs vs exact %.6fs\n" clients q
+            hq exact
+        end;
+        hq *. 1000.
+      in
+      let p50 = quantile_ms 0.50
+      and p95 = quantile_ms 0.95
+      and p99 = quantile_ms 0.99 in
       let rate = float_of_int reqs /. wall in
       let squares_ok = Atomic.get non_square = 0 in
       if not squares_ok then all_square := false;
@@ -124,6 +161,9 @@ let run () =
       record_float (tag "p50_ms") p50;
       record_float (tag "p95_ms") p95;
       record_float (tag "p99_ms") p99;
+      record_float (tag "exact_p50_ms") (percentile latencies 0.50 *. 1000.);
+      record_float (tag "exact_p95_ms") (percentile latencies 0.95 *. 1000.);
+      record_float (tag "exact_p99_ms") (percentile latencies 0.99 *. 1000.);
       record_int (tag "non_square") (Atomic.get non_square);
       record_int (tag "errors") (Atomic.get errors);
       print_row widths
@@ -138,10 +178,15 @@ let run () =
           string_of_int (Atomic.get errors);
         ])
     [ 1; 8; 64 ];
+  Histogram.set_enabled prev_recording;
   Server.stop server;
   Thread.join server_thread;
   Session.close session;
   Printf.printf
     "(squares=yes on every level: no ANSWER ever saw a torn revision; \
-     acceptance: all yes, errs 0)\n";
-  if not !all_square then failwith "snapshot isolation violated"
+     quantiles from merged per-client histograms, checked against exact \
+     sorted-array percentiles within one bucket; acceptance: all yes, errs \
+     0)\n";
+  if not !all_square then failwith "snapshot isolation violated";
+  if not !all_agree then
+    failwith "histogram quantile disagrees with exact percentile"

@@ -631,8 +631,8 @@ let server_address socket tcp =
 let serve_cmd =
   let module Service = Obda_service in
   let run ontology data script cache_entries cache_size socket tcp connections
-      backlog max_inflight idle_timeout request_timeout budget jobs inject
-      telemetry =
+      backlog max_inflight idle_timeout request_timeout access_log slow_ms
+      budget jobs inject telemetry =
     handle_errors (fun () ->
         init_telemetry ~budget telemetry;
         arm_faults inject;
@@ -647,6 +647,38 @@ let serve_cmd =
              to parallelise across connections";
           exit 124
         end;
+        (* The serving path always measures: per-verb latency/size
+           histograms feed the METRICS verb in every serve mode. *)
+        Obda_obs.Histogram.set_enabled true;
+        (* --slow-ms alone still wants its slow-query lines somewhere:
+           imply an access log on stderr. *)
+        (match
+           match access_log with
+           | None when slow_ms <> None -> Some "-"
+           | dest -> dest
+         with
+        | None -> ()
+        | Some dest ->
+          let write =
+            match dest with
+            | "-" ->
+              fun line ->
+                output_string stderr line;
+                output_char stderr '\n';
+                flush stderr
+            | path ->
+              let oc =
+                open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+              in
+              at_exit (fun () -> try close_out oc with Sys_error _ -> ());
+              fun line ->
+                output_string oc line;
+                output_char oc '\n';
+                (* flushed per line so tail -f (and the smoke script)
+                   observe requests as they complete *)
+                flush oc
+          in
+          Service.Serve.set_access_log ?slow_ms write);
         let session =
           Service.Session.create ~budget ?cache_entries
             ?cache_weight:cache_size ~jobs ()
@@ -783,12 +815,33 @@ let serve_cmd =
             "Wall-clock cap per request, combined with the session --timeout \
              (the tighter deadline wins).")
   in
+  let access_log =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSON line per request to $(docv) (id, connection, \
+             verb, data revision, outcome class, duration, cache hit/miss); \
+             without $(docv), or with -, write to stderr.")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Also log the span tree of every request that takes at least \
+             $(docv) milliseconds (to the --access-log destination; stderr \
+             if none was given).  While armed, request spans are routed to \
+             the slow-query collector instead of --trace sinks.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve queries over a long-lived session: a newline-delimited \
           protocol (LOAD, PREPARE, ANSWER, BATCH, ASSERT, RETRACT, STATS, \
-          QUIT) on stdin/stdout, with prepared queries backed by a \
+          METRICS, QUIT) on stdin/stdout, with prepared queries backed by a \
           content-addressed rewriting cache.  Each request runs under a \
           fresh sub-budget of the session budget; failures are reported as \
           in-protocol ERR lines, leaving the session usable.  With --jobs N \
@@ -802,8 +855,8 @@ let serve_cmd =
     Term.(
       const run $ ontology $ data $ script $ cache_entries $ cache_size
       $ socket_arg $ tcp_arg $ connections $ backlog $ max_inflight
-      $ idle_timeout $ request_timeout $ budget_term $ jobs_term
-      $ inject_term $ telemetry_term)
+      $ idle_timeout $ request_timeout $ access_log $ slow_ms $ budget_term
+      $ jobs_term $ inject_term $ telemetry_term)
 
 let client_cmd =
   let module Service = Obda_service in
@@ -866,6 +919,269 @@ let client_cmd =
           lines: requests from stdin (or --script), responses to stdout.")
     Term.(const run $ socket_arg $ tcp_arg $ script)
 
+(* ------------------------------------------------------------------ *)
+(* obda top: poll METRICS and render a refreshing terminal dashboard. *)
+
+(* One METRICS exposition parsed into plain samples and histograms.  A
+   histogram is its cumulative (upper-bound, count) buckets in ascending
+   order — enough to answer quantile queries client-side. *)
+type metrics_sample = {
+  values : (string, float) Hashtbl.t;
+  hists : (string, (float * int) list) Hashtbl.t;
+}
+
+let parse_le s =
+  if s = "+Inf" then Some infinity else float_of_string_opt s
+
+let parse_metrics lines =
+  let values = Hashtbl.create 64 in
+  let hists = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then
+        match String.rindex_opt line ' ' with
+        | None -> ()
+        | Some sp -> (
+          let name = String.sub line 0 sp in
+          let value =
+            float_of_string_opt
+              (String.sub line (sp + 1) (String.length line - sp - 1))
+          in
+          match value with
+          | None -> ()
+          | Some v -> (
+            match String.index_opt name '{' with
+            | None -> Hashtbl.replace values name v
+            | Some brace ->
+              let base = String.sub name 0 brace in
+              let suffix = "_bucket" in
+              if String.length base > String.length suffix
+                 && String.sub base
+                      (String.length base - String.length suffix)
+                      (String.length suffix)
+                    = suffix
+              then begin
+                let hist =
+                  String.sub base 0 (String.length base - String.length suffix)
+                in
+                let labels =
+                  String.sub name (brace + 1) (String.length name - brace - 1)
+                in
+                let le_prefix = "le=\"" in
+                match
+                  if String.starts_with ~prefix:le_prefix labels then
+                    match String.index_opt labels '}' with
+                    | Some close when close >= String.length le_prefix + 1 ->
+                      parse_le
+                        (String.sub labels (String.length le_prefix)
+                           (close - String.length le_prefix - 1))
+                    | _ -> None
+                  else None
+                with
+                | None -> ()
+                | Some le ->
+                  let prev =
+                    Option.value (Hashtbl.find_opt hists hist) ~default:[]
+                  in
+                  Hashtbl.replace hists hist ((le, int_of_float v) :: prev)
+              end)))
+    lines;
+  (* buckets arrived in ascending le order and were prepended *)
+  Hashtbl.filter_map_inplace (fun _ b -> Some (List.rev b)) hists;
+  { values; hists }
+
+(* Quantile over cumulative exposition buckets, same convention as
+   [Obda_obs.Histogram.quantile]: upper bound of the bucket holding the
+   rank-[ceil (q * total)] smallest value. *)
+let sample_quantile sample name q =
+  match Hashtbl.find_opt sample.hists name with
+  | None | Some [] -> None
+  | Some buckets ->
+    let total =
+      List.fold_left (fun acc (_, cum) -> max acc cum) 0 buckets
+    in
+    if total = 0 then None
+    else begin
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int total))) in
+      List.find_map
+        (fun (le, cum) -> if cum >= rank then Some le else None)
+        buckets
+    end
+
+let top_cmd =
+  let module Service = Obda_service in
+  let run socket tcp interval count =
+    handle_errors (fun () ->
+        let address =
+          match server_address socket tcp with
+          | Some a -> a
+          | None ->
+            prerr_endline "obda: top needs --socket or --tcp";
+            exit 124
+        in
+        if interval <= 0. then begin
+          prerr_endline "obda: --interval must be > 0";
+          exit 124
+        end;
+        (* a fresh connection per poll: a shed or idle-closed connection
+           never wedges the dashboard *)
+        let poll () =
+          let client =
+            try Service.Client.connect address
+            with Unix.Unix_error (e, _, _) ->
+              Printf.eprintf "obda: cannot connect to %s: %s\n"
+                (Service.Server.address_string address)
+                (Unix.error_message e);
+              exit 1
+          in
+          Fun.protect
+            ~finally:(fun () -> Service.Client.close client)
+            (fun () ->
+              match Service.Client.request client "METRICS" with
+              | first :: rest
+                when String.starts_with ~prefix:"OK metrics=" first ->
+                parse_metrics rest
+              | first :: _ ->
+                Printf.eprintf "obda: unexpected METRICS response: %s\n" first;
+                exit 1
+              | [] ->
+                prerr_endline "obda: empty METRICS response (server gone?)";
+                exit 1)
+        in
+        let fv sample name = Hashtbl.find_opt sample.values name in
+        let fmt_count sample name =
+          match fv sample name with
+          | Some v -> Printf.sprintf "%.0f" v
+          | None -> "-"
+        in
+        let fmt_q sample name q =
+          match sample_quantile sample name q with
+          | Some le when le = infinity -> "    >max"
+          | Some le -> Printf.sprintf "%8.3f" (le *. 1000.)
+          | None -> "       -"
+        in
+        let render ~prev ~dt sample =
+          let served = fv sample "obda_server_requests_served" in
+          let rate =
+            match (served, prev, dt) with
+            | Some now, Some prev_sample, Some dt when dt > 0. -> (
+              match fv prev_sample "obda_server_requests_served" with
+              | Some before when now >= before ->
+                Printf.sprintf "%.1f req/s" ((now -. before) /. dt)
+              | _ -> "-")
+            | Some now, None, _ -> (
+              (* first sample: average over the server's whole uptime *)
+              match fv sample "obda_server_uptime_s" with
+              | Some up when up > 0. ->
+                Printf.sprintf "%.1f req/s avg" (now /. up)
+              | _ -> "-")
+            | _ -> "-"
+          in
+          let hit_rate =
+            match
+              (fv sample "obda_cache_hits", fv sample "obda_cache_misses")
+            with
+            | Some h, Some m when h +. m > 0. ->
+              Printf.sprintf "%.1f%%" (100. *. h /. (h +. m))
+            | _ -> "-"
+          in
+          let revisions =
+            match
+              ( fv sample "obda_server_snapshot_revisions_lo",
+                fv sample "obda_server_snapshot_revisions_hi" )
+            with
+            | Some lo, Some hi -> Printf.sprintf "%.0f-%.0f" lo hi
+            | _ -> "-"
+          in
+          Printf.printf "obda top — %s    uptime %ss\n"
+            (Service.Server.address_string address)
+            (match fv sample "obda_server_uptime_s" with
+            | Some v -> Printf.sprintf "%.1f" v
+            | None -> "-");
+          Printf.printf
+            "requests     served %-8s in-flight %-6s shed %-6s %s\n"
+            (fmt_count sample "obda_server_requests_served")
+            (fmt_count sample "obda_server_requests_inflight")
+            (fmt_count sample "obda_server_requests_shed")
+            rate;
+          Printf.printf
+            "connections  accepted %-6s active %-9s shed %s\n"
+            (fmt_count sample "obda_server_connections_accepted")
+            (fmt_count sample "obda_server_connections_active")
+            (fmt_count sample "obda_server_connections_shed");
+          Printf.printf
+            "cache        hits %-10s misses %-9s hit-rate %s\n"
+            (fmt_count sample "obda_cache_hits")
+            (fmt_count sample "obda_cache_misses")
+            hit_rate;
+          Printf.printf
+            "data         atoms %-9s revision %-7s snapshots %s\n"
+            (fmt_count sample "obda_data_atoms")
+            (fmt_count sample "obda_data_revision")
+            revisions;
+          Printf.printf "latency (ms)        p50      p95      p99\n";
+          (* the whole-server row comes from the STATS quantile gauges
+             (the merged per-connection histogram is not in the registry);
+             per-verb rows from the registry histogram buckets *)
+          let gauge_ms name =
+            match fv sample name with
+            | Some v -> Printf.sprintf "%8.3f" v
+            | None -> "       -"
+          in
+          Printf.printf "  %-12s %s %s %s\n" "server"
+            (gauge_ms "obda_server_p50_ms")
+            (gauge_ms "obda_server_p95_ms")
+            (gauge_ms "obda_server_p99_ms");
+          List.iter
+            (fun (label, hist) ->
+              Printf.printf "  %-12s %s %s %s\n" label
+                (fmt_q sample hist 0.50) (fmt_q sample hist 0.95)
+                (fmt_q sample hist 0.99))
+            [
+              ("ANSWER", "obda_serve_answer_latency");
+              ("BATCH", "obda_serve_batch_latency");
+              ("ASSERT/RETR", "obda_serve_mutate_latency");
+            ];
+          flush stdout
+        in
+        let rec loop n prev t_prev =
+          let sample = poll () in
+          let now = Unix.gettimeofday () in
+          let dt = Option.map (fun t -> now -. t) t_prev in
+          (* clear between refreshes, never before the only render *)
+          if prev <> None then print_string "\027[2J\027[H";
+          render ~prev ~dt sample;
+          if count = 0 || n < count then begin
+            Unix.sleepf interval;
+            loop (n + 1) (Some sample) (Some now)
+          end
+        in
+        loop 1 None None)
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Refresh period between METRICS polls (default 2).")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:
+            "Render $(docv) samples and exit; 0 (the default) refreshes \
+             until interrupted.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard for a running obda serve socket: polls the METRICS \
+          verb and renders request/connection/shed counts, request rate, \
+          cache hit-rate, snapshot revision span and per-verb latency \
+          quantiles (from the server's merged histograms).  Requires \
+          --socket or --tcp.")
+    Term.(const run $ socket_arg $ tcp_arg $ interval $ count)
+
 let chaos_list_cmd =
   let run () =
     Printf.printf "# %-26s %-8s %-15s %s\n" "site" "layer" "class" "exit";
@@ -911,6 +1227,7 @@ let main =
       chase_cmd;
       serve_cmd;
       client_cmd;
+      top_cmd;
       chaos_list_cmd;
     ]
 

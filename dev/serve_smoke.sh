@@ -56,6 +56,42 @@ if ! grep -q '^server\.requests\.shed 0$' "$dir/stats.out"; then
   exit 1
 fi
 
+# METRICS: the exposition must be non-empty and parse — an OK status
+# announcing the line count, obda_-prefixed sample names, and a
+# histogram _count for the request latencies the traffic just recorded
+printf 'METRICS\nQUIT\n' | "$OBDA" client --socket "$sock" > "$dir/metrics.out"
+if ! grep -q '^OK metrics=[1-9]' "$dir/metrics.out"; then
+  echo "METRICS did not announce a non-empty exposition:" >&2
+  cat "$dir/metrics.out" >&2
+  exit 1
+fi
+if ! grep -q '^obda_[a-z_]* [0-9.eE+-]*$' "$dir/metrics.out"; then
+  echo "METRICS exposition has no parsable samples:" >&2
+  cat "$dir/metrics.out" >&2
+  exit 1
+fi
+if ! grep -q '^obda_serve_answer_latency_count [1-9]' "$dir/metrics.out"; then
+  echo "METRICS exposition lacks the answer-latency histogram:" >&2
+  cat "$dir/metrics.out" >&2
+  exit 1
+fi
+# every non-status, non-comment line must be "name value" or
+# "name{le=...} value" with a numeric (or +Inf) value
+if awk '/^OK metrics=/ || /^OK bye$/ || /^#/ { next }
+        !/^[A-Za-z_][A-Za-z0-9_]*(\{le="[^"]*"\})? (\+Inf|-?[0-9.eE+-]+)$/ { bad = 1; print "unparsable: " $0 > "/dev/stderr" }
+        END { exit bad }' "$dir/metrics.out"; then :; else
+  echo "METRICS exposition failed to re-parse" >&2
+  exit 1
+fi
+
+# obda top renders a one-shot dashboard against the live socket
+"$OBDA" top --socket "$sock" --count 1 > "$dir/top.out"
+if ! grep -q 'requests' "$dir/top.out" || ! grep -q 'p50' "$dir/top.out"; then
+  echo "obda top rendered no dashboard:" >&2
+  cat "$dir/top.out" >&2
+  exit 1
+fi
+
 # graceful shutdown: SIGTERM drains and exits 143
 kill -TERM "$server"
 set +e
@@ -68,4 +104,4 @@ if [ "$code" -ne 143 ]; then
   exit 1
 fi
 
-echo "serve smoke: 8 clients served, 0 requests shed, SIGTERM drained with exit 143"
+echo "serve smoke: 8 clients served, 0 requests shed, METRICS parsed, top rendered, SIGTERM drained with exit 143"

@@ -1,0 +1,20 @@
+(** Prometheus-style text exposition — the payload of the [METRICS]
+    protocol verb and the feed of [obda top].
+
+    A render turns the caller's stats rows into counter/gauge samples
+    (numbers pass through; [yes]/[no] become 1/0; ["lo-hi"] revision spans
+    split into [_lo]/[_hi] samples; non-numeric placeholders are skipped)
+    and appends every histogram in the {!Histogram} registry as cumulative
+    [_bucket{le="..."}] lines with [_sum] and [_count].  Sample names are
+    the row/histogram names with non-alphanumerics replaced by ['_'] and
+    an [obda_] prefix.  Latency histograms record seconds. *)
+
+val render : (string * string) list -> string
+(** Render the exposition text ([# TYPE] comments plus samples, one per
+    line, trailing newline).  Guarded by the [obs.export] fault site: an
+    armed fault raises the injected [Obda_error] before anything is
+    rendered. *)
+
+val sanitize : string -> string
+(** The exposition name of a row or histogram ([obda_] prefix, ['_'] for
+    anything outside [[A-Za-z0-9_]]). *)

@@ -67,6 +67,7 @@ let serve_accept = register ~layer:"serve" ~default:Internal "serve.accept"
 let serve_connection =
   register ~layer:"serve" ~default:Internal "serve.connection"
 let abox_snapshot = register ~layer:"data" ~default:Internal "abox.snapshot"
+let obs_export = register ~layer:"obs" ~default:Internal "obs.export"
 
 let sites () = List.rev !registry
 let find_site name = List.find_opt (fun s -> s.name = name) !registry

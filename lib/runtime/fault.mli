@@ -97,6 +97,11 @@ val abox_snapshot : site
     of the [ANSWER]/[BATCH] that requested the snapshot, leaving the
     session usable. *)
 
+val obs_export : site
+(** Guard on every METRICS exposition render: an injected fault surfaces
+    as the in-protocol [ERR] of the [METRICS] request that asked for it,
+    leaving the session and connection usable. *)
+
 (** {1 Plans} *)
 
 type selector =

@@ -110,25 +110,30 @@ let read_extra t n acc =
   in
   go n acc
 
+(* The payload length announced by a status line: [OK answers=N],
+   [OK stats=N] and [OK metrics=N] are all followed by N lines. *)
+let announced_lines first =
+  List.find_map
+    (fun key ->
+      if String.starts_with ~prefix:("OK " ^ key ^ "=") first then
+        int_field first key
+      else None)
+    [ "answers"; "stats"; "metrics" ]
+
 (* Read one complete response.  Payload length is announced by the status
-   line: [OK answers=N] and [OK stats=N] are followed by N lines;
-   [OK batch=K] by K per-query headers, each [OK name=... answers=N]
-   header by its own N tuple lines.  Everything else is a single line. *)
+   line: [OK answers=N], [OK stats=N] and [OK metrics=N] are followed by
+   N lines; [OK batch=K] by K per-query headers, each [OK name=...
+   answers=N] header by its own N tuple lines.  Everything else is a
+   single line. *)
 let read_response t =
   match read_line t with
   | None -> []
   | Some first ->
     let payload =
-      if String.starts_with ~prefix:"OK answers=" first
-         || String.starts_with ~prefix:"OK stats=" first
-      then
-        match int_field first "answers" with
-        | Some n -> read_extra t n []
-        | None -> (
-          match int_field first "stats" with
-          | Some n -> read_extra t n []
-          | None -> [])
-      else if String.starts_with ~prefix:"OK batch=" first then
+      match announced_lines first with
+      | Some n -> read_extra t n []
+      | None ->
+      if String.starts_with ~prefix:"OK batch=" first then
         match int_field first "batch" with
         | None -> []
         | Some k ->

@@ -2,9 +2,9 @@
 
     One request line in, one complete response out — the reader uses the
     counts announced on status lines ([OK answers=N], [OK stats=N],
-    [OK batch=K] with per-query [answers=N] headers) to know how many
-    payload lines to consume, so it needs no timeouts and never
-    over-reads.  Not thread-safe: use one client per thread. *)
+    [OK metrics=N], [OK batch=K] with per-query [answers=N] headers) to
+    know how many payload lines to consume, so it needs no timeouts and
+    never over-reads.  Not thread-safe: use one client per thread. *)
 
 type t
 

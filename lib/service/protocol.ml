@@ -11,6 +11,7 @@ type request =
   | Assert_facts of string
   | Retract_facts of string
   | Stats
+  | Metrics
   | Quit
 
 let verb = function
@@ -21,6 +22,7 @@ let verb = function
   | Assert_facts _ -> "ASSERT"
   | Retract_facts _ -> "RETRACT"
   | Stats -> "STATS"
+  | Metrics -> "METRICS"
   | Quit -> "QUIT"
 
 let is_space c = c = ' ' || c = '\t' || c = '\r'
@@ -86,6 +88,9 @@ let parse line =
       else Ok (Some (Retract_facts rest))
     | "STATS" ->
       if rest <> "" then Error "STATS takes no arguments" else Ok (Some Stats)
+    | "METRICS" ->
+      if rest <> "" then Error "METRICS takes no arguments"
+      else Ok (Some Metrics)
     | "QUIT" | "EXIT" ->
       if rest <> "" then Error "QUIT takes no arguments" else Ok (Some Quit)
     | v -> Error (Printf.sprintf "unknown verb %S" v)

@@ -11,6 +11,7 @@
       ASSERT <fact> [<fact> ...]
       RETRACT <fact> [<fact> ...]
       STATS
+      METRICS
       QUIT
     v}
     Queries and facts use the textual format of {!Obda_parse.Parse}. *)
@@ -28,6 +29,9 @@ type request =
   | Assert_facts of string  (** unparsed fact text, one or more facts *)
   | Retract_facts of string
   | Stats
+  | Metrics
+      (** Prometheus-style text exposition of counters, gauges and latency
+          histograms — the feed of [obda top] *)
   | Quit
 
 val parse : string -> (request option, string) result

@@ -13,6 +13,51 @@ module Error = Obda_runtime.Error
 module Fault = Obda_runtime.Fault
 module Pool = Obda_runtime.Pool
 module Obs = Obda_obs.Obs
+module Histogram = Obda_obs.Histogram
+module Exposition = Obda_obs.Exposition
+module Json = Obda_obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Request-scoped telemetry.
+
+   Every parsed request gets a monotonically increasing id (process-wide,
+   so ids from concurrent connections interleave but never collide), is
+   timed into a per-verb latency histogram, and — when the access log is
+   enabled — leaves one JSON line behind.  Histograms live in the
+   process-wide registry, so a METRICS render sees every verb's
+   distribution no matter which connection served it. *)
+
+let next_request_id = Atomic.make 1
+
+let h_answer = Histogram.registered ~scale:1e9 "serve.answer.latency"
+let h_batch = Histogram.registered ~scale:1e9 "serve.batch.latency"
+let h_mutate = Histogram.registered ~scale:1e9 "serve.mutate.latency"
+let h_answer_count = Histogram.registered ~scale:1. "serve.answer.count"
+let h_bytes_out = Histogram.registered ~scale:1. "serve.response.bytes"
+
+let latency_histogram = function
+  | "ANSWER" -> Some h_answer
+  | "BATCH" -> Some h_batch
+  | "ASSERT" | "RETRACT" -> Some h_mutate
+  | _ -> None
+
+(* Per-query evaluation latency inside a BATCH: workers record into their
+   domain-local shard ([observe:false] only mutes the single-slot Obs
+   sink), and the shards merge into this registry target at the Pool
+   barrier. *)
+let batch_query_latency = "serve.batch.query.latency"
+let _ = Histogram.registered ~scale:1e9 batch_query_latency
+
+type access_log = {
+  write : string -> unit;  (** one complete JSON line, no trailing newline *)
+  slow_ms : float option;
+}
+
+let access_log : access_log option ref = ref None
+let access_log_mutex = Mutex.create ()
+
+let set_access_log ?slow_ms write = access_log := Some { write; slow_ms }
+let clear_access_log () = access_log := None
 
 let origin_string = function `Hit -> "hit" | `Miss -> "miss"
 
@@ -84,13 +129,22 @@ let exec ?budget session (req : Protocol.request) =
     in
     let results = Array.make n [] in
     let failures = Array.make n None in
-    let eval_one ~observe i =
+    (* Pool workers record into their domain-local shard (merged into the
+       registry at the Pool barrier); the sequential path records into the
+       registry target directly — there is no barrier to drain a shard. *)
+    let eval_one ~observe ~shard i =
       let _, p = work.(i) in
+      let t0 = Unix.gettimeofday () in
       results.(i) <-
         (if not consistent then Omq.all_tuples abox (Prepared.arity p)
          else
            Eval.answers ~observe ?budget:budgets.(i) (Prepared.rewriting p)
-             abox)
+             abox);
+      if Histogram.recording () then
+        Histogram.record
+          (if shard then Histogram.local ~scale:1e9 batch_query_latency
+           else Histogram.registered ~scale:1e9 batch_query_latency)
+          (Unix.gettimeofday () -. t0)
     in
     (match Session.pool session with
     | Some pool when Pool.jobs pool > 1 && not (Fault.armed ()) ->
@@ -102,14 +156,14 @@ let exec ?budget session (req : Protocol.request) =
       Pool.run pool (fun w ->
           let i = ref w in
           while !i < n do
-            (try eval_one ~observe:false !i
+            (try eval_one ~observe:false ~shard:true !i
              with e -> failures.(!i) <- Some e);
             i := !i + jobs
           done);
       (* all queries ran to completion; report the first failure by batch
          position, matching the sequential path's first-error semantics *)
       Array.iter (function Some e -> raise e | None -> ()) failures
-    | _ -> for i = 0 to n - 1 do eval_one ~observe:true i done);
+    | _ -> for i = 0 to n - 1 do eval_one ~observe:true ~shard:false i done);
     Printf.sprintf "OK batch=%d" n
     :: List.concat
          (List.mapi
@@ -139,6 +193,14 @@ let exec ?budget session (req : Protocol.request) =
     let stats = Session.stats session in
     Printf.sprintf "OK stats=%d" (List.length stats)
     :: List.map (fun (k, v) -> Printf.sprintf "%s %s" k v) stats
+  | Protocol.Metrics ->
+    (* stats rows (session + server hook) as counters/gauges, plus every
+       registered histogram; the render is guarded by [obs.export] *)
+    let text = Exposition.render (Session.stats session) in
+    let lines =
+      List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+    in
+    Printf.sprintf "OK metrics=%d" (List.length lines) :: lines
   | Protocol.Quit -> [ "OK bye" ]
 
 let protocol_error msg line =
@@ -149,13 +211,97 @@ let protocol_error msg line =
       source_line = Some line;
     }
 
+(* Substring scan over a (short) response status line, for the cache
+   hit/miss field of the access log. *)
+let contains_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+  go 0
+
+let cache_origin = function
+  | first :: _ when contains_sub first "cache=hit" -> Some "hit"
+  | first :: _ when contains_sub first "cache=miss" -> Some "miss"
+  | _ -> None
+
+let span_json (s : Obs.span) =
+  Json.Assoc
+    [
+      ("name", Json.String s.name);
+      ("depth", Json.Int s.depth);
+      ("duration_ms", Json.Float (s.duration *. 1000.));
+      ( "outcome",
+        Json.String
+          (match s.outcome with
+          | Obs.Completed -> "ok"
+          | Obs.Failed cls -> cls) );
+    ]
+
+(* One access-log line per parsed request; a request slower than
+   [slow_ms] leaves a second ["slow"] line carrying its span tree. *)
+let log_request ~id ~conn ~verb ~revision ~outcome ~duration ~lines ~spans =
+  match !access_log with
+  | None -> ()
+  | Some { write; slow_ms } ->
+    let duration_ms = duration *. 1000. in
+    let access =
+      Json.Assoc
+        ([
+           ("type", Json.String "access");
+           ("id", Json.Int id);
+           ("conn", Json.Int conn);
+           ("verb", Json.String verb);
+           ("revision", Json.Int revision);
+           ("outcome", Json.String outcome);
+           ("duration_ms", Json.Float duration_ms);
+         ]
+        @
+        match cache_origin lines with
+        | Some origin -> [ ("cache", Json.String origin) ]
+        | None -> [])
+    in
+    let slow =
+      match slow_ms with
+      | Some threshold when duration_ms >= threshold ->
+        [
+          Json.Assoc
+            [
+              ("type", Json.String "slow");
+              ("id", Json.Int id);
+              ("duration_ms", Json.Float duration_ms);
+              ("spans", Json.List (List.map span_json spans));
+            ];
+        ]
+      | _ -> []
+    in
+    (* one lock per request keeps lines whole across connection domains *)
+    Mutex.lock access_log_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock access_log_mutex)
+      (fun () -> List.iter (fun j -> write (Json.to_string j)) (access :: slow))
+
+let record_histograms ~verb ~lines =
+  if Histogram.recording () then begin
+    (match lines with
+    | first :: tuples when verb = "ANSWER" && not (contains_sub first "boolean=")
+      ->
+      Histogram.record h_answer_count (float_of_int (List.length tuples))
+    | _ -> ());
+    let bytes =
+      List.fold_left (fun n l -> n + String.length l + 1) 0 lines
+    in
+    Histogram.record h_bytes_out (float_of_int bytes)
+  end
+
 (* Execute one input line.  Returns the response lines and whether the
-   loop should stop.  Every parsed request runs under a fresh sub-budget
-   of the session budget (own step/size allowance, shared wall deadline)
-   and a [service.request] span; typed errors become in-protocol [ERR]
-   lines, so a failed request — including a budget-exhausted one — leaves
-   the session alive and usable. *)
-let handle_line ?budget session line =
+   loop should stop.  Every parsed request gets a process-unique id
+   (carried as the [request] span attribute and in the access log), runs
+   under a fresh sub-budget of the session budget (own step/size
+   allowance, shared wall deadline) and a [service.request] span, and is
+   timed into the per-verb latency histograms; typed errors become
+   in-protocol [ERR] lines, so a failed request — including a
+   budget-exhausted one — leaves the session alive and usable.  [conn] is
+   the server's connection id (0 for channel/script serving). *)
+let handle_line ?budget ?(conn = 0) session line =
   match Protocol.parse line with
   | Ok None -> ([], false)
   | Error msg ->
@@ -169,16 +315,46 @@ let handle_line ?budget session line =
       | Some b -> b
       | None -> Budget.sub (Session.budget session)
     in
-    (match
-       Error.protect (fun () ->
-           Obs.with_span "service.request"
-             ~attrs:[ ("verb", Protocol.verb req) ]
-             (fun () ->
-               Fault.hit Fault.service_request;
-               exec ~budget session req))
-     with
-    | Ok lines -> (lines, stop)
-    | Error e -> ([ "ERR " ^ Error.to_string e ], stop))
+    let id = Atomic.fetch_and_add next_request_id 1 in
+    let verb = Protocol.verb req in
+    let run () =
+      Error.protect (fun () ->
+          Obs.with_span "service.request"
+            ~attrs:[ ("verb", verb); ("request", string_of_int id) ]
+            (fun () ->
+              Fault.hit Fault.service_request;
+              exec ~budget session req))
+    in
+    let slow_armed =
+      match !access_log with
+      | Some { slow_ms = Some _; _ } -> true
+      | _ -> false
+    in
+    let t0 = Unix.gettimeofday () in
+    (* With --slow-ms armed, route this request's spans to a private
+       collector so a slow request can dump its tree.  The Obs slot is
+       process-wide, so under concurrent connections the attribution is
+       best-effort — same caveat as the rest of the span pillar. *)
+    let result, spans =
+      if slow_armed then
+        let result, collector = Obs.collecting run in
+        (result, Obs.Collector.spans collector)
+      else (run (), [])
+    in
+    let duration = Unix.gettimeofday () -. t0 in
+    let lines, outcome =
+      match result with
+      | Ok lines -> (lines, "ok")
+      | Error e -> ([ "ERR " ^ Error.to_string e ], Error.class_name e)
+    in
+    (match latency_histogram verb with
+    | Some h -> Histogram.record h duration
+    | None -> ());
+    record_histograms ~verb ~lines;
+    log_request ~id ~conn ~verb
+      ~revision:(Abox.revision (Session.abox session))
+      ~outcome ~duration ~lines ~spans;
+    (lines, stop)
 
 let run session ~input ~output =
   let rec loop () =

@@ -30,13 +30,39 @@ val exec :
     any [jobs]. *)
 
 val handle_line :
-  ?budget:Obda_runtime.Budget.t -> Session.t -> string -> string list * bool
+  ?budget:Obda_runtime.Budget.t ->
+  ?conn:int -> Session.t -> string -> string list * bool
 (** Parse and execute one input line under a [service.request] telemetry
-    span (with a [verb] attribute), mapping errors to [ERR] lines.  The
-    request budget defaults to a fresh {!Obda_runtime.Budget.sub} of the
-    session budget; the network server passes one with a per-request wall
-    deadline instead.  The boolean is [true] when the loop should stop
-    ([QUIT]).  Blank and comment lines yield no response. *)
+    span (with [verb] and monotonically assigned [request] id attributes),
+    mapping errors to [ERR] lines.  The request budget defaults to a fresh
+    {!Obda_runtime.Budget.sub} of the session budget; the network server
+    passes one with a per-request wall deadline instead, plus its
+    connection id as [conn] (0 otherwise — it tags access-log lines).
+    When {!Obda_obs.Histogram.recording} is armed, the request is timed
+    into the per-verb registry histograms ([serve.answer.latency],
+    [serve.batch.latency], [serve.mutate.latency]) along with
+    [serve.answer.count] and [serve.response.bytes]; [BATCH] additionally
+    times each query into [serve.batch.query.latency] (via per-worker
+    domain shards on the pooled path).  The boolean is [true] when the
+    loop should stop ([QUIT]).  Blank and comment lines yield no
+    response. *)
+
+(** {1 Access log} *)
+
+val set_access_log : ?slow_ms:float -> (string -> unit) -> unit
+(** Enable the structured access log: one JSON line per parsed request is
+    passed (without trailing newline) to the writer —
+    [{"type":"access","id":...,"conn":...,"verb":"ANSWER","revision":...,
+    "outcome":"ok","duration_ms":...,"cache":"hit"}] ([outcome] is the
+    error class for failed requests; [cache] appears on [PREPARE]
+    responses).  With [slow_ms], a request at least that slow writes a
+    second [{"type":"slow",...}] line carrying its collected span tree;
+    while armed, request spans are routed to the slow-query collector
+    rather than any installed telemetry sink.  Writes are serialised under
+    an internal mutex, so concurrent connections never interleave lines.
+    Process-wide; last call wins. *)
+
+val clear_access_log : unit -> unit
 
 val run :
   Session.t ->

@@ -17,6 +17,7 @@ module Error = Obda_runtime.Error
 module Fault = Obda_runtime.Fault
 module Pool = Obda_runtime.Pool
 module Obs = Obda_obs.Obs
+module Histogram = Obda_obs.Histogram
 
 type address = Unix_socket of string | Tcp of string * int
 
@@ -40,6 +41,11 @@ type t = {
   mutable shed_requests : int;
   mutable shed_connections : int;
   mutable started : float;
+  mutable conn_seq : int; (* connection ids, 1-based *)
+  conn_hists : (int, Histogram.t) Hashtbl.t;
+      (* live per-connection request-latency histograms (seconds); merged
+         with [closed_hist] on demand by [stats_rows] *)
+  closed_hist : Histogram.t; (* absorbed when a connection closes *)
 }
 
 let tick = 0.1
@@ -133,6 +139,9 @@ let create ?(connections = 4) ?(backlog = 16) ?max_inflight ?idle_timeout
     shed_requests = 0;
     shed_connections = 0;
     started = Unix.gettimeofday ();
+    conn_seq = 0;
+    conn_hists = Hashtbl.create 16;
+    closed_hist = Histogram.create ~scale:1e9 "server.request.latency";
   }
 
 let address t =
@@ -161,10 +170,24 @@ let stats_rows t =
   Mutex.lock t.m;
   let accepted = t.accepted
   and active = t.active
+  and inflight = t.inflight
   and served = t.served
   and shed_requests = t.shed_requests
-  and shed_connections = t.shed_connections in
+  and shed_connections = t.shed_connections
+  (* per-connection histograms combine here: closed connections were
+     absorbed into [closed_hist] (under this mutex), live ones merge
+     bucket-wise (exact, order-independent) into a scratch histogram.
+     Merging under the mutex excludes the close-time absorption, so a
+     request is never counted both live and closed. *)
+  and merged =
+    let merged = Histogram.create ~scale:1e9 "server.request.latency" in
+    Histogram.merge_into ~into:merged t.closed_hist;
+    Hashtbl.iter (fun _ h -> Histogram.merge_into ~into:merged h) t.conn_hists;
+    merged
+  in
   Mutex.unlock t.m;
+  let snap = Histogram.snapshot merged in
+  let quantile_ms q = Histogram.quantile snap q *. 1000. in
   [
     ("server.uptime-s", Printf.sprintf "%.1f" (Unix.gettimeofday () -. t.started));
     ("server.connections.accepted", string_of_int accepted);
@@ -172,10 +195,14 @@ let stats_rows t =
     ("server.connections.shed", string_of_int shed_connections);
     ("server.requests.served", string_of_int served);
     ("server.requests.shed", string_of_int shed_requests);
+    ("server.requests.inflight", string_of_int inflight);
     ( "server.snapshot.revisions",
       match Session.frozen_span t.session with
       | None -> "-"
       | Some (lo, hi) -> Printf.sprintf "%d-%d" lo hi );
+    ("server.p50-ms", Printf.sprintf "%.3f" (quantile_ms 0.50));
+    ("server.p95-ms", Printf.sprintf "%.3f" (quantile_ms 0.95));
+    ("server.p99-ms", Printf.sprintf "%.3f" (quantile_ms 0.99));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -221,6 +248,8 @@ let admission_exempt line =
 
 type conn = {
   fd : Unix.file_descr;
+  id : int; (* 1-based connection id, tagged onto access-log lines *)
+  hist : Histogram.t; (* this connection's request latencies (seconds) *)
   buf : Buffer.t;
   chunk : Bytes.t;
   mutable at_eof : bool;
@@ -278,17 +307,17 @@ let read_line t c =
 (* ------------------------------------------------------------------ *)
 (* Connection handling *)
 
-let handle_request t fd line =
+let handle_request t c line =
   if admission_exempt line then begin
-    let lines, stop = Serve.handle_line t.session line in
-    send_lines fd lines;
+    let lines, stop = Serve.handle_line ~conn:c.id t.session line in
+    send_lines c.fd lines;
     stop
   end
   else
     match try_admit t with
     | Error inflight ->
       Obs.incr "serve.request.shed";
-      send_lines fd
+      send_lines c.fd
         [
           Printf.sprintf "ERR class=overloaded inflight=%d limit=%d" inflight
             t.max_inflight;
@@ -301,18 +330,37 @@ let handle_request t fd line =
           let budget =
             Budget.sub ?timeout:t.request_timeout (Session.budget t.session)
           in
-          let lines, stop = Serve.handle_line ~budget t.session line in
-          send_lines fd lines;
+          (* server-side request latency: execution plus the response
+             write, as this connection observed it *)
+          let t0 = Unix.gettimeofday () in
+          let lines, stop = Serve.handle_line ~budget ~conn:c.id t.session line in
+          send_lines c.fd lines;
+          Histogram.record c.hist (Unix.gettimeofday () -. t0);
           stop)
 
 let handle_connection t fd =
-  Mutex.lock t.m;
-  t.active <- t.active + 1;
-  Mutex.unlock t.m;
+  let c =
+    Mutex.lock t.m;
+    t.active <- t.active + 1;
+    t.conn_seq <- t.conn_seq + 1;
+    let c =
+      { fd; id = t.conn_seq;
+        hist = Histogram.create ~scale:1e9 "server.request.latency";
+        buf = Buffer.create 256; chunk = Bytes.create 4096; at_eof = false }
+    in
+    Hashtbl.replace t.conn_hists c.id c.hist;
+    Mutex.unlock t.m;
+    c
+  in
   Fun.protect
     ~finally:(fun () ->
       (try Unix.close fd with _ -> ());
       Mutex.lock t.m;
+      (* absorb this connection's latencies as the live entry drops —
+         both under the mutex, so STATS quantiles never lose (or double
+         count) a closing connection *)
+      Histogram.merge_into ~into:t.closed_hist c.hist;
+      Hashtbl.remove t.conn_hists c.id;
       t.active <- t.active - 1;
       Mutex.unlock t.m)
     (fun () ->
@@ -320,10 +368,6 @@ let handle_connection t fd =
         (* [serve.connection] kills exactly this connection: the raise is
            caught below, the descriptor closes, the server keeps serving. *)
         Fault.hit Fault.serve_connection;
-        let c =
-          { fd; buf = Buffer.create 256; chunk = Bytes.create 4096;
-            at_eof = false }
-        in
         let rec loop () =
           match read_line t c with
           | `Eof | `Stopped -> ()
@@ -331,7 +375,7 @@ let handle_connection t fd =
             send_line_opt fd
               (Printf.sprintf "ERR class=budget resource=idle-seconds used=%g limit=%g"
                  (Option.get t.idle_timeout) (Option.get t.idle_timeout))
-          | `Line line -> if not (handle_request t fd line) then loop ()
+          | `Line line -> if not (handle_request t c line) then loop ()
         in
         loop ()
       with
@@ -454,6 +498,10 @@ let close t =
 let run t =
   t.started <- Unix.gettimeofday ();
   Session.set_stats_hook t.session (fun () -> stats_rows t);
+  (* The serving path always measures: per-verb registry histograms and
+     the per-connection STATS quantiles are part of the server surface. *)
+  let prev_recording = Histogram.recording () in
+  Histogram.set_enabled true;
   (* Writes to a hung-up peer must raise EPIPE, not kill the process. *)
   let prev_sigpipe =
     try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
@@ -468,6 +516,7 @@ let run t =
       (match prev_sigpipe with
       | Some h -> ( try Sys.set_signal Sys.sigpipe h with _ -> ())
       | None -> ());
+      Histogram.set_enabled prev_recording;
       Obs.flush ())
     (fun () ->
       Pool.run pool (fun w -> if w = 0 then accept_loop t else worker_loop t));

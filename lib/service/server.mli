@@ -82,6 +82,9 @@ val session : t -> Session.t
 val stats_rows : t -> (string * string) list
 (** The server rows appended to [STATS] via {!Session.set_stats_hook}:
     [server.uptime-s], [server.connections.accepted] / [.active] /
-    [.shed], [server.requests.served] / [.shed], and
+    [.shed], [server.requests.served] / [.shed] / [.inflight],
     [server.snapshot.revisions] (the {!Session.frozen_span} as ["lo-hi"],
-    or ["-"] before the first freeze). *)
+    or ["-"] before the first freeze), and [server.p50-ms] / [.p95-ms] /
+    [.p99-ms] — request-latency quantiles from the per-connection
+    histograms (closed connections absorbed at close time, live ones
+    merged on demand; see {!Obda_obs.Histogram}). *)

@@ -299,6 +299,75 @@ let snapshot_case () =
       "activation 1 not in Fault.fired ()");
   site_name
 
+(* [obs.export] fires at the top of the METRICS exposition render: the
+   request fails with an in-protocol ERR, the serve loop continues, and
+   the next METRICS renders the same exposition shape — telemetry export
+   can fail without taking the session with it. *)
+let obs_export_case () =
+  let site_name = "obs.export" in
+  let module Session = Obda_service.Session in
+  let module Serve = Obda_service.Serve in
+  let fresh () =
+    let s = Session.create () in
+    Session.load_ontology s
+      (Obda_parse.Parse.ontology_of_file (data "seq.onto"));
+    Session.load_data s (Obda_parse.Parse.data_of_file (data "seq.data"));
+    s
+  in
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  (* successive METRICS responses differ in gauge values (the session's
+     request counter, for one) but announce the same line count *)
+  let announced = function
+    | l :: _ when starts_with "OK metrics=" l ->
+      int_of_string_opt (String.sub l 11 (String.length l - 11))
+    | _ -> None
+  in
+  let session = fresh () in
+  let baseline = fst (Serve.handle_line session "METRICS") in
+  check
+    (site_name ^ ": fault-free baseline")
+    (match announced baseline with
+    | Some n -> n > 0 && List.length baseline = n + 1
+    | None -> false)
+    (String.concat " | " baseline);
+  (match Fault.parse_plan (site_name ^ "@1") with
+  | Error e -> check (site_name ^ ": plan parses") false e
+  | Ok plan ->
+    Fault.arm plan;
+    let lines, stop = Serve.handle_line session "METRICS" in
+    check
+      (site_name ^ ": in-protocol ERR on the render")
+      (match lines with
+      | l :: _ -> starts_with "ERR class=internal" l
+      | [] -> false)
+      (String.concat " | " lines);
+    check (site_name ^ ": loop continues past the fault") (not stop)
+      "QUIT signalled";
+    let retry = fst (Serve.handle_line session "METRICS") in
+    let fired = Fault.fired () in
+    Fault.disarm ();
+    check
+      (site_name ^ ": retry renders the same exposition shape")
+      (announced retry = announced baseline)
+      "retry line count differs from baseline";
+    check
+      (site_name ^ ": fired activation recorded")
+      (List.exists
+         (fun (s, n) -> Fault.site_name s = site_name && n = 1)
+         fired)
+      "activation 1 not in Fault.fired ()");
+  (* the session is still usable for ordinary requests afterwards *)
+  check
+    (site_name ^ ": session usable after the fault")
+    (match fst (Serve.handle_line session "STATS") with
+    | l :: _ -> starts_with "OK stats=" l
+    | [] -> false)
+    "STATS failed after the METRICS fault";
+  site_name
+
 (* The network-server sites guard the accept loop ([serve.accept]) and the
    per-connection handler ([serve.connection]): an injected fault shears
    off exactly one connection — the shed client reads a single ERR line
@@ -411,6 +480,8 @@ let () =
       service_case "service.request";
       service_case "service.cache";
       snapshot_case ();
+      (* telemetry export: METRICS render fails in protocol *)
+      obs_export_case ();
       (* network-server sites: an in-process server over a Unix socket *)
       server_case "serve.accept";
       server_case "serve.connection";

@@ -215,6 +215,220 @@ let test_json_parser () =
     | Ok (Json.String "Aé") -> true
     | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* the latency histograms and their Prometheus-text exposition *)
+
+module Histogram = Obda_obs.Histogram
+module Exposition = Obda_obs.Exposition
+
+let with_histograms f =
+  let prev = Histogram.recording () in
+  Histogram.set_enabled true;
+  Fun.protect ~finally:(fun () -> Histogram.set_enabled prev) f
+
+(* a deterministic LCG stream of latencies spanning ~6 decades, so every
+   run exercises the same buckets *)
+let samples n seed =
+  let state = ref seed in
+  List.init n (fun _ ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      let r = !state mod 1000 in
+      1e-7 *. (1.015 ** float_of_int r))
+
+let test_histogram_empty () =
+  let h = Histogram.create "t.hist.empty" in
+  let s = Histogram.snapshot h in
+  check_int "bucket array length" Histogram.buckets
+    (Array.length s.Histogram.scounts);
+  check_int "zero total" 0 s.Histogram.total;
+  check "zero sum" true (s.Histogram.sum = 0.);
+  List.iter
+    (fun q ->
+      check "empty quantile is 0" true (Histogram.quantile s q = 0.))
+    [ 0.; 0.5; 0.99; 1. ]
+
+let test_histogram_disabled () =
+  let h = Histogram.create "t.hist.off" in
+  check "recording off by default in tests" false (Histogram.recording ());
+  Histogram.record h 0.001;
+  Histogram.record h 1.0;
+  check_int "disarmed record is invisible" 0 (Histogram.snapshot h).Histogram.total
+
+let test_histogram_bucket_invariant () =
+  List.iter
+    (fun v ->
+      let i = Histogram.bucket_of v in
+      check "bucket index in range" true (i >= 0 && i < Histogram.buckets);
+      let upper = Histogram.bucket_upper i in
+      check
+        (Printf.sprintf "v=%g inside its bucket (%g, %g]" v
+           (upper /. Histogram.ratio) upper)
+        true
+        (v <= upper && v > upper /. Histogram.ratio *. (1. -. 1e-12)))
+    (samples 2_000 5 @ [ 1e-6; 0.001; 1.; 3.7; 1000. ])
+
+let test_histogram_merge_across_domains () =
+  with_histograms (fun () ->
+      let streams = List.init 4 (fun i -> samples 5_000 ((17 * i) + 3)) in
+      (* reference: all four streams recorded sequentially *)
+      let seq = Histogram.create ~scale:1e9 "t.hist.seq" in
+      List.iter (List.iter (Histogram.record seq)) streams;
+      (* four real domains, one private histogram each *)
+      let parts =
+        List.map
+          (fun vs ->
+            Domain.spawn (fun () ->
+                let h = Histogram.create ~scale:1e9 "t.hist.part" in
+                List.iter (Histogram.record h) vs;
+                h))
+          streams
+        |> List.map Domain.join
+      in
+      let merge order =
+        let m = Histogram.create ~scale:1e9 "t.hist.merged" in
+        List.iter (fun h -> Histogram.merge_into ~into:m h) order;
+        Histogram.snapshot m
+      in
+      let s_seq = Histogram.snapshot seq in
+      let s1 = merge parts in
+      let s2 = merge (List.rev parts) in
+      check_int "all events counted" 20_000 s_seq.Histogram.total;
+      check "merged buckets = sequential buckets" true
+        (s1.Histogram.scounts = s_seq.Histogram.scounts);
+      check "merge is order-independent" true
+        (s2.Histogram.scounts = s1.Histogram.scounts);
+      check "merged sum = sequential sum (exact)" true
+        (s1.Histogram.sum = s_seq.Histogram.sum);
+      check "reverse-order sum agrees" true
+        (s2.Histogram.sum = s1.Histogram.sum))
+
+let test_histogram_quantiles () =
+  with_histograms (fun () ->
+      let n = 2_000 in
+      let vs = samples n 7 in
+      let h = Histogram.create ~scale:1e9 "t.hist.q" in
+      List.iter (Histogram.record h) vs;
+      let s = Histogram.snapshot h in
+      let sorted = Array.of_list vs in
+      Array.sort compare sorted;
+      let prev = ref 0. in
+      List.iter
+        (fun q ->
+          let hq = Histogram.quantile s q in
+          check (Printf.sprintf "quantile monotone at q=%g" q) true
+            (hq >= !prev);
+          prev := hq;
+          (* the exact order statistic at the same rank lies within one
+             bucket ratio below the histogram's answer *)
+          let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+          let exact = sorted.(rank - 1) in
+          check
+            (Printf.sprintf "q=%g within one bucket (exact %g, hist %g)" q
+               exact hq)
+            true
+            (exact <= hq && exact > hq /. Histogram.ratio *. (1. -. 1e-9)))
+        [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 1. ])
+
+(* one exposition line: NAME{labels} VALUE / NAME VALUE, value split off
+   the last space *)
+let split_sample line =
+  match String.rindex_opt line ' ' with
+  | None -> Alcotest.failf "unparsable exposition line %S" line
+  | Some i ->
+    ( String.sub line 0 i,
+      String.sub line (i + 1) (String.length line - i - 1) )
+
+let le_of key =
+  match String.index_opt key '{' with
+  | None -> None
+  | Some _ ->
+    let marker = "le=\"" in
+    let rec find i =
+      if i + String.length marker > String.length key then None
+      else if String.sub key i (String.length marker) = marker then
+        let start = i + String.length marker in
+        let close = String.index_from key start '"' in
+        Some (String.sub key start (close - start))
+      else find (i + 1)
+    in
+    find 0
+
+let test_exposition_roundtrip () =
+  with_histograms (fun () ->
+      let h = Histogram.registered ~scale:1e9 "t.expo.latency" in
+      Histogram.reset h;
+      List.iter (Histogram.record h) (samples 500 11);
+      let stats =
+        [
+          ("t.expo.rows", "3");
+          ("t.expo.flag", "yes");
+          ("t.expo.span", "2-9");
+          ("t.expo.dash", "-");
+        ]
+      in
+      let text = Exposition.render stats in
+      let lines =
+        String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+      in
+      check "render is non-empty" true (lines <> []);
+      let values = Hashtbl.create 64 in
+      List.iter
+        (fun line ->
+          if line.[0] <> '#' then begin
+            let key, v = split_sample line in
+            check ("numeric value in " ^ line) true
+              (v = "+Inf" || float_of_string_opt v <> None);
+            Hashtbl.replace values key (float_of_string v)
+          end)
+        lines;
+      let value key =
+        match Hashtbl.find_opt values key with
+        | Some v -> v
+        | None -> Alcotest.failf "missing exposition sample %s" key
+      in
+      (* stats rows: numeric pass-through, yes/no, lo-hi spans, dashes
+         skipped *)
+      check "numeric row" true (value "obda_t_expo_rows" = 3.);
+      check "yes maps to 1" true (value "obda_t_expo_flag" = 1.);
+      check "span lo" true (value "obda_t_expo_span_lo" = 2.);
+      check "span hi" true (value "obda_t_expo_span_hi" = 9.);
+      check "dash rows are skipped" true
+        (not (Hashtbl.mem values "obda_t_expo_dash"));
+      (* the histogram series: cumulative non-decreasing buckets ending in
+         +Inf, with a _count that equals the +Inf bucket *)
+      let prefix = "obda_t_expo_latency_bucket{" in
+      let bucket_lines =
+        List.filter
+          (fun l -> l.[0] <> '#' && String.starts_with ~prefix l)
+          lines
+      in
+      check "histogram emits buckets" true (bucket_lines <> []);
+      let last_cum = ref 0. and last_le = ref neg_infinity in
+      let saw_inf = ref false in
+      List.iter
+        (fun line ->
+          let key, v = split_sample line in
+          let cum = float_of_string v in
+          let le =
+            match le_of key with
+            | Some "+Inf" ->
+              saw_inf := true;
+              infinity
+            | Some le -> float_of_string le
+            | None -> Alcotest.failf "bucket sample without le: %s" key
+          in
+          check "le strictly increasing" true (le > !last_le);
+          check "cumulative non-decreasing" true (cum >= !last_cum);
+          last_le := le;
+          last_cum := cum)
+        bucket_lines;
+      check "+Inf bucket present" true !saw_inf;
+      check "count = +Inf cumulative" true
+        (value "obda_t_expo_latency_count" = !last_cum);
+      check "count = recorded events" true
+        (value "obda_t_expo_latency_count" = 500.);
+      check "sum positive" true (value "obda_t_expo_latency_sum" > 0.))
+
 let suites =
   [
     ( "obs",
@@ -230,5 +444,17 @@ let suites =
         Alcotest.test_case "collecting restores outer sink" `Quick
           test_collecting_restores_outer_sink;
         Alcotest.test_case "json parser" `Quick test_json_parser;
+        Alcotest.test_case "histogram: empty snapshot" `Quick
+          test_histogram_empty;
+        Alcotest.test_case "histogram: disarmed record is a no-op" `Quick
+          test_histogram_disabled;
+        Alcotest.test_case "histogram: bucket invariant" `Quick
+          test_histogram_bucket_invariant;
+        Alcotest.test_case "histogram: merge across 4 domains" `Quick
+          test_histogram_merge_across_domains;
+        Alcotest.test_case "histogram: quantiles vs exact percentiles" `Quick
+          test_histogram_quantiles;
+        Alcotest.test_case "exposition round-trip" `Quick
+          test_exposition_roundtrip;
       ] );
   ]

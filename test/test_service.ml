@@ -705,11 +705,15 @@ let test_server_end_to_end () =
         (first (Client.request c "ASSERT A(c)"));
       (match Client.request c "STATS" with
       | status :: rows ->
-        check_str "stats with the server rows" "OK stats=21" status;
+        check_str "stats with the server rows" "OK stats=25" status;
         check "snapshot-span row present" true
           (List.exists (starts_with "server.snapshot.revisions ") rows);
         check "shed counter present and zero" true
-          (List.mem "server.requests.shed 0" rows)
+          (List.mem "server.requests.shed 0" rows);
+        check "latency quantile rows present" true
+          (List.exists (starts_with "server.p50-ms ") rows
+          && List.exists (starts_with "server.p95-ms ") rows
+          && List.exists (starts_with "server.p99-ms ") rows)
       | [] -> Alcotest.fail "no stats response");
       (* a second concurrent connection shares the session *)
       let c2 = Client.connect address in
@@ -775,6 +779,106 @@ let test_server_graceful_stop () =
   Client.close c;
   Session.close session
 
+(* METRICS: the Prometheus-text exposition must announce its own line
+   count, parse line by line, and keep every histogram family internally
+   consistent (cumulative buckets ending at +Inf = _count). *)
+let test_metrics_roundtrip () =
+  let module Histogram = Obda_obs.Histogram in
+  let prev = Histogram.recording () in
+  Histogram.set_enabled true;
+  Fun.protect ~finally:(fun () -> Histogram.set_enabled prev) @@ fun () ->
+  let s = Session.create () in
+  Session.load_ontology s (tbox ());
+  Session.load_data s (abox ());
+  let exec line = fst (Serve.handle_line s line) in
+  ignore (exec "PREPARE q1 q(x) <- A(x)");
+  ignore (exec "ANSWER q1");
+  ignore (exec "ANSWER q1");
+  ignore (exec "ASSERT A(zz)");
+  match exec "METRICS" with
+  | [] -> Alcotest.fail "no METRICS response"
+  | status :: payload ->
+    let n =
+      match String.split_on_char '=' status with
+      | [ "OK metrics"; n ] -> int_of_string n
+      | _ -> Alcotest.failf "unexpected METRICS status %S" status
+    in
+    check_int "announced line count matches payload" n (List.length payload);
+    check "payload is non-trivial" true (n > 20);
+    (* re-parse every line; accumulate histogram families *)
+    let buckets = Hashtbl.create 16
+    and counts = Hashtbl.create 16
+    and sums = Hashtbl.create 16 in
+    List.iter
+      (fun line ->
+        check "no blank payload lines" true (line <> "");
+        if line.[0] <> '#' then begin
+          let i =
+            match String.rindex_opt line ' ' with
+            | Some i -> i
+            | None -> Alcotest.failf "unparsable metrics line %S" line
+          in
+          let key = String.sub line 0 i in
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          let v =
+            match float_of_string_opt v with
+            | Some v -> v
+            | None -> Alcotest.failf "non-numeric value in %S" line
+          in
+          match String.index_opt key '{' with
+          | Some brace
+            when brace >= 7 && String.sub key (brace - 7) 7 = "_bucket" ->
+            let family = String.sub key 0 (brace - 7) in
+            let le = String.sub key brace (String.length key - brace) in
+            let cums =
+              Option.value ~default:[] (Hashtbl.find_opt buckets family)
+            in
+            Hashtbl.replace buckets family ((le, v) :: cums)
+          | _ ->
+            let suffix tbl suf =
+              let n = String.length suf in
+              if
+                String.length key > n
+                && String.sub key (String.length key - n) n = suf
+              then begin
+                Hashtbl.replace tbl (String.sub key 0 (String.length key - n)) v;
+                true
+              end
+              else false
+            in
+            ignore (suffix counts "_count" || suffix sums "_sum")
+        end)
+      payload;
+    check "at least one histogram family" true (Hashtbl.length buckets > 0);
+    check "serve.answer.latency exposed" true
+      (Hashtbl.mem buckets "obda_serve_answer_latency");
+    Hashtbl.iter
+      (fun family cums_rev ->
+        let cums = List.rev cums_rev in
+        (* cumulative counts never decrease in emission order *)
+        ignore
+          (List.fold_left
+             (fun prev (_, v) ->
+               check (family ^ " cumulative non-decreasing") true (v >= prev);
+               v)
+             0. cums);
+        (match List.rev cums with
+        | (le, last) :: _ ->
+          check (family ^ " ends at +Inf") true
+            (le = "{le=\"+Inf\"}" || le = "{le=\"+Inf\"} ");
+          check
+            (family ^ " count consistent with +Inf bucket")
+            true
+            (Hashtbl.find_opt counts family = Some last)
+        | [] -> Alcotest.failf "%s has no buckets" family);
+        check (family ^ " has a _sum") true (Hashtbl.mem sums family))
+      buckets;
+    (* the ANSWER latencies we just recorded are in there *)
+    (match Hashtbl.find_opt counts "obda_serve_answer_latency" with
+    | Some c -> check "answer latency count >= 2" true (c >= 2.)
+    | None -> Alcotest.fail "obda_serve_answer_latency_count missing");
+    Session.close s
+
 let suites =
   [
     ( "service",
@@ -829,5 +933,7 @@ let suites =
           test_server_idle_timeout;
         Alcotest.test_case "server: graceful stop returns the code" `Quick
           test_server_graceful_stop;
+        Alcotest.test_case "METRICS exposition round-trip" `Quick
+          test_metrics_roundtrip;
       ] );
   ]
