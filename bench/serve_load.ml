@@ -40,6 +40,105 @@ let connections = 8
 let ops_per_client = 40
 let seed_facts = 10
 
+(* The same mixed workload without the latency instrumentation: the
+   throughput probe for the durability leg. *)
+let run_clients address clients =
+  let non_square = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let client_body ci =
+    let cl = Client.connect address in
+    let fact = Printf.sprintf "A(w%d_%d)" clients ci in
+    let present = ref false in
+    for op = 0 to ops_per_client - 1 do
+      let req =
+        if ci mod 4 = 0 && op mod 2 = 1 then
+          if !present then begin
+            present := false;
+            "RETRACT " ^ fact
+          end
+          else begin
+            present := true;
+            "ASSERT " ^ fact
+          end
+        else "ANSWER qsq"
+      in
+      match Client.request cl req with
+      | first :: _ when String.starts_with ~prefix:"OK answers=" first -> (
+        match
+          int_of_string_opt (String.sub first 11 (String.length first - 11))
+        with
+        | Some n when is_square n -> ()
+        | _ -> Atomic.incr non_square)
+      | first :: _ when String.starts_with ~prefix:"OK" first -> ()
+      | _ -> Atomic.incr errors
+    done;
+    ignore (Client.request cl "QUIT");
+    Client.close cl
+  in
+  let threads = List.init clients (fun ci -> Thread.create client_body ci) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  ( float_of_int (clients * ops_per_client) /. wall,
+    Atomic.get non_square,
+    Atomic.get errors )
+
+(* Durability leg: the 8-client level again, but against a session whose
+   mutations go through a WAL with --durability=interval:100.  ANSWERs
+   dominate the mix and never touch the log, and the interval policy
+   bounds fsyncs to one per 100 ms window, so the acknowledged-durable
+   server must stay within 1.5x of the in-memory baseline. *)
+let durable_leg baseline_rate =
+  let module Wal = Obda_service.Wal in
+  let module Serve = Obda_service.Serve in
+  let dir = Filename.temp_file "obda-bench-wal" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let session = Session.create () in
+  Session.load_ontology session (example11 ());
+  let wal, _ = Wal.open_ ~policy:(Wal.Interval 0.1) dir in
+  Serve.attach_wal session wal;
+  ignore
+    (Session.assert_facts session
+       (List.init seed_facts (fun i ->
+            Abox.Concept_assertion
+              (Symbol.intern "A", Symbol.intern (Printf.sprintf "base%d" i)))));
+  let path = Filename.temp_file "obda-bench" ".sock" in
+  Sys.remove path;
+  let address = Server.Unix_socket path in
+  let server =
+    Server.create ~connections ~backlog:128 ~max_inflight:connections address
+      session
+  in
+  let server_thread = Thread.create (fun () -> ignore (Server.run server)) () in
+  let c0 = Client.connect address in
+  (match Client.request c0 "PREPARE qsq q(x,y) <- A(x), A(y)" with
+  | first :: _ when String.starts_with ~prefix:"OK" first -> ()
+  | other -> failwith ("PREPARE failed: " ^ String.concat " | " other));
+  ignore (Client.request c0 "QUIT");
+  Client.close c0;
+  let rate, non_square, errors = run_clients address 8 in
+  Server.stop server;
+  Thread.join server_thread;
+  Serve.detach_wal session;
+  Wal.close wal;
+  Session.close session;
+  let slowdown = baseline_rate /. rate in
+  record_float "durable.req_s" rate;
+  record_float "durable.slowdown" slowdown;
+  record_int "durable.non_square" non_square;
+  record_int "durable.errors" errors;
+  Printf.printf
+    "durable (8 clients, interval:100): %.0f req/s — %.2fx the in-memory \
+     baseline (acceptance: <= 1.5x, squares intact)\n"
+    rate slowdown;
+  if non_square > 0 then failwith "snapshot isolation violated (durable leg)";
+  if errors > 0 then failwith "request errors on the durable leg";
+  if slowdown > 1.5 then
+    failwith
+      (Printf.sprintf "durability slowdown %.2fx exceeds the 1.5x budget"
+         slowdown)
+
 let run () =
   print_header
     "serve-load: closed-loop clients over a Unix socket, mixed \
@@ -74,6 +173,7 @@ let run () =
     [ "clients"; "reqs"; "req/s"; "p50(ms)"; "p95(ms)"; "p99(ms)"; "squares"; "errs" ];
   let all_square = ref true in
   let all_agree = ref true in
+  let c8_rate = ref nan in
   let prev_recording = Histogram.recording () in
   Histogram.set_enabled true;
   List.iter
@@ -154,6 +254,7 @@ let run () =
       and p95 = quantile_ms 0.95
       and p99 = quantile_ms 0.99 in
       let rate = float_of_int reqs /. wall in
+      if clients = 8 then c8_rate := rate;
       let squares_ok = Atomic.get non_square = 0 in
       if not squares_ok then all_square := false;
       let tag fmt = Printf.sprintf "c%d.%s" clients fmt in
@@ -182,6 +283,7 @@ let run () =
   Server.stop server;
   Thread.join server_thread;
   Session.close session;
+  durable_leg !c8_rate;
   Printf.printf
     "(squares=yes on every level: no ANSWER ever saw a torn revision; \
      quantiles from merged per-client histograms, checked against exact \

@@ -632,10 +632,31 @@ let serve_cmd =
   let module Service = Obda_service in
   let run ontology data script cache_entries cache_size socket tcp connections
       backlog max_inflight idle_timeout request_timeout access_log slow_ms
-      budget jobs inject telemetry =
+      data_dir durability checkpoint_every budget jobs inject telemetry =
     handle_errors (fun () ->
         init_telemetry ~budget telemetry;
         arm_faults inject;
+        if data_dir = None && (durability <> None || checkpoint_every <> None)
+        then begin
+          prerr_endline
+            "obda: --durability and --checkpoint-every need --data-dir";
+          exit 124
+        end;
+        (match checkpoint_every with
+        | Some n when n < 1 ->
+          prerr_endline "obda: --checkpoint-every must be >= 1";
+          exit 124
+        | _ -> ());
+        let wal_policy =
+          match durability with
+          | None -> Service.Wal.Always
+          | Some spec -> (
+            match Service.Wal.sync_policy_of_string spec with
+            | Ok p -> p
+            | Error msg ->
+              Printf.eprintf "obda: --durability: %s\n" msg;
+              exit 124)
+        in
         if jobs < 1 then begin
           prerr_endline "obda: --jobs must be >= 1";
           exit 124
@@ -683,9 +704,59 @@ let serve_cmd =
           Service.Session.create ~budget ?cache_entries
             ?cache_weight:cache_size ~jobs ()
         in
+        let wal = ref None in
         Fun.protect
-          ~finally:(fun () -> Service.Session.close session)
+          ~finally:(fun () ->
+            (match !wal with
+            | Some w ->
+              (* a final checkpoint makes the next start instant (empty
+                 replay); best-effort — the WAL alone already carries
+                 every acknowledged mutation *)
+              (try ignore (Service.Serve.checkpoint_now session w)
+               with _ -> ());
+              Service.Serve.detach_wal session;
+              Service.Wal.close w
+            | None -> ());
+            Service.Session.close session)
           (fun () ->
+            (match data_dir with
+            | None -> ()
+            | Some dir ->
+              let w, recovered =
+                Service.Wal.open_ ~policy:wal_policy ?checkpoint_every dir
+              in
+              wal := Some w;
+              List.iter
+                (fun warning -> Printf.eprintf "obda: wal: %s\n%!" warning)
+                recovered.Service.Wal.warnings;
+              (* restore recovered state BEFORE hooking mutations to the
+                 log, so the restore itself is not re-appended *)
+              (match recovered.Service.Wal.tbox with
+              | Some tbox -> Service.Session.load_ontology session tbox
+              | None -> ());
+              if
+                recovered.Service.Wal.checkpoint_seq <> None
+                || recovered.Service.Wal.replayed > 0
+              then
+                Service.Session.load_data session recovered.Service.Wal.abox;
+              List.iter
+                (fun (name, algorithm, cq_text) ->
+                  ignore
+                    (Service.Session.prepare session ~name ~algorithm
+                       (Parse.query_of_string cq_text)))
+                recovered.Service.Wal.prepared;
+              Service.Serve.attach_wal session w;
+              Printf.eprintf
+                "obda: durable session in %s (policy=%s, checkpoint=%s, \
+                 replayed=%d record%s)\n\
+                 %!"
+                dir
+                (Service.Wal.sync_policy_to_string wal_policy)
+                (match recovered.Service.Wal.checkpoint_seq with
+                | Some seq -> Printf.sprintf "seq %d" seq
+                | None -> "none")
+                recovered.Service.Wal.replayed
+                (if recovered.Service.Wal.replayed = 1 then "" else "s"));
             (match ontology with
             | Some file ->
               Service.Session.load_ontology session
@@ -720,8 +791,23 @@ let serve_cmd =
                 (Service.Server.address_string
                    (Service.Server.address server))
                 (Option.value connections ~default:4);
-              let code = Service.Server.run server in
-              if code <> 0 then exit code
+              let on_drain =
+                Option.map
+                  (fun w () ->
+                    ignore (Service.Serve.checkpoint_now session w))
+                  !wal
+              in
+              let code = Service.Server.run ?on_drain server in
+              if code <> 0 then begin
+                (* exit bypasses Fun.protect: close the log here so the
+                   SIGTERM drain checkpoint is followed by a final sync *)
+                (match !wal with
+                | Some w ->
+                  Service.Serve.detach_wal session;
+                  Service.Wal.close w
+                | None -> ());
+                exit code
+              end
             | None -> (
               match script with
               | Some file ->
@@ -836,6 +922,38 @@ let serve_cmd =
              if none was given).  While armed, request spans are routed to \
              the slow-query collector instead of --trace sinks.")
   in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable session state in $(docv): every effective mutation is \
+             appended to a write-ahead log before its OK line, checkpoints \
+             snapshot the full session (CHECKPOINT verb or \
+             --checkpoint-every), and on restart the newest checkpoint is \
+             restored and the log tail replayed — a torn final record (a \
+             crash mid-append) is truncated with a warning, never refused.")
+  in
+  let durability =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "durability" ] ~docv:"POLICY"
+          ~doc:
+            "WAL sync policy: $(b,always) (fsync per record, the default), \
+             $(b,interval:MS) (fsync at most once per window), $(b,never) \
+             (leave syncing to the OS).  Requires --data-dir.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Write a checkpoint and truncate the log after every $(docv) \
+             WAL records.  Requires --data-dir.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -851,17 +969,25 @@ let serve_cmd =
           concurrent clients against one shared session, every \
           ANSWER/BATCH isolated on a copy-on-write ABox snapshot, with \
           admission control, idle/request timeouts and graceful drain on \
-          SIGTERM/SIGINT.")
+          SIGTERM/SIGINT.  With --data-dir the session is durable: a \
+          write-ahead log captures every mutation before its OK, \
+          checkpoints compact it, and a restart (even after kill -9) \
+          recovers exactly the acknowledged state.")
     Term.(
       const run $ ontology $ data $ script $ cache_entries $ cache_size
       $ socket_arg $ tcp_arg $ connections $ backlog $ max_inflight
-      $ idle_timeout $ request_timeout $ access_log $ slow_ms $ budget_term
-      $ jobs_term $ inject_term $ telemetry_term)
+      $ idle_timeout $ request_timeout $ access_log $ slow_ms $ data_dir
+      $ durability $ checkpoint_every $ budget_term $ jobs_term $ inject_term
+      $ telemetry_term)
 
 let client_cmd =
   let module Service = Obda_service in
-  let run socket tcp script =
+  let run socket tcp script retry =
     handle_errors (fun () ->
+        if retry < 0 then begin
+          prerr_endline "obda: --retry must be >= 0";
+          exit 124
+        end;
         let address =
           match server_address socket tcp with
           | Some a -> a
@@ -870,7 +996,7 @@ let client_cmd =
             exit 124
         in
         let client =
-          try Service.Client.connect address
+          try Service.Client.connect ~retries:retry address
           with Unix.Unix_error (e, _, _) ->
             Printf.eprintf "obda: cannot connect to %s: %s\n"
               (Service.Server.address_string address)
@@ -912,12 +1038,22 @@ let client_cmd =
             "Send the request lines of $(docv) instead of reading from \
              stdin.")
   in
+  let retry =
+    Arg.(
+      value & opt int 0
+      & info [ "retry" ] ~docv:"N"
+          ~doc:
+            "Retry a refused connection (server not yet bound) up to \
+             $(docv) times with exponential backoff and jitter — the \
+             readiness poll of the smoke scripts: obda client --retry 20 \
+             <<< PING.")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Connect to a running obda serve socket and exchange protocol \
           lines: requests from stdin (or --script), responses to stdout.")
-    Term.(const run $ socket_arg $ tcp_arg $ script)
+    Term.(const run $ socket_arg $ tcp_arg $ script $ retry)
 
 (* ------------------------------------------------------------------ *)
 (* obda top: poll METRICS and render a refreshing terminal dashboard. *)
@@ -1037,6 +1173,17 @@ let top_cmd =
           Fun.protect
             ~finally:(fun () -> Service.Client.close client)
             (fun () ->
+              (* PING first: it is admission-exempt, so it distinguishes
+                 "alive but saturated" (pong, then possibly an overloaded
+                 METRICS) from "dead" (no pong at all) *)
+              (match Service.Client.request client "PING" with
+              | pong :: _ when String.starts_with ~prefix:"OK pong" pong -> ()
+              | pong :: _ ->
+                Printf.eprintf "obda: liveness probe failed: %s\n" pong;
+                exit 1
+              | [] ->
+                prerr_endline "obda: no pong (server gone?)";
+                exit 1);
               match Service.Client.request client "METRICS" with
               | first :: rest
                 when String.starts_with ~prefix:"OK metrics=" first ->
@@ -1182,6 +1329,72 @@ let top_cmd =
           --socket or --tcp.")
     Term.(const run $ socket_arg $ tcp_arg $ interval $ count)
 
+let recover_cmd =
+  let module Service = Obda_service in
+  let run dir repair inject telemetry =
+    handle_errors (fun () ->
+        init_telemetry telemetry;
+        arm_faults inject;
+        let r = Service.Wal.recover ~repair dir in
+        List.iter
+          (fun warning -> Printf.eprintf "obda: wal: %s\n%!" warning)
+          r.Service.Wal.warnings;
+        Printf.printf "data dir:    %s\n" dir;
+        Printf.printf "checkpoint:  %s\n"
+          (match r.Service.Wal.checkpoint_seq with
+          | Some seq -> Printf.sprintf "seq %d" seq
+          | None -> "none");
+        Printf.printf "replayed:    %d record%s\n" r.Service.Wal.replayed
+          (if r.Service.Wal.replayed = 1 then "" else "s");
+        if r.Service.Wal.skipped > 0 then
+          Printf.printf "skipped:     %d record%s at or below the checkpoint\n"
+            r.Service.Wal.skipped
+            (if r.Service.Wal.skipped = 1 then "" else "s");
+        (match r.Service.Wal.torn_bytes with
+        | 0 -> ()
+        | n when repair ->
+          Printf.printf "torn tail:   %d byte%s truncated\n" n
+            (if n = 1 then "" else "s")
+        | n ->
+          Printf.printf
+            "torn tail:   %d byte%s (crash mid-append; --repair truncates, \
+             obda serve repairs on start)\n"
+            n
+            (if n = 1 then "" else "s"));
+        Printf.printf "last seq:    %d\n" r.Service.Wal.last_seq;
+        Printf.printf "state:       %d atoms, revision %d, ontology %s, %d \
+                       prepared quer%s\n"
+          (Obda_data.Abox.num_atoms r.Service.Wal.abox)
+          (Obda_data.Abox.revision r.Service.Wal.abox)
+          (match r.Service.Wal.tbox with Some _ -> "yes" | None -> "no")
+          (List.length r.Service.Wal.prepared)
+          (if List.length r.Service.Wal.prepared = 1 then "y" else "ies"))
+  in
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"The --data-dir of an obda serve session.")
+  in
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "Physically truncate a torn final record from the log (what \
+             obda serve does on start); without it the tear is only \
+             reported.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Inspect a durable session directory without starting a server: \
+          validate the checkpoints and write-ahead log, report what a \
+          restart would restore (checkpoint sequence, replayed records, \
+          torn-tail bytes) and exit non-zero on interior corruption.  A \
+          dry run by default; --repair truncates a torn final record.")
+    Term.(const run $ dir $ repair $ inject_term $ telemetry_term)
+
 let chaos_list_cmd =
   let run () =
     Printf.printf "# %-26s %-8s %-15s %s\n" "site" "layer" "class" "exit";
@@ -1228,6 +1441,7 @@ let main =
       serve_cmd;
       client_cmd;
       top_cmd;
+      recover_cmd;
       chaos_list_cmd;
     ]
 

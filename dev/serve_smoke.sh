@@ -17,16 +17,16 @@ sock="$dir/obda.sock"
 server=$!
 trap 'kill "$server" 2>/dev/null; rm -rf "$dir"' EXIT
 
-# wait for the listener to bind
-i=0
-while [ ! -S "$sock" ]; do
-  i=$((i + 1))
-  if [ "$i" -gt 100 ]; then
-    echo "server never bound $sock" >&2
-    exit 1
-  fi
-  sleep 0.1
-done
+# readiness: PING through the retrying client until the server answers
+# (no sleep-and-stat race — the pong proves the serve loop is live)
+if ! pong=$(printf 'PING\nQUIT\n' | "$OBDA" client --retry 50 --socket "$sock"); then
+  echo "server never answered a PING on $sock" >&2
+  exit 1
+fi
+case "$pong" in
+  "OK pong rev="*) ;;
+  *) echo "unexpected PING response: $pong" >&2; exit 1 ;;
+esac
 
 # one client prepares; 8 concurrent clients then issue mixed traffic
 printf 'PREPARE q q(x) <- A(x)\nQUIT\n' \

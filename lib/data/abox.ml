@@ -295,6 +295,161 @@ let pp ppf a =
     pp_fact ppf (to_facts a)
 
 (* ------------------------------------------------------------------ *)
+(* Binary serialization.
+
+   Symbols are process-local interned integers, so the wire format carries
+   its own dictionary: every symbol used by the instance is written once as
+   a length-prefixed string, and atoms reference dictionary indices.  The
+   output is canonical — predicates and members are sorted — so equal
+   instances serialize to equal bytes regardless of insertion order.
+   [Marshal] would be both unsafe (symbols do not survive a process
+   boundary) and non-canonical. *)
+
+let magic = "OBAX"
+let format_version = 1
+
+let put_u32 buf n =
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+
+let serialize a =
+  let unary =
+    List.map
+      (fun p -> (p, List.sort Symbol.compare (unary_members a p)))
+      (unary_preds a)
+  in
+  let binary =
+    List.map
+      (fun p -> (p, List.sort compare (binary_members a p)))
+      (binary_preds a)
+  in
+  (* dictionary in first-use order over the sorted atom stream *)
+  let index = Hashtbl.create 64 in
+  let dict_rev = ref [] in
+  let intern s =
+    match Hashtbl.find_opt index s with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length index in
+      Hashtbl.add index s i;
+      dict_rev := s :: !dict_rev;
+      i
+  in
+  List.iter
+    (fun (p, cs) ->
+      ignore (intern p);
+      List.iter (fun c -> ignore (intern c)) cs)
+    unary;
+  List.iter
+    (fun (p, pairs) ->
+      ignore (intern p);
+      List.iter
+        (fun (c, d) ->
+          ignore (intern c);
+          ignore (intern d))
+        pairs)
+    binary;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr format_version);
+  put_u32 buf (Hashtbl.length index);
+  List.iter
+    (fun s ->
+      let name = Symbol.name s in
+      put_u32 buf (String.length name);
+      Buffer.add_string buf name)
+    (List.rev !dict_rev);
+  put_u32 buf (List.length unary);
+  List.iter
+    (fun (p, cs) ->
+      put_u32 buf (intern p);
+      put_u32 buf (List.length cs);
+      List.iter (fun c -> put_u32 buf (intern c)) cs)
+    unary;
+  put_u32 buf (List.length binary);
+  List.iter
+    (fun (p, pairs) ->
+      put_u32 buf (intern p);
+      put_u32 buf (List.length pairs);
+      List.iter
+        (fun (c, d) ->
+          put_u32 buf (intern c);
+          put_u32 buf (intern d))
+        pairs)
+    binary;
+  Buffer.contents buf
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt msg)) fmt
+
+let deserialize s =
+  let pos = ref 0 in
+  let need n what =
+    if !pos + n > String.length s then
+      corrupt "truncated ABox blob: %s at offset %d" what !pos
+  in
+  let get_u32 what =
+    need 4 what;
+    let b i = Char.code s.[!pos + i] in
+    let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+    pos := !pos + 4;
+    if v < 0 then corrupt "negative length for %s" what;
+    v
+  in
+  let get_str n what =
+    need n what;
+    let v = String.sub s !pos n in
+    pos := !pos + n;
+    v
+  in
+  need (String.length magic + 1) "header";
+  if String.sub s 0 (String.length magic) <> magic then
+    corrupt "bad ABox magic (not an OBAX blob)";
+  pos := String.length magic;
+  let version = Char.code s.[!pos] in
+  incr pos;
+  if version <> format_version then
+    corrupt "unsupported ABox format version %d (expected %d)" version
+      format_version;
+  let nsyms = get_u32 "dictionary size" in
+  let dict =
+    Array.init nsyms (fun i ->
+        let len = get_u32 "dictionary entry length" in
+        Symbol.intern (get_str len (Printf.sprintf "dictionary entry %d" i)))
+  in
+  let sym what =
+    let i = get_u32 what in
+    if i >= nsyms then corrupt "dictionary index %d out of range for %s" i what;
+    dict.(i)
+  in
+  let a = create () in
+  let n_unary = get_u32 "unary predicate count" in
+  for _ = 1 to n_unary do
+    let p = sym "unary predicate" in
+    let n = get_u32 "unary member count" in
+    for _ = 1 to n do
+      add_unary a p (sym "unary member")
+    done
+  done;
+  let n_binary = get_u32 "binary predicate count" in
+  for _ = 1 to n_binary do
+    let p = sym "binary predicate" in
+    let n = get_u32 "binary member count" in
+    for _ = 1 to n do
+      let c = sym "binary member" in
+      let d = sym "binary member" in
+      add_binary a p c d
+    done
+  done;
+  if !pos <> String.length s then
+    corrupt "trailing garbage after ABox blob (offset %d of %d)" !pos
+      (String.length s);
+  a
+
+(* ------------------------------------------------------------------ *)
 (* Ontology interaction *)
 
 (* The basic concepts directly witnessed at [c] by the data. *)

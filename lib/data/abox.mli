@@ -82,6 +82,30 @@ val role_successors : t -> Role.t -> const -> const list
 
 val pp : Format.formatter -> t -> unit
 
+(** {1 Binary serialization}
+
+    A self-contained canonical binary encoding, used by the service
+    layer's checkpoint files.  Symbols are written as a length-prefixed
+    string dictionary (interned symbols are process-local and must never
+    cross a process boundary raw), atoms as dictionary indices; predicates
+    and members are sorted, so equal instances — whatever their insertion
+    history — serialize to identical bytes. *)
+
+exception Corrupt of string
+(** Raised by {!deserialize} on a malformed blob: bad magic, unsupported
+    version, truncation, out-of-range dictionary index or trailing
+    garbage. *)
+
+val serialize : t -> string
+(** The instance as a versioned binary blob (magic ["OBAX"], format
+    version byte, dictionary, unary then binary relations).  The
+    {!revision} counter is {e not} encoded: a {!deserialize}d instance is
+    a fresh store whose revision counts its own insertions. *)
+
+val deserialize : string -> t
+(** Inverse of {!serialize} up to revision history.  Raises {!Corrupt} on
+    malformed input. *)
+
 (** {1 Interaction with an ontology} *)
 
 val satisfies_concept : Tbox.t -> t -> const -> Concept.t -> bool

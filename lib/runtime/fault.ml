@@ -68,6 +68,9 @@ let serve_connection =
   register ~layer:"serve" ~default:Internal "serve.connection"
 let abox_snapshot = register ~layer:"data" ~default:Internal "abox.snapshot"
 let obs_export = register ~layer:"obs" ~default:Internal "obs.export"
+let wal_append = register ~layer:"wal" ~default:Internal "wal.append"
+let wal_sync = register ~layer:"wal" ~default:Internal "wal.sync"
+let wal_recover = register ~layer:"wal" ~default:Internal "wal.recover"
 
 let sites () = List.rev !registry
 let find_site name = List.find_opt (fun s -> s.name = name) !registry

@@ -47,7 +47,7 @@ val site_name : site -> string
 
 val site_layer : site -> string
 (** The pipeline layer owning the site: ["chase"], ["rewrite"], ["eval"],
-    ["parse"], ["obs"] or ["service"]. *)
+    ["parse"], ["obs"], ["service"], ["serve"], ["data"] or ["wal"]. *)
 
 val site_default : site -> cls
 (** The class a plan directive injects when it does not name one. *)
@@ -101,6 +101,24 @@ val obs_export : site
 (** Guard on every METRICS exposition render: an injected fault surfaces
     as the in-protocol [ERR] of the [METRICS] request that asked for it,
     leaving the session and connection usable. *)
+
+val wal_append : site
+(** Guard on every write-ahead-log record append (before the record's
+    bytes reach the log): an injected fault surfaces as the in-protocol
+    [ERR] of the mutation that would have been logged, so the client never
+    sees an [OK] for an unlogged mutation — the acknowledged prefix stays
+    exactly the recoverable prefix. *)
+
+val wal_sync : site
+(** Guard on every WAL fsync (the [always] policy syncs per record, the
+    [interval] policy per elapsed window): an injected fault fails the
+    mutation whose append requested the sync, leaving the session usable. *)
+
+val wal_recover : site
+(** Guard at the top of WAL/checkpoint recovery ([obda serve --data-dir],
+    [obda recover]): an injected fault aborts startup with the typed error
+    and its exit code, exactly like organic corruption that cannot be
+    truncated away. *)
 
 (** {1 Plans} *)
 

@@ -11,7 +11,7 @@ type t = {
   mutable at_eof : bool;
 }
 
-let connect address =
+let connect_once address =
   let fd =
     match (address : Server.address) with
     | Server.Unix_socket path ->
@@ -39,6 +39,30 @@ let connect address =
       fd
   in
   { fd; buf = Buffer.create 256; chunk = Bytes.create 4096; at_eof = false }
+
+(* "Not there yet" — the two errors a just-started server produces while
+   its socket is still being bound: connection refused (TCP, or a Unix
+   socket file that exists but nobody listens on) and a missing socket
+   path.  Anything else (EACCES, unresolvable host...) is a real error
+   and retrying would only hide it. *)
+let transient = function
+  | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) -> true
+  | _ -> false
+
+let connect ?(retries = 0) address =
+  (* Exponential backoff from 50 ms, doubling to a 2 s cap, with up to
+     25% jitter so a fleet of pollers does not reconverge in lockstep.
+     The jitter source is the clock's sub-millisecond residue — no need
+     to disturb the global [Random] state for this. *)
+  let rec go attempt delay =
+    match connect_once address with
+    | t -> t
+    | exception e when transient e && attempt < retries ->
+      let jitter = delay *. 0.25 *. Float.rem (Unix.gettimeofday () *. 997.) 1.0 in
+      Unix.sleepf (delay +. jitter);
+      go (attempt + 1) (Float.min (delay *. 2.) 2.0)
+  in
+  go 0 0.05
 
 let close t = try Unix.close t.fd with _ -> ()
 

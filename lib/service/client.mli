@@ -8,8 +8,13 @@
 
 type t
 
-val connect : Server.address -> t
-(** Raises [Unix.Unix_error] when the server is not there. *)
+val connect : ?retries:int -> Server.address -> t
+(** Raises [Unix.Unix_error] when the server is not there.  [retries]
+    (default 0) retries a refused connection ([ECONNREFUSED], or
+    [ENOENT] for a not-yet-bound Unix socket path) up to that many extra
+    times with exponential backoff — 50 ms doubling to a 2 s cap, plus
+    up to 25% jitter — the readiness poll of [obda client --retry] and
+    the smoke scripts.  Other errors are raised immediately. *)
 
 val close : t -> unit
 

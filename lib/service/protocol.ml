@@ -12,6 +12,8 @@ type request =
   | Retract_facts of string
   | Stats
   | Metrics
+  | Ping
+  | Checkpoint
   | Quit
 
 let verb = function
@@ -23,6 +25,8 @@ let verb = function
   | Retract_facts _ -> "RETRACT"
   | Stats -> "STATS"
   | Metrics -> "METRICS"
+  | Ping -> "PING"
+  | Checkpoint -> "CHECKPOINT"
   | Quit -> "QUIT"
 
 let is_space c = c = ' ' || c = '\t' || c = '\r'
@@ -91,6 +95,11 @@ let parse line =
     | "METRICS" ->
       if rest <> "" then Error "METRICS takes no arguments"
       else Ok (Some Metrics)
+    | "PING" ->
+      if rest <> "" then Error "PING takes no arguments" else Ok (Some Ping)
+    | "CHECKPOINT" ->
+      if rest <> "" then Error "CHECKPOINT takes no arguments"
+      else Ok (Some Checkpoint)
     | "QUIT" | "EXIT" ->
       if rest <> "" then Error "QUIT takes no arguments" else Ok (Some Quit)
     | v -> Error (Printf.sprintf "unknown verb %S" v)

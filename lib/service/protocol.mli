@@ -12,6 +12,8 @@
       RETRACT <fact> [<fact> ...]
       STATS
       METRICS
+      PING
+      CHECKPOINT
       QUIT
     v}
     Queries and facts use the textual format of {!Obda_parse.Parse}. *)
@@ -32,6 +34,12 @@ type request =
   | Metrics
       (** Prometheus-style text exposition of counters, gauges and latency
           histograms — the feed of [obda top] *)
+  | Ping
+      (** liveness probe: [OK pong rev=<revision> uptime=<seconds>] —
+          readiness polling for scripts and the [obda top] probe *)
+  | Checkpoint
+      (** force a durability checkpoint now; [ERR class=internal] when the
+          server runs without [--data-dir] *)
   | Quit
 
 val parse : string -> (request option, string) result

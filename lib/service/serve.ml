@@ -55,9 +55,51 @@ type access_log = {
 
 let access_log : access_log option ref = ref None
 let access_log_mutex = Mutex.create ()
+let access_log_errors = Atomic.make 0
 
 let set_access_log ?slow_ms write = access_log := Some { write; slow_ms }
 let clear_access_log () = access_log := None
+let access_log_error_count () = Atomic.get access_log_errors
+
+(* ------------------------------------------------------------------ *)
+(* Durability: the process's WAL, when [--data-dir] armed one.  Appends
+   ride the session's mutation hook (under the session lock); this slot
+   only serves the CHECKPOINT verb and the --checkpoint-every trigger. *)
+
+let durability : Wal.t option ref = ref None
+
+let checkpoint_now session wal =
+  Session.with_checkpoint_state session (fun ~tbox ~abox ~prepared ->
+      Wal.checkpoint wal ~tbox ~abox ~prepared)
+
+let attach_wal session wal =
+  durability := Some wal;
+  Session.set_wal_hook session
+    {
+      Session.on_mutation =
+        (fun mutation ~revision -> Wal.append wal mutation ~revision);
+      wal_rows = (fun () -> Wal.stats_rows wal);
+    }
+
+let detach_wal session =
+  durability := None;
+  Session.clear_wal_hook session
+
+(* The --checkpoint-every trigger, after a mutation was acknowledged.  A
+   failed automatic checkpoint must not fail the already-applied request:
+   the WAL still holds every record, so durability is intact — count it,
+   warn, and let the next trigger retry. *)
+let auto_checkpoint session =
+  match !durability with
+  | Some wal when Wal.due_checkpoint wal -> (
+    try ignore (checkpoint_now session wal)
+    with e ->
+      Obs.incr "wal.checkpoint.errors";
+      Printf.eprintf "obda: automatic checkpoint failed: %s\n%!"
+        (match e with
+        | Error.Obda_error err -> Error.to_string err
+        | e -> Printexc.to_string e))
+  | _ -> ()
 
 let origin_string = function `Hit -> "hit" | `Miss -> "miss"
 
@@ -201,6 +243,20 @@ let exec ?budget session (req : Protocol.request) =
       List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
     in
     Printf.sprintf "OK metrics=%d" (List.length lines) :: lines
+  | Protocol.Ping ->
+    [
+      Printf.sprintf "OK pong rev=%d uptime=%.1f"
+        (Abox.revision (Session.abox session))
+        (Session.uptime session);
+    ]
+  | Protocol.Checkpoint -> (
+    match !durability with
+    | None ->
+      Error.internal
+        "no durability configured (start obda serve with --data-dir)"
+    | Some wal ->
+      let seq = checkpoint_now session wal in
+      [ Printf.sprintf "OK checkpoint seq=%d" seq ])
   | Protocol.Quit -> [ "OK bye" ]
 
 let protocol_error msg line =
@@ -277,7 +333,15 @@ let log_request ~id ~conn ~verb ~revision ~outcome ~duration ~lines ~spans =
     Mutex.lock access_log_mutex;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock access_log_mutex)
-      (fun () -> List.iter (fun j -> write (Json.to_string j)) (access :: slow))
+      (fun () ->
+        (* a dead log destination (ENOSPC, closed pipe) must never take a
+           connection — or the server — down with it: count the failure
+           and disable logging to that destination for good *)
+        try List.iter (fun j -> write (Json.to_string j)) (access :: slow)
+        with _ ->
+          Atomic.incr access_log_errors;
+          Obs.incr "serve.access_log.errors";
+          access_log := None)
 
 let record_histograms ~verb ~lines =
   if Histogram.recording () then begin
@@ -354,6 +418,10 @@ let handle_line ?budget ?(conn = 0) session line =
     log_request ~id ~conn ~verb
       ~revision:(Abox.revision (Session.abox session))
       ~outcome ~duration ~lines ~spans;
+    (* a mutation just acknowledged may have tripped --checkpoint-every *)
+    (match (result, verb) with
+    | Ok _, ("ASSERT" | "RETRACT" | "LOAD") -> auto_checkpoint session
+    | _ -> ());
     (lines, stop)
 
 let run session ~input ~output =

@@ -64,6 +64,28 @@ val set_access_log : ?slow_ms:float -> (string -> unit) -> unit
 
 val clear_access_log : unit -> unit
 
+val access_log_error_count : unit -> int
+(** Write failures absorbed so far (process-wide).  A failed write — full
+    disk, closed pipe — increments this and the [serve.access_log.errors]
+    counter and disables the access log; it never fails the request, the
+    connection or the server. *)
+
+(** {1 Durability} *)
+
+val attach_wal : Session.t -> Wal.t -> unit
+(** Arm durability: install the session's WAL hook (every effective
+    mutation is appended — under the session lock, before its [OK] — and
+    the [server.wal.*] STATS rows appear) and register the log as the
+    target of the [CHECKPOINT] verb and the [--checkpoint-every] trigger.
+    Call {e after} restoring recovered state into the session.
+    Process-wide; last call wins. *)
+
+val detach_wal : Session.t -> unit
+
+val checkpoint_now : Session.t -> Wal.t -> int
+(** Capture the session state under its lock and write a checkpoint
+    ({!Wal.checkpoint}); returns the covered sequence number. *)
+
 val run :
   Session.t ->
   input:(unit -> string option) ->

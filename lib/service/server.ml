@@ -240,7 +240,9 @@ let admission_exempt line =
     | None -> line
   in
   match String.uppercase_ascii verb with
-  | "QUIT" | "EXIT" -> true
+  (* PING too: a liveness probe must answer even on an overloaded server —
+     that is what distinguishes "alive but saturated" from "dead" *)
+  | "QUIT" | "EXIT" | "PING" -> true
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
@@ -495,7 +497,7 @@ let close t =
   | Some path -> ( try Unix.unlink path with _ -> ())
   | None -> ()
 
-let run t =
+let run ?on_drain t =
   t.started <- Unix.gettimeofday ();
   Session.set_stats_hook t.session (fun () -> stats_rows t);
   (* The serving path always measures: per-verb registry histograms and
@@ -512,6 +514,17 @@ let run t =
     ~finally:(fun () ->
       Pool.shutdown pool;
       drain_pending t;
+      (* the drain hook runs once every connection worker has finished —
+         no request is in flight — and before the listener closes: the
+         durability checkpoint on SIGTERM.  Its failure must not turn a
+         graceful drain into a crash; the WAL still holds every record. *)
+      (match on_drain with
+      | Some f -> (
+        try f ()
+        with e ->
+          Printf.eprintf "obda: drain hook failed: %s\n%!"
+            (Printexc.to_string e))
+      | None -> ());
       close t;
       (match prev_sigpipe with
       | Some h -> ( try Sys.set_signal Sys.sigpipe h with _ -> ())

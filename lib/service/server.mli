@@ -12,8 +12,8 @@
     - {b Admission control} — at most [max_inflight] requests execute at
       once; excess requests are shed with an in-protocol
       [ERR class=overloaded] line (the connection stays open).  [QUIT] /
-      [EXIT] and blank/comment lines are exempt, so clients can always
-      leave.  A full pending-connection queue (> [backlog]) sheds the
+      [EXIT], [PING] and blank/comment lines are exempt, so clients can
+      always leave and liveness probes answer even under saturation.  A full pending-connection queue (> [backlog]) sheds the
       whole connection the same way.
     - {b Timeouts} — [idle_timeout] closes a connection that sends nothing
       (after an [ERR class=budget resource=idle-seconds] line);
@@ -53,13 +53,17 @@ val create :
     and [Unix.Unix_error] when binding fails (stale socket file, port in
     use). *)
 
-val run : t -> int
+val run : ?on_drain:(unit -> unit) -> t -> int
 (** Serve until {!request_stop}.  Installs the STATS hook (see
     {!stats_rows}), ignores [SIGPIPE] for the duration, then runs the
     accept loop and connection workers on an internal domain pool.
     Returns the exit code passed to {!request_stop} (0 for {!stop});
     the listener is closed and a Unix socket path unlinked on the way
-    out.  Not reentrant. *)
+    out.  [on_drain] runs after every connection worker has finished
+    (no request in flight) and before the listener closes — the hook
+    for a final durability checkpoint on graceful shutdown; an
+    exception from it is reported to stderr but does not change the
+    exit code.  Not reentrant. *)
 
 val request_stop : t -> code:int -> unit
 (** Begin graceful shutdown; {!run} will return [code] (the first call

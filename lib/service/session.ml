@@ -14,11 +14,21 @@ module Omq = Obda_rewriting.Omq
 module Tbox = Obda_ontology.Tbox
 module Abox = Obda_data.Abox
 module Eval = Obda_ndl.Eval
+module Parse = Obda_parse.Parse
 module Budget = Obda_runtime.Budget
 module Error = Obda_runtime.Error
 module Fault = Obda_runtime.Fault
 module Pool = Obda_runtime.Pool
 module Obs = Obda_obs.Obs
+
+type wal_hook = {
+  on_mutation : Wal.mutation -> revision:int -> unit;
+      (* invoked under the session lock, BEFORE the mutation is applied:
+         a raise leaves the store untouched and surfaces as the request's
+         ERR, so acknowledged always implies logged *)
+  wal_rows : unit -> (string * string) list;
+      (* the server.wal.* STATS rows, read under the session lock *)
+}
 
 type t = {
   lock : Mutex.t;
@@ -40,6 +50,8 @@ type t = {
   mutable frozen_span : (int * int) option;
       (* min/max ABox revision ever served through [freeze] *)
   mutable stats_hook : (unit -> (string * string) list) option;
+  mutable wal : wal_hook option;
+  created : float;
 }
 
 let memo_bound = 128
@@ -71,6 +83,8 @@ let create ?(budget = Budget.none) ?cache_entries ?cache_weight ?(jobs = 1) ()
     requests = 0;
     frozen_span = None;
     stats_hook = None;
+    wal = None;
+    created = Unix.gettimeofday ();
   }
 
 let budget t = t.budget
@@ -98,9 +112,21 @@ let count_request t = with_lock t (fun () -> t.requests <- t.requests + 1)
 let requests t = t.requests
 
 let set_stats_hook t hook = with_lock t (fun () -> t.stats_hook <- Some hook)
+let set_wal_hook t hook = with_lock t (fun () -> t.wal <- Some hook)
+let clear_wal_hook t = with_lock t (fun () -> t.wal <- None)
+let uptime t = Unix.gettimeofday () -. t.created
+
+(* Log under the lock, before applying: a WAL failure leaves the store
+   untouched and the request unacknowledged, so the recoverable prefix is
+   exactly the acknowledged prefix. *)
+let wal_log t mutation ~revision =
+  match t.wal with
+  | Some hook -> hook.on_mutation mutation ~revision
+  | None -> ()
 
 let load_ontology t tbox =
   with_lock t (fun () ->
+      wal_log t (Wal.Load_ontology tbox) ~revision:(Abox.revision t.abox);
       t.tbox <- Some tbox;
       (* Prepared queries were rewritten against the previous TBox. *)
       Hashtbl.reset t.prepared;
@@ -109,32 +135,64 @@ let load_ontology t tbox =
 
 let load_data t abox =
   with_lock t (fun () ->
+      wal_log t (Wal.Load_data abox) ~revision:(Abox.revision abox);
       t.abox <- abox;
       t.generation <- t.generation + 1;
       Hashtbl.reset t.consistency)
 
 let assert_facts t facts =
   with_lock t (fun () ->
-      let added =
-        List.fold_left
-          (fun n fact ->
-            if Abox.mem_fact t.abox fact then n
-            else begin
-              Abox.add_fact t.abox fact;
-              n + 1
-            end)
-          0 facts
+      (* the facts that will actually change the store, deduplicated:
+         these are what the WAL records and what [added] counts *)
+      let effective =
+        List.rev
+          (List.fold_left
+             (fun acc fact ->
+               if Abox.mem_fact t.abox fact || List.mem fact acc then acc
+               else fact :: acc)
+             [] facts)
       in
+      let added = List.length effective in
+      if added > 0 then
+        wal_log t (Wal.Assert effective)
+          ~revision:(Abox.revision t.abox + added);
+      List.iter (Abox.add_fact t.abox) effective;
       (added, Abox.num_atoms t.abox))
 
 let retract_facts t facts =
   with_lock t (fun () ->
-      let removed =
-        List.fold_left
-          (fun n fact -> if Abox.remove_fact t.abox fact then n + 1 else n)
-          0 facts
+      let effective =
+        List.rev
+          (List.fold_left
+             (fun acc fact ->
+               if Abox.mem_fact t.abox fact && not (List.mem fact acc) then
+                 fact :: acc
+               else acc)
+             [] facts)
       in
+      let removed = List.length effective in
+      if removed > 0 then
+        wal_log t (Wal.Retract effective)
+          ~revision:(Abox.revision t.abox + removed);
+      List.iter (fun fact -> ignore (Abox.remove_fact t.abox fact)) effective;
       (removed, Abox.num_atoms t.abox))
+
+(* Checkpoint capture: hand the callback a consistent view — and run it to
+   completion — under the session lock.  WAL appends also happen under the
+   lock, so nothing can slip between the state the callback serializes and
+   the log truncation it performs. *)
+let with_checkpoint_state t f =
+  with_lock t (fun () ->
+      let prepared =
+        Hashtbl.fold
+          (fun name p acc ->
+            (name, Prepared.algorithm p,
+             Parse.query_to_string (Prepared.omq p).Omq.cq)
+            :: acc)
+          t.prepared []
+        |> List.sort compare
+      in
+      f ~tbox:t.tbox ~abox:t.abox ~prepared)
 
 let assert_fact t fact = fst (assert_facts t [ fact ]) = 1
 let retract_fact t fact = fst (retract_facts t [ fact ]) = 1
@@ -236,6 +294,9 @@ let stats t =
   let base, hook =
     with_lock t (fun () ->
         let cache = t.cache in
+        let wal_rows =
+          match t.wal with Some h -> h.wal_rows () | None -> []
+        in
         let consistency =
           match
             if t.tbox = None then Some true
@@ -265,7 +326,8 @@ let stats t =
             ("cache.hits", string_of_int (Cache.hits cache));
             ("cache.misses", string_of_int (Cache.misses cache));
             ("cache.evictions", string_of_int (Cache.evictions cache));
-          ],
+          ]
+          @ wal_rows,
           t.stats_hook ))
   in
   match hook with None -> base | Some hook -> base @ hook ()

@@ -145,6 +145,48 @@ val set_stats_hook : t -> (unit -> (string * string) list) -> unit
     uptime/connection/shed/revision-span rows.  Plain sessions have no
     hook, so existing [STATS] fixtures keep their exact row count. *)
 
+val uptime : t -> float
+(** Seconds since the session was created — the [PING] verb's uptime. *)
+
+(** {1 Durability}
+
+    A session with a WAL hook logs every effective mutation {e before}
+    applying it, under the session lock: a hook that raises (a full disk,
+    an injected [wal.append]/[wal.sync] fault) leaves the store untouched
+    and surfaces as that request's [ERR], so a client-acknowledged
+    mutation is always a logged one. *)
+
+type wal_hook = {
+  on_mutation : Wal.mutation -> revision:int -> unit;
+      (** called under the session lock with the effective mutation (the
+          deduplicated facts that will actually change the store; the full
+          TBox/ABox for loads) and the post-mutation revision *)
+  wal_rows : unit -> (string * string) list;
+      (** the [server.wal.*] rows appended to {!stats} (called under the
+          session lock) *)
+}
+
+val set_wal_hook : t -> wal_hook -> unit
+(** Install the durability hook.  Install it {e after} restoring
+    recovered state into the session, or the restore would re-log its own
+    replay. *)
+
+val clear_wal_hook : t -> unit
+
+val with_checkpoint_state :
+  t ->
+  (tbox:Obda_ontology.Tbox.t option ->
+  abox:Obda_data.Abox.t ->
+  prepared:(string * Omq.algorithm * string) list ->
+  'a) ->
+  'a
+(** Run [f] under the session lock with the live state: the TBox, the
+    ABox (not a copy — [f] must only read it) and the prepared registry
+    as (name, algorithm, query text) triples sorted by name.  This is the
+    checkpoint capture: because WAL appends also run under the lock, a
+    checkpoint written inside [f] can truncate the log with no append
+    lost in between. *)
+
 val stats : t -> (string * string) list
 (** Observable session state as ordered key/value pairs (the [STATS]
     verb): request count, ontology/data sizes, data revision, consistency

@@ -2,4 +2,5 @@ let () =
   Alcotest.run "obda"
     (Test_ontology.suites @ Test_cq.suites @ Test_data.suites
    @ Test_chase.suites @ Test_reductions.suites @ Test_ndl.suites @ Test_rewriting.suites @ Test_parse.suites @ Test_properties.suites @ Test_appendix.suites @ Test_extensions.suites @ Test_internals.suites @ Test_ucq_internals.suites @ Test_mapping.suites
-   @ Test_runtime.suites @ Test_obs.suites @ Test_service.suites)
+   @ Test_runtime.suites @ Test_obs.suites @ Test_service.suites
+   @ Test_wal.suites)

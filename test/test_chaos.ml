@@ -454,6 +454,132 @@ let server_case site_name =
   Session.close session;
   site_name
 
+(* The durability sites.  [wal.append] and [wal.sync] guard the mutation
+   path of a durable session: an injected fault surfaces as the mutation
+   request's in-protocol ERR, the store does NOT apply the mutation
+   (log-before-apply), recovery agrees with the live store, and the next
+   mutation succeeds with the plan still armed. *)
+let wal_mutation_case site_name =
+  let module Session = Obda_service.Session in
+  let module Serve = Obda_service.Serve in
+  let module Wal = Obda_service.Wal in
+  let module Abox = Obda_data.Abox in
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let dir =
+    let d = Filename.temp_file "obda-chaos-wal" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o755;
+    d
+  in
+  let facts_key abox =
+    Abox.to_facts abox
+    |> List.map (Format.asprintf "%a" Abox.pp_fact)
+    |> List.sort compare |> String.concat ";"
+  in
+  let session = Session.create () in
+  let wal, _ = Wal.open_ dir in
+  Serve.attach_wal session wal;
+  let exec line = fst (Serve.handle_line session line) in
+  let ok = function l :: _ -> starts_with "OK" l | [] -> false in
+  check (site_name ^ ": fault-free baseline mutation")
+    (ok (exec "ASSERT A(seed)"))
+    "seed assert failed";
+  (match Fault.parse_plan (site_name ^ "@1") with
+  | Error e -> check (site_name ^ ": plan parses") false e
+  | Ok plan ->
+    Fault.arm plan;
+    let lines, stop = Serve.handle_line session "ASSERT A(lost)" in
+    check
+      (site_name ^ ": in-protocol ERR on the mutation")
+      (match lines with
+      | l :: _ -> starts_with "ERR class=internal" l
+      | [] -> false)
+      (String.concat " | " lines);
+    check (site_name ^ ": loop continues past the fault") (not stop)
+      "QUIT signalled";
+    check
+      (site_name ^ ": store does not apply the unacknowledged mutation")
+      (not (Abox.mem_unary (Session.abox session)
+              (Obda_syntax.Symbol.intern "A")
+              (Obda_syntax.Symbol.intern "lost")))
+      "A(lost) is in the store";
+    (* activation 1 has passed: mutations work again, plan still armed *)
+    let retried = ok (exec "ASSERT A(retry)") in
+    let fired = Fault.fired () in
+    Fault.disarm ();
+    check (site_name ^ ": session usable after the fault") retried
+      "retry mutation failed";
+    check
+      (site_name ^ ": fired activation recorded")
+      (List.exists
+         (fun (s, n) -> Fault.site_name s = site_name && n = 1)
+         fired)
+      "activation 1 not in Fault.fired ()");
+  (* recovery sees exactly the acknowledged mutations *)
+  let live = facts_key (Session.abox session) in
+  Serve.detach_wal session;
+  Wal.close wal;
+  let recovered = Wal.recover dir in
+  check
+    (site_name ^ ": recovery equals the acknowledged state")
+    (facts_key recovered.Wal.abox = live)
+    "recovered store differs from the live one";
+  Session.close session;
+  site_name
+
+(* [wal.recover] guards the recovery entry point: the injected fault is a
+   typed startup error with the internal exit code — never a silent empty
+   start — and the fault-free retry recovers the state. *)
+let wal_recover_case () =
+  let site_name = "wal.recover" in
+  let module Wal = Obda_service.Wal in
+  let module Abox = Obda_data.Abox in
+  let dir =
+    let d = Filename.temp_file "obda-chaos-wal" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o755;
+    d
+  in
+  let wal, _ = Wal.open_ dir in
+  Wal.append wal (Wal.Assert [ Abox.Concept_assertion (Obda_syntax.Symbol.intern "A", Obda_syntax.Symbol.intern "a") ]) ~revision:1;
+  Wal.close wal;
+  (match Fault.parse_plan (site_name ^ "@1") with
+  | Error e -> check (site_name ^ ": plan parses") false e
+  | Ok plan ->
+    Fault.arm plan;
+    (match Wal.recover dir with
+    | _ ->
+      Fault.disarm ();
+      check (site_name ^ ": injected fault raises") false "recover succeeded"
+    | exception Error.Obda_error e ->
+      let fired = Fault.fired () in
+      Fault.disarm ();
+      check
+        (site_name ^ ": typed error with the internal exit code")
+        (Error.exit_code e = Fault.cls_exit_code Fault.Internal)
+        (Printf.sprintf "exit %d" (Error.exit_code e));
+      check
+        (site_name ^ ": fired activation recorded")
+        (List.exists
+           (fun (s, n) -> Fault.site_name s = site_name && n = 1)
+           fired)
+        "activation 1 not in Fault.fired ()"
+    | exception e ->
+      Fault.disarm ();
+      check (site_name ^ ": injected fault raises Obda_error") false
+        ("unexpected exception " ^ Printexc.to_string e)));
+  (* fault-free rerun restores the record *)
+  let recovered = Wal.recover dir in
+  check
+    (site_name ^ ": fault-free rerun recovers the state")
+    (recovered.Wal.replayed = 1 && Abox.num_atoms recovered.Wal.abox = 1)
+    (Printf.sprintf "replayed %d, atoms %d" recovered.Wal.replayed
+       (Abox.num_atoms recovered.Wal.abox));
+  site_name
+
 let () =
   let covered =
     [
@@ -485,6 +611,11 @@ let () =
       (* network-server sites: an in-process server over a Unix socket *)
       server_case "serve.accept";
       server_case "serve.connection";
+      (* durability: WAL appends/syncs fail in protocol, recovery fails
+         typed at startup *)
+      wal_mutation_case "wal.append";
+      wal_mutation_case "wal.sync";
+      wal_recover_case ();
     ]
   in
   (* exhaustiveness: every registered site must have a chaos case *)

@@ -466,7 +466,7 @@ let test_fault_plan_language () =
   check "unknown class rejected" true (rejected "chase.step@1=kaboom");
   check "empty plan rejected" true (rejected "");
   (* the registry is static and closed over the documented site names *)
-  check_int "registry size" 20 (List.length (Fault.sites ()));
+  check_int "registry size" 23 (List.length (Fault.sites ()));
   List.iter
     (fun s ->
       check

@@ -67,6 +67,9 @@ let test_protocol_verbs () =
   | Protocol.Retract_facts t -> check_str "retract payload" "A(a)" t
   | _ -> Alcotest.fail "expected Retract_facts");
   check "stats" true (ok_some "STATS" = Protocol.Stats);
+  check "ping" true (ok_some "PING" = Protocol.Ping);
+  check "ping (case-insensitive)" true (ok_some "ping" = Protocol.Ping);
+  check "checkpoint" true (ok_some "CHECKPOINT" = Protocol.Checkpoint);
   check "quit" true (ok_some "QUIT" = Protocol.Quit);
   check "exit alias" true (ok_some "exit" = Protocol.Quit)
 
@@ -85,7 +88,9 @@ let test_protocol_skips_and_errors () =
   check "ANSWER without name" true (is_error "ANSWER");
   check "ANSWER extra args" true (is_error "ANSWER q1 q2");
   check "ASSERT empty" true (is_error "ASSERT");
-  check "STATS with args" true (is_error "STATS now")
+  check "STATS with args" true (is_error "STATS now");
+  check "PING with args" true (is_error "PING pong");
+  check "CHECKPOINT with args" true (is_error "CHECKPOINT now")
 
 (* ------------------------------------------------------------------ *)
 (* Cache *)
@@ -879,6 +884,54 @@ let test_metrics_roundtrip () =
     | None -> Alcotest.fail "obda_serve_answer_latency_count missing");
     Session.close s
 
+(* ------------------------------------------------------------------ *)
+(* access-log resilience *)
+
+let test_access_log_write_failure () =
+  let s = Session.create () in
+  Session.load_data s (abox ());
+  let calls = ref 0 in
+  Serve.set_access_log (fun _ ->
+      incr calls;
+      raise (Sys_error "disk full"));
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.clear_access_log ();
+      Session.close s)
+    (fun () ->
+      let errors_before = Serve.access_log_error_count () in
+      (* the failing writer must not fail the request *)
+      let lines, stop = Serve.handle_line s "ASSERT A(x)" in
+      check "request still succeeds" true
+        (match lines with l :: _ -> String.sub l 0 2 = "OK" | [] -> false);
+      check "loop continues" false stop;
+      check_int "writer was attempted once" 1 !calls;
+      check_int "failure counted" (errors_before + 1)
+        (Serve.access_log_error_count ());
+      (* the log is disabled after the failure: no further attempts *)
+      ignore (Serve.handle_line s "ASSERT A(y)");
+      check_int "logging disabled after the failure" 1 !calls;
+      check_int "no further failures counted" (errors_before + 1)
+        (Serve.access_log_error_count ()))
+
+let test_serve_ping_and_checkpoint_without_wal () =
+  let s = Session.create () in
+  Fun.protect
+    ~finally:(fun () -> Session.close s)
+    (fun () ->
+      Session.load_data s (abox ());
+      (match fst (Serve.handle_line s "PING") with
+      | [ pong ] ->
+        check "pong carries the revision" true
+          (String.starts_with ~prefix:"OK pong rev=2 uptime=" pong)
+      | other ->
+        Alcotest.failf "expected one pong line, got %d" (List.length other));
+      (* CHECKPOINT without --data-dir is a typed in-protocol error *)
+      let lines, stop = Serve.handle_line s "CHECKPOINT" in
+      check_str "checkpoint without durability" "internal"
+        (err_class (first lines));
+      check "loop continues" false stop)
+
 let suites =
   [
     ( "service",
@@ -935,5 +988,9 @@ let suites =
           test_server_graceful_stop;
         Alcotest.test_case "METRICS exposition round-trip" `Quick
           test_metrics_roundtrip;
+        Alcotest.test_case "access log absorbs write failures" `Quick
+          test_access_log_write_failure;
+        Alcotest.test_case "PING and CHECKPOINT without durability" `Quick
+          test_serve_ping_and_checkpoint_without_wal;
       ] );
   ]
