@@ -796,6 +796,149 @@ let par_scaling () =
     mean
     (Domain.recommended_domain_count ())
 
+(* ------------------------------------------------------------------ *)
+(* Cost-based join planning + semi-naïve delta evaluation vs the naïve
+   baseline (--naive: written-order heuristic, index-only access, full
+   re-derivation per fixpoint round), on the Table 2 datasets.  Two legs
+   per dataset: the Tw rewriting of the Fig. 2 sequence (planning reorders
+   the rewriting's clause bodies), and a recursive transitive closure over
+   the dataset's R edges (semi-naïve deltas bound re-derivation).  Answers
+   must be byte-identical to the baseline and across 1/2/4 workers; the
+   acceptance gate runs on the largest dataset. *)
+
+let eval_plan () =
+  print_header
+    (Printf.sprintf
+       "eval-plan: cost-based planning + semi-naïve evaluation vs the naïve \
+        baseline (scale %g)"
+       !scale);
+  let module Pool = Obda_runtime.Pool in
+  let module Eval = Obda_ndl.Eval in
+  let tbox = example11 () in
+  let ds = datasets ~scale:!scale tbox in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let seq_query =
+    Omq.rewrite Omq.Tw (Omq.make tbox (prefix_query sequence1 12))
+  in
+  let tc_query =
+    let v x = Ndl.Var x in
+    let tc = Symbol.intern "TC" and r = Symbol.intern "R" in
+    Ndl.make ~goal:tc ~goal_args:[ "x"; "y" ]
+      [
+        { Ndl.head = (tc, [ v "x"; v "y" ]); body = [ Ndl.Pred (r, [ v "x"; v "y" ]) ] };
+        {
+          Ndl.head = (tc, [ v "x"; v "z" ]);
+          body =
+            [ Ndl.Pred (tc, [ v "x"; v "y" ]); Ndl.Pred (r, [ v "y"; v "z" ]) ];
+        };
+      ]
+  in
+  let widths = [ 12; 10; 10; 12; 12; 7; 10 ] in
+  print_row widths
+    [
+      "dataset/leg"; "naive(s)"; "plan(s)"; "naive-reads"; "plan-reads";
+      "drop"; "identical";
+    ]
+  ;
+  let identity_ok = ref true in
+  let gate_failures = ref [] in
+  let largest_naive = ref 0 and largest_planned = ref 0 in
+  let n_datasets = List.length ds in
+  List.iteri
+    (fun di (dname, _, abox) ->
+      List.iter
+        (fun (leg, query) ->
+          let tn, rn = time (fun () -> Eval.run ~naive:true query abox) in
+          let tp, rp = time (fun () -> Eval.run query abox) in
+          let identical =
+            rp.Eval.answers = rn.Eval.answers
+            && List.for_all
+                 (fun jobs ->
+                   Pool.with_pool ~jobs (fun pool ->
+                       (Eval.run ~pool query abox).Eval.answers)
+                   = rp.Eval.answers)
+                 [ 2; 4 ]
+          in
+          if not identical then identity_ok := false;
+          let drop =
+            float_of_int rn.Eval.tuples_read
+            /. float_of_int (max 1 rp.Eval.tuples_read)
+          in
+          let tag k = Printf.sprintf "%s.%s.%s" dname leg k in
+          record_int (tag "naive_reads") rn.Eval.tuples_read;
+          record_int (tag "planned_reads") rp.Eval.tuples_read;
+          record_float (tag "naive_s") tn;
+          record_float (tag "planned_s") tp;
+          record_int (tag "answers") (List.length rp.Eval.answers);
+          if di = n_datasets - 1 then begin
+            (* acceptance gates, largest dataset.  The recursive leg is
+               where semi-naïve evaluation must win outright: strictly
+               fewer tuple reads AND less wall clock than full
+               re-derivation.  On the non-recursive rewriting the legacy
+               written-order heuristic is already near-optimal for this
+               query shape, and the planner deliberately trades a handful
+               of reads for time (scanning ≤16-tuple relations instead of
+               probing), so the gate there is "no regression": within 1%
+               of the baseline's reads.  The combined largest-dataset
+               total must still drop strictly. *)
+            largest_naive := !largest_naive + rn.Eval.tuples_read;
+            largest_planned := !largest_planned + rp.Eval.tuples_read;
+            if leg = "tc" then begin
+              if rp.Eval.tuples_read >= rn.Eval.tuples_read then
+                gate_failures :=
+                  Printf.sprintf "tc: planned reads %d >= naive %d"
+                    rp.Eval.tuples_read rn.Eval.tuples_read
+                  :: !gate_failures;
+              if tp >= tn then
+                gate_failures :=
+                  Printf.sprintf "tc: planned %.3fs >= naive %.3fs" tp tn
+                  :: !gate_failures
+            end
+            else if
+              float_of_int rp.Eval.tuples_read
+              > 1.01 *. float_of_int rn.Eval.tuples_read
+            then
+              gate_failures :=
+                Printf.sprintf "%s: planned reads %d regress past naive %d"
+                  leg rp.Eval.tuples_read rn.Eval.tuples_read
+                :: !gate_failures
+          end;
+          print_row widths
+            [
+              dname ^ "/" ^ leg;
+              Printf.sprintf "%.3f" tn;
+              Printf.sprintf "%.3f" tp;
+              string_of_int rn.Eval.tuples_read;
+              string_of_int rp.Eval.tuples_read;
+              Printf.sprintf "%.1fx" drop;
+              (if identical then "yes" else "NO");
+            ])
+        [ ("seq1", seq_query); ("tc", tc_query) ])
+    ds;
+  record_int "largest.naive_reads" !largest_naive;
+  record_int "largest.planned_reads" !largest_planned;
+  Printf.printf "largest dataset totals: %d planned reads vs %d naive\n"
+    !largest_planned !largest_naive;
+  if !largest_planned >= !largest_naive then
+    gate_failures :=
+      Printf.sprintf "largest-dataset total: planned reads %d >= naive %d"
+        !largest_planned !largest_naive
+      :: !gate_failures;
+  if not !identity_ok then
+    failwith "eval-plan: answers differ between engines or worker counts";
+  match !gate_failures with
+  | [] ->
+    print_endline
+      "acceptance: ok — semi-naïve evaluation reads strictly fewer tuples \
+       (and is faster) than full re-derivation on the largest dataset's \
+       recursive leg, planning does not regress the rewriting leg, and \
+       answers are byte-identical at 1/2/4 workers"
+  | fs -> failwith ("eval-plan acceptance gate: " ^ String.concat "; " fs)
+
 let experiments =
   [
     ("fig1", fig1);
@@ -816,6 +959,7 @@ let experiments =
     ("obs-overhead", obs_overhead);
     ("service-cache", service_cache);
     ("par-scaling", par_scaling);
+    ("eval-plan", eval_plan);
     ("serve-load", Serve_load.run);
   ]
 

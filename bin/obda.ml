@@ -355,7 +355,7 @@ let rewrite_cmd =
 
 let answer_cmd =
   let run ontology query data mapping source algorithm use_chase budget jobs
-      fallback retry fail_inconsistent inject telemetry =
+      fallback retry fail_inconsistent explain naive inject telemetry =
     handle_errors (fun () ->
         init_telemetry ~budget telemetry;
         arm_faults inject;
@@ -380,6 +380,10 @@ let answer_cmd =
             match data with
             | Some d ->
               let abox = Parse.data_of_file d in
+              if explain && not use_chase then
+                List.iter
+                  (fun line -> Printf.eprintf "# plan: %s\n" line)
+                  (Omq.explain ~budget ~naive ?algorithm omq abox);
               if use_chase then
                 Omq.answer_certain ~budget ~on_inconsistent omq abox
               else if fallback || retry > 0 then begin
@@ -422,7 +426,9 @@ let answer_cmd =
                     attempts);
                 r.Omq.answers
               end
-              else Omq.answer ?pool ~budget ~on_inconsistent ?algorithm omq abox
+              else
+                Omq.answer ?pool ~budget ~naive ~on_inconsistent ?algorithm omq
+                  abox
             | None ->
               prerr_endline "answer: provide -d, or --mapping with --source";
               exit 1)
@@ -492,6 +498,26 @@ let answer_cmd =
              ontology, instead of returning every tuple over the active \
              domain (the paper's convention).")
   in
+  let explain_flag =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print the evaluator's chosen atom order and per-atom access \
+             strategy for every clause of the rewriting as '# plan:' \
+             comment lines on stderr (with -d; ignored with --chase or \
+             --mapping).")
+  in
+  let naive_flag =
+    Arg.(
+      value & flag
+      & info [ "naive" ]
+          ~doc:
+            "Evaluate with the legacy engine — written-order heuristic, \
+             maintained-index probes only, naive fixpoint — instead of the \
+             cost-based planner and semi-naive evaluation (the eval-plan \
+             bench baseline).")
+  in
   Cmd.v
     (Cmd.info "answer"
        ~doc:
@@ -501,7 +527,8 @@ let answer_cmd =
       const run $ ontology_arg $ query_arg $ data_opt $ mapping $ source
       $ algorithm_arg ~default:None
       $ use_chase $ budget_term $ jobs_term $ fallback $ retry
-      $ fail_inconsistent $ inject_term $ telemetry_term)
+      $ fail_inconsistent $ explain_flag $ naive_flag $ inject_term
+      $ telemetry_term)
 
 let stats_cmd =
   let run ontology =

@@ -248,17 +248,25 @@ let consistent omq abox =
     consistency_memo := Some (omq.tbox, abox, rev, c);
     c
 
-let answer_assuming_consistent ?pool ?budget ?algorithm omq abox =
+let answer_assuming_consistent ?pool ?budget ?plan ?naive ?algorithm omq abox =
   let alg =
     match algorithm with Some a -> a | None -> default_algorithm omq
   in
   let q = rewrite ?budget ~over:`Arbitrary alg omq in
-  Eval.answers ?pool ?budget q abox
+  Eval.answers ?pool ?budget ?plan ?naive q abox
 
-let answer ?pool ?budget ?(on_inconsistent = `All_tuples) ?algorithm omq abox =
+let answer ?pool ?budget ?plan ?naive ?(on_inconsistent = `All_tuples)
+    ?algorithm omq abox =
   if not (consistent omq abox) then
     inconsistent_answers ~on_inconsistent omq abox
-  else answer_assuming_consistent ?pool ?budget ?algorithm omq abox
+  else answer_assuming_consistent ?pool ?budget ?plan ?naive ?algorithm omq abox
+
+let explain ?budget ?naive ?algorithm omq abox =
+  let alg =
+    match algorithm with Some a -> a | None -> default_algorithm omq
+  in
+  let q = rewrite ?budget ~over:`Arbitrary alg omq in
+  Eval.explain ?naive q abox
 
 let answer_certain ?budget ?(on_inconsistent = `All_tuples) omq abox =
   if not (consistent omq abox) then

@@ -78,6 +78,8 @@ val rewrite :
 val answer :
   ?pool:Obda_runtime.Pool.t ->
   ?budget:Obda_runtime.Budget.t ->
+  ?plan:Obda_ndl.Eval.plan_cache ->
+  ?naive:bool ->
   ?on_inconsistent:[ `All_tuples | `Error ] ->
   ?algorithm:algorithm -> t -> Abox.t -> Symbol.t list list
 (** Certain answers via rewriting + NDL evaluation.  Defaults to [Tw] for
@@ -93,11 +95,19 @@ val answer :
 
     The consistency pre-check is memoised against {!Abox.revision}:
     repeated [answer] calls over the same unchanged instance run the check
-    once. *)
+    once.
+
+    [plan] and [naive] are handed to the evaluator: [plan] caches the
+    compiled program across calls (useful when the caller also memoises
+    the rewriting, as [Prepared] does — each [answer] call otherwise
+    rewrites afresh and the cache never hits), [naive] selects the legacy
+    written-order engine as a baseline. *)
 
 val answer_assuming_consistent :
   ?pool:Obda_runtime.Pool.t ->
   ?budget:Obda_runtime.Budget.t ->
+  ?plan:Obda_ndl.Eval.plan_cache ->
+  ?naive:bool ->
   ?algorithm:algorithm -> t -> Abox.t -> Symbol.t list list
 (** [answer] without the consistency pre-check, for callers that maintain
     their own consistency token (the service layer's sessions).  Unsound on
@@ -115,6 +125,16 @@ val answer_certain :
   ?on_inconsistent:[ `All_tuples | `Error ] ->
   t -> Abox.t -> Symbol.t list list
 (** Ground-truth answers via the canonical model (chase), for testing. *)
+
+val explain :
+  ?budget:Obda_runtime.Budget.t ->
+  ?naive:bool ->
+  ?algorithm:algorithm -> t -> Abox.t -> string list
+(** Rewrite the OMQ and return {!Obda_ndl.Eval.explain} lines for the
+    rewriting over this instance: the evaluator's chosen atom order and
+    per-atom access strategy for every clause (the [--explain] CLI
+    output).  Evaluates the query as a side effect, so plans reflect the
+    true relation sizes. *)
 
 (** {2 Graceful degradation} *)
 

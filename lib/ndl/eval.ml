@@ -95,9 +95,9 @@ let relation_lookup r positions key =
 (* ------------------------------------------------------------------ *)
 (* Compiled clauses *)
 
-type cterm = CV of int | CC of int
+type cterm = Plan.cterm = CV of int | CC of int
 
-type catom =
+type catom = Plan.catom =
   | CPred of Symbol.t * cterm array
   | CEq of cterm * cterm
   | CDom of cterm
@@ -116,7 +116,14 @@ let compile_clause (c : Ndl.clause) =
     | Ndl.Dom t -> CDom (cterm t)
   in
   let head = Array.of_list (List.map cterm (snd c.head)) in
-  (List.length vars, head, List.map catom c.body)
+  (List.length vars, Array.of_list vars, head, List.map catom c.body)
+
+type compiled = {
+  nvars : int;
+  names : string array;
+  head : cterm array;
+  plan : Plan.t;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Evaluation *)
@@ -124,6 +131,7 @@ let compile_clause (c : Ndl.clause) =
 type result = {
   answers : Symbol.t list list;
   generated_tuples : int;
+  tuples_read : int;
   idb_relations : relation Symbol.Map.t;
 }
 
@@ -138,7 +146,13 @@ type env = {
   observe : bool;
       (* when false — worker domains, unobserved batch runs — the evaluator
          must not touch the global telemetry sink or the fault registry *)
+  explain : (string -> unit) option;
   mutable ticks : int;
+  mutable reads : int;
+      (* tuples delivered from relation storage or domain sweeps — the
+         engine-work measure the eval-plan bench gates on.  First-atom
+         candidates rejected by a worker's partition filter are not
+         counted, so the total is identical at every worker count *)
 }
 
 let tick env =
@@ -176,8 +190,9 @@ let get_relation env p ~arity =
     Symbol.Tbl.replace env.relations p r;
     r
 
-(* Choose a static atom order for a clause: repeatedly pick the cheapest
-   atom given the variables bound so far. *)
+(* The naïve baseline's static atom order: repeatedly pick the cheapest
+   atom given the variables bound so far (bound count first, then smaller
+   relations), exactly the pre-planner heuristic. *)
 let order_atoms env nvars atoms =
   let bound = Array.make nvars false in
   let term_bound = function CV i -> bound.(i) | CC _ -> true in
@@ -223,23 +238,76 @@ let order_atoms env nvars atoms =
   in
   pick [] atoms
 
-type compiled = { nvars : int; head : cterm array; body : catom list }
+(* Planner statistics, read off the evaluator's current state: exact
+   relation sizes, exact distinct-key counts whenever an index on those
+   positions has already been built, the active-domain size otherwise. *)
+let stats_of_env env ~transient =
+  {
+    Plan.card =
+      (fun p ->
+        match Symbol.Tbl.find_opt env.relations p with
+        | Some r -> relation_size r
+        | None -> 0);
+    distinct =
+      (fun p probe ->
+        match Symbol.Tbl.find_opt env.relations p with
+        | Some r -> Option.map KeyTbl.length (List.assoc_opt probe r.indexes)
+        | None -> None);
+    transient = (fun p -> Symbol.Set.mem p transient);
+    domain = Array.length env.domain;
+  }
 
-let compile_and_order env (c : Ndl.clause) =
-  let nvars, head, body = compile_clause c in
-  { nvars; head; body = order_atoms env nvars body }
+let compile_and_plan env ~naive ~transient (c : Ndl.clause) =
+  let nvars, names, head, body = compile_clause c in
+  let plan =
+    if naive then
+      (* legacy order first (its scoring expects lazily materialised EDB
+         sizes), then materialise, preserving the pre-planner behaviour *)
+      let ordered = Plan.trivial ~nvars (order_atoms env nvars body) in
+      List.iter
+        (function
+          | CPred (p, ts) -> ignore (get_relation env p ~arity:(Array.length ts))
+          | CEq _ | CDom _ -> ())
+        body;
+      ordered
+    else begin
+      List.iter
+        (function
+          | CPred (p, ts) -> ignore (get_relation env p ~arity:(Array.length ts))
+          | CEq _ | CDom _ -> ())
+        body;
+      Plan.make (stats_of_env env ~transient) ~nvars body
+    end
+  in
+  (match env.explain with
+  | Some f ->
+    let hp, hts = c.head in
+    let args =
+      String.concat ","
+        (List.map (fun t -> Format.asprintf "%a" Ndl.pp_term t) hts)
+    in
+    f
+      (Printf.sprintf "%s(%s) <- %s" (Symbol.name hp) args
+         (Plan.describe ~names plan))
+  | None -> ());
+  { nvars; names; head; plan }
 
 (* Evaluate one compiled clause into [target].  [keep], if given, is a
-   partition filter consulted only at the clause's first atom: for a leading
+   partition filter consulted only at the clause's first step: for a leading
    [CPred] it receives the hash of each candidate tuple, for a leading
    domain sweep (unbound [CDom], unbound–unbound [CEq]) the domain constant.
-   A worker passing [keep] sees a disjoint slice of the first atom's search
+   A worker passing [keep] sees a disjoint slice of the first step's search
    space; the union over workers is exactly the sequential enumeration. *)
-let eval_compiled env target ?keep { nvars; head; body } =
+let eval_compiled env target ?keep cc =
+  let { nvars; head; plan; _ } = cc in
   let accept = match keep with None -> fun _ -> true | Some k -> k in
   let binding = Array.make nvars (-1) in
   let value = function CV i -> binding.(i) | CC c -> c in
   let is_bound = function CV i -> binding.(i) >= 0 | CC _ -> true in
+  let nsteps = List.length plan.Plan.steps in
+  (* transient hash tables ([Hash] steps), built on first probe of this
+     clause evaluation and never registered on the relation *)
+  let hashes = Array.make (max 1 nsteps) None in
   let emit () =
     let tuple =
       Array.map
@@ -254,206 +322,536 @@ let eval_compiled env target ?keep { nvars; head; body } =
       if env.observe then Obs.incr "eval.derived_facts"
     end
   in
-  let rec go ~first atoms =
+  let rec go ~first si steps =
     tick env;
-    match atoms with
+    match steps with
     | [] -> emit ()
-    | CEq (t1, t2) :: rest -> (
-      match (is_bound t1, is_bound t2) with
-      | true, true -> if value t1 = value t2 then go ~first:false rest
-      | true, false -> (
-        match t2 with
-        | CV i ->
-          binding.(i) <- value t1;
-          go ~first:false rest;
-          binding.(i) <- -1
-        | CC _ -> assert false)
-      | false, true -> (
-        match t1 with
-        | CV i ->
-          binding.(i) <- value t2;
-          go ~first:false rest;
-          binding.(i) <- -1
-        | CC _ -> assert false)
-      | false, false -> (
-        (* last resort: both sides range over the active domain *)
-        match (t1, t2) with
-        | CV i, CV j ->
-          Array.iter
-            (fun c ->
-              if (not first) || accept c then begin
-                binding.(i) <- c;
-                binding.(j) <- c;
-                go ~first:false rest;
-                binding.(i) <- -1;
-                binding.(j) <- -1
-              end)
-            env.domain;
-          binding.(i) <- -1;
-          binding.(j) <- -1
-        | _ -> assert false))
-    | CDom t :: rest ->
-      if is_bound t then begin
-        (* membership in the active domain *)
-        if Hashtbl.mem env.domain_set (value t) then go ~first:false rest
-      end
-      else (
-        match t with
-        | CV i ->
-          Array.iter
-            (fun c ->
-              if (not first) || accept c then begin
-                binding.(i) <- c;
-                go ~first:false rest
-              end)
-            env.domain;
-          binding.(i) <- -1
-        | CC _ -> assert false)
-    | CPred (p, ts) :: rest ->
-      let arity = Array.length ts in
-      let r = get_relation env p ~arity in
-      (* bound positions and their key *)
-      let positions = ref [] and key = ref [] in
-      Array.iteri
-        (fun i t ->
-          if is_bound t then begin
-            positions := i :: !positions;
-            key := value t :: !key
-          end)
-        ts;
-      let positions = List.rev !positions and key = List.rev !key in
-      let matches = relation_lookup r positions key in
-      List.iter
-        (fun tuple ->
-          if (not first) || accept (Hashtbl.hash tuple) then
-            (* bind the unbound positions, checking intra-atom repetitions *)
-            let rec bind i undo =
-              if i = arity then begin
-                go ~first:false rest;
-                List.iter (fun j -> binding.(j) <- -1) undo
-              end
-              else
-                match ts.(i) with
-                | CC c -> if tuple.(i) = c then bind (i + 1) undo else List.iter (fun j -> binding.(j) <- -1) undo
-                | CV j ->
-                  if binding.(j) >= 0 then
-                    if binding.(j) = tuple.(i) then bind (i + 1) undo
-                    else List.iter (fun j' -> binding.(j') <- -1) undo
-                  else begin
-                    binding.(j) <- tuple.(i);
-                    bind (i + 1) (j :: undo)
-                  end
+    | (step : Plan.step) :: rest -> (
+      match step.atom with
+      | CEq (t1, t2) -> (
+        match (is_bound t1, is_bound t2) with
+        | true, true -> if value t1 = value t2 then go ~first:false (si + 1) rest
+        | true, false -> (
+          match t2 with
+          | CV i ->
+            binding.(i) <- value t1;
+            go ~first:false (si + 1) rest;
+            binding.(i) <- -1
+          | CC _ -> assert false)
+        | false, true -> (
+          match t1 with
+          | CV i ->
+            binding.(i) <- value t2;
+            go ~first:false (si + 1) rest;
+            binding.(i) <- -1
+          | CC _ -> assert false)
+        | false, false -> (
+          (* last resort: both sides range over the active domain *)
+          match (t1, t2) with
+          | CV i, CV j ->
+            Array.iter
+              (fun c ->
+                if (not first) || accept c then begin
+                  env.reads <- env.reads + 1;
+                  binding.(i) <- c;
+                  binding.(j) <- c;
+                  go ~first:false (si + 1) rest;
+                  binding.(i) <- -1;
+                  binding.(j) <- -1
+                end)
+              env.domain;
+            binding.(i) <- -1;
+            binding.(j) <- -1
+          | _ -> assert false))
+      | CDom t ->
+        if is_bound t then begin
+          (* membership in the active domain *)
+          if Hashtbl.mem env.domain_set (value t) then
+            go ~first:false (si + 1) rest
+        end
+        else (
+          match t with
+          | CV i ->
+            Array.iter
+              (fun c ->
+                if (not first) || accept c then begin
+                  env.reads <- env.reads + 1;
+                  binding.(i) <- c;
+                  go ~first:false (si + 1) rest
+                end)
+              env.domain;
+            binding.(i) <- -1
+          | CC _ -> assert false)
+      | CPred (p, ts) ->
+        let arity = Array.length ts in
+        let r = get_relation env p ~arity in
+        let matches =
+          match step.strategy with
+          | Plan.Scan ->
+            (* unbound atom or tiny relation: enumerate everything and let
+               [bind] filter any probed positions inline *)
+            Hashtbl.fold (fun t () acc -> t :: acc) r.tuples []
+          | Plan.Index ->
+            let key = List.map (fun i -> value ts.(i)) step.probe in
+            relation_lookup r step.probe key
+          | Plan.Hash ->
+            let tbl =
+              match hashes.(si) with
+              | Some tbl -> tbl
+              | None ->
+                let tbl = KeyTbl.create (max 16 (relation_size r)) in
+                Hashtbl.iter
+                  (fun tuple () ->
+                    let key = List.map (fun i -> tuple.(i)) step.probe in
+                    let cur =
+                      Option.value ~default:[] (KeyTbl.find_opt tbl key)
+                    in
+                    KeyTbl.replace tbl key (tuple :: cur))
+                  r.tuples;
+                hashes.(si) <- Some tbl;
+                tbl
             in
-            bind 0 [])
-        matches
+            let key = List.map (fun i -> value ts.(i)) step.probe in
+            Option.value ~default:[] (KeyTbl.find_opt tbl key)
+        in
+        List.iter
+          (fun tuple ->
+            if (not first) || accept (Hashtbl.hash tuple) then begin
+              env.reads <- env.reads + 1;
+              (* bind the unbound positions, checking intra-atom repetitions *)
+              let rec bind i undo =
+                if i = arity then begin
+                  go ~first:false (si + 1) rest;
+                  List.iter (fun j -> binding.(j) <- -1) undo
+                end
+                else
+                  match ts.(i) with
+                  | CC c -> if tuple.(i) = c then bind (i + 1) undo else List.iter (fun j -> binding.(j) <- -1) undo
+                  | CV j ->
+                    if binding.(j) >= 0 then
+                      if binding.(j) = tuple.(i) then bind (i + 1) undo
+                      else List.iter (fun j' -> binding.(j') <- -1) undo
+                    else begin
+                      binding.(j) <- tuple.(i);
+                      bind (i + 1) (j :: undo)
+                    end
+              in
+              bind 0 []
+            end)
+          matches)
   in
-  go ~first:true body
-
-let eval_clause env target c = eval_compiled env target (compile_and_order env c)
+  go ~first:true 0 plan.Plan.steps
 
 (* ------------------------------------------------------------------ *)
-(* Parallel stratum evaluation.
+(* Parallel batch evaluation.
 
-   After [order_atoms] the set of bound variables at each body atom is
-   static: when [go] reaches an atom, exactly the variables of earlier
-   atoms are bound.  So the index positions every [CPred] atom will probe
-   are known before evaluation starts, and a prepass on the calling domain
-   can materialise every EDB relation and build every index the workers
-   will read — leaving the worker domains with pure reads of
-   [env.relations].  Workers derive into worker-local relations (budgeted
-   by a [Budget.slice] each) and the caller merges them into the stratum's
-   global relation: the barrier between strata of [Ndl.topo_order]. *)
+   Plans are computed once per clause on the main domain, so the set of
+   bound positions at every step is static: a prepass can materialise every
+   EDB relation and build every index an [Index] step will probe — leaving
+   the worker domains with pure reads of [env.relations] ([Hash] steps
+   build their transient tables in worker-local memory).  Workers derive
+   into worker-local relations (budgeted by a [Budget.slice] each) and the
+   caller merges them into the batch's target relations: the barrier
+   between strata, and between semi-naïve rounds. *)
 
-let prepare_clause env { nvars; body; _ } =
-  let bound = Array.make nvars false in
+let prepare_clause env cc =
   List.iter
-    (fun atom ->
-      (match atom with
+    (fun (step : Plan.step) ->
+      match step.atom with
       | CPred (p, ts) ->
         let r = get_relation env p ~arity:(Array.length ts) in
-        let positions = ref [] in
-        Array.iteri
-          (fun i t ->
-            match t with
-            | CC _ -> positions := i :: !positions
-            | CV j -> if bound.(j) then positions := i :: !positions)
-          ts;
-        let positions = List.rev !positions in
-        if positions <> [] then ignore (relation_index r positions)
-      | CEq _ | CDom _ -> ());
-      (* every variable of an atom is bound once [go] moves past it *)
-      match atom with
-      | CPred (_, ts) ->
-        Array.iter (function CV j -> bound.(j) <- true | CC _ -> ()) ts
-      | CEq (t1, t2) ->
-        List.iter
-          (function CV j -> bound.(j) <- true | CC _ -> ())
-          [ t1; t2 ]
-      | CDom t -> ( match t with CV j -> bound.(j) <- true | CC _ -> ()))
-    body
+        if step.strategy = Plan.Index && step.probe <> [] then
+          ignore (relation_index r step.probe)
+      | CEq _ | CDom _ -> ())
+    cc.plan.Plan.steps
 
-(* How a clause's first-atom search space is split across workers.  A
+(* How a clause's first-step search space is split across workers.  A
    leading [CPred] enumerates tuples (partition by tuple hash); a leading
    domain sweep enumerates constants (partition by constant).  Anything
    else — a leading bound [CEq]/[CDom], an empty body — explores a
    constant-size space, so the whole clause goes to one worker. *)
 type scheme = Enum_tuples | Enum_domain | Whole
 
-let scheme_of_body = function
-  | CPred _ :: _ -> Enum_tuples
-  | CEq (CV _, CV _) :: _ -> Enum_domain (* nothing bound at the first atom *)
-  | CDom (CV _) :: _ -> Enum_domain
+let scheme_of_plan (plan : Plan.t) =
+  match plan.steps with
+  | { atom = CPred _; _ } :: _ -> Enum_tuples
+  | { atom = CEq (CV _, CV _); _ } :: _ ->
+    Enum_domain (* nothing bound at the first step: a domain sweep *)
+  | { atom = CDom (CV _); _ } :: _ -> Enum_domain
   | _ -> Whole
 
-let eval_stratum_parallel env pool target clauses =
-  let jobs = Pool.jobs pool in
-  let work =
-    Array.of_list
-      (List.map
-         (fun c ->
-           let cc = compile_and_order env c in
-           prepare_clause env cc;
-           cc)
-         clauses)
-  in
-  let schemes = Array.map (fun cc -> scheme_of_body cc.body) work in
-  let locals = Array.init jobs (fun _ -> relation_create target.arity) in
-  let slices = Array.init jobs (fun _ -> Budget.slice ~parts:jobs env.budget) in
-  Pool.run pool (fun w ->
-      let wenv =
-        { env with budget = slices.(w); observe = false; ticks = 0 }
+(* Evaluate [assignments] — (target index, compiled clause) pairs — into
+   [targets], in parallel when a pool with more than one worker is given.
+   [count_derived] controls whether the merge reports "eval.derived_facts"
+   (the semi-naïve driver counts additions to the full relations itself). *)
+let eval_batch env ?(count_derived = true) pool targets assignments =
+  match pool with
+  | Some pool when Pool.jobs pool > 1 && assignments <> [] ->
+    let jobs = Pool.jobs pool in
+    List.iter (fun (_, cc) -> prepare_clause env cc) assignments;
+    let work = Array.of_list assignments in
+    let schemes = Array.map (fun (_, cc) -> scheme_of_plan cc.plan) work in
+    let locals =
+      Array.init jobs (fun _ ->
+          Array.map (fun (t : relation) -> relation_create t.arity) targets)
+    in
+    let slices =
+      Array.init jobs (fun _ -> Budget.slice ~parts:jobs env.budget)
+    in
+    let wenvs =
+      Array.init jobs (fun w ->
+          { env with budget = slices.(w); observe = false; ticks = 0; reads = 0 })
+    in
+    Pool.run pool (fun w ->
+        let wenv = wenvs.(w) in
+        let keep h = (h land max_int) mod jobs = w in
+        Array.iteri
+          (fun ci (ti, cc) ->
+            match schemes.(ci) with
+            | Whole -> if ci mod jobs = w then eval_compiled wenv locals.(w).(ti) cc
+            | Enum_tuples | Enum_domain ->
+              eval_compiled wenv locals.(w).(ti) ~keep cc)
+          work);
+    (* merge: worker budgets and read counts back into the parent, worker
+       derivations into the target relations (deduplicating across workers) *)
+    Array.iter (fun s -> Budget.absorb env.budget ~from:s) slices;
+    Array.iter (fun wenv -> env.reads <- env.reads + wenv.reads) wenvs;
+    let added = ref 0 in
+    Array.iteri
+      (fun w wlocals ->
+        Array.iteri
+          (fun ti local ->
+            Hashtbl.iter
+              (fun tuple () ->
+                if relation_add targets.(ti) tuple then incr added)
+              local.tuples)
+          wlocals;
+        if env.observe && Obs.enabled () then
+          Obs.count
+            (Printf.sprintf "eval.worker%d.derived" w)
+            (Array.fold_left (fun acc l -> acc + relation_size l) 0 wlocals))
+      locals;
+    if env.observe then begin
+      if count_derived then Obs.count "eval.derived_facts" !added;
+      Obs.incr "eval.parallel_rounds"
+    end
+  | _ ->
+    List.iter (fun (ti, cc) -> eval_compiled env targets.(ti) cc) assignments
+
+(* ------------------------------------------------------------------ *)
+(* Compiled programs and the plan cache.
+
+   The stratum structure (from [Ndl.strata]) and the clause groupings are
+   data-independent and built upfront; per-clause plans are filled in
+   lazily during the first evaluation, when the relations a clause reads
+   have their true sizes (a fixpoint's delta variants are planned after
+   round 0, against the actual base deltas).  A [plan_cache] keeps the
+   whole compiled program across runs of the same query value: [Prepared]
+   queries replan only when the store size drifts past a threshold. *)
+
+type cstraight = {
+  spred : Symbol.t;
+  sarity : int;
+  sclauses : Ndl.clause list;
+  mutable sccs : compiled list option;
+}
+
+type cfixpoint = {
+  fpreds : (Symbol.t * int) array;
+  fdelta : Symbol.t array;  (* delta symbol per predicate, aligned *)
+  ftransient : Symbol.Set.t;  (* the delta symbols, for the planner *)
+  fbase_clauses : (int * Ndl.clause) list;
+  fvariant_clauses : (int * Ndl.clause) list;
+  mutable fbase : (int * compiled) list option;
+  mutable fvariants : (int * compiled) list option;
+}
+
+type cstratum = CStraight of cstraight | CFixpoint of cfixpoint
+
+type cached = {
+  cfor : Ndl.query;  (* physical identity of the planned query *)
+  cnaive : bool;
+  catoms : int;  (* ABox size at plan time, for the replan threshold *)
+  cstrata : cstratum array;
+}
+
+type plan_cache = { mutable slot : cached option }
+
+let plan_cache () = { slot = None }
+
+let replan_factor = 2.0
+(* a cached plan survives while |ABox| stays within this factor of its
+   plan-time size in either direction *)
+
+(* One delta variant per in-stratum body atom: that atom probes the delta
+   relation, every other atom the full one. *)
+let delta_variants scc delta_of (c : Ndl.clause) =
+  let rec go prefix acc = function
+    | [] -> List.rev acc
+    | (Ndl.Pred (p, ts) as a) :: rest when Symbol.Set.mem p scc ->
+      let variant =
+        {
+          c with
+          Ndl.body =
+            List.rev_append prefix
+              (Ndl.Pred (Symbol.Map.find p delta_of, ts) :: rest);
+        }
       in
-      let keep h = (h land max_int) mod jobs = w in
-      Array.iteri
-        (fun ci cc ->
-          match schemes.(ci) with
-          | Whole -> if ci mod jobs = w then eval_compiled wenv locals.(w) cc
-          | Enum_tuples | Enum_domain -> eval_compiled wenv locals.(w) ~keep cc)
-        work);
-  (* merge: worker budgets back into the parent for reporting, worker
-     derivations into the stratum relation (deduplicating across workers) *)
-  Array.iter (fun s -> Budget.absorb env.budget ~from:s) slices;
-  let added = ref 0 in
-  Array.iteri
-    (fun w local ->
-      let before = relation_size target in
-      Hashtbl.iter
-        (fun tuple () -> ignore (relation_add target tuple))
-        local.tuples;
-      added := !added + (relation_size target - before);
-      if env.observe && Obs.enabled () then
-        Obs.count
-          (Printf.sprintf "eval.worker%d.derived" w)
-          (relation_size local))
-    locals;
+      go (a :: prefix) (variant :: acc) rest
+    | a :: rest -> go (a :: prefix) acc rest
+  in
+  go [] [] c.Ndl.body
+
+let skeleton ~naive ~atoms (q : Ndl.query) =
+  let by_head = Symbol.Tbl.create 16 in
+  List.iter
+    (fun (c : Ndl.clause) ->
+      let cur =
+        Option.value ~default:[] (Symbol.Tbl.find_opt by_head (fst c.head))
+      in
+      Symbol.Tbl.replace by_head (fst c.head) (c :: cur))
+    q.clauses;
+  let clauses_of p =
+    List.rev (Option.value ~default:[] (Symbol.Tbl.find_opt by_head p))
+  in
+  let arity_of = function
+    | (c : Ndl.clause) :: _ -> List.length (snd c.head)
+    | [] -> 0
+  in
+  let cstrata =
+    List.map
+      (fun (preds, recursive) ->
+        match (preds, recursive) with
+        | [ p ], false ->
+          let clauses = clauses_of p in
+          CStraight
+            { spred = p; sarity = arity_of clauses; sclauses = clauses; sccs = None }
+        | preds, _ ->
+          let scc = Symbol.Set.of_list preds in
+          let fpreds =
+            Array.of_list
+              (List.map (fun p -> (p, arity_of (clauses_of p))) preds)
+          in
+          let fdelta =
+            Array.map
+              (fun (p, _) -> Symbol.fresh ("delta:" ^ Symbol.name p))
+              fpreds
+          in
+          let delta_of =
+            snd
+              (Array.fold_left
+                 (fun (i, m) (p, _) ->
+                   (i + 1, Symbol.Map.add p fdelta.(i) m))
+                 (0, Symbol.Map.empty) fpreds)
+          in
+          let ftransient =
+            Array.fold_left
+              (fun acc d -> Symbol.Set.add d acc)
+              Symbol.Set.empty fdelta
+          in
+          let base_clauses =
+            List.concat
+              (List.mapi
+                 (fun i (p, _) ->
+                   List.map (fun c -> (i, c)) (clauses_of p))
+                 (Array.to_list fpreds))
+          in
+          let variant_clauses =
+            List.concat_map
+              (fun (i, c) ->
+                List.map (fun v -> (i, v)) (delta_variants scc delta_of c))
+              base_clauses
+          in
+          CFixpoint
+            {
+              fpreds;
+              fdelta;
+              ftransient;
+              fbase_clauses = base_clauses;
+              fvariant_clauses = variant_clauses;
+              fbase = None;
+              fvariants = None;
+            })
+      (Ndl.strata q)
+  in
+  { cfor = q; cnaive = naive; catoms = atoms; cstrata = Array.of_list cstrata }
+
+let cache_disposition ?plan ~naive (q : Ndl.query) abox =
+  match plan with
+  | None -> `Uncached
+  | Some cache -> (
+    match cache.slot with
+    | Some cp when cp.cfor == q && cp.cnaive = naive ->
+      let ratio =
+        float_of_int (Abox.num_atoms abox) /. float_of_int (max 1 cp.catoms)
+      in
+      if ratio >= 1.0 /. replan_factor && ratio <= replan_factor then `Hit
+      else `Replan
+    | Some _ -> `Replan
+    | None -> `Fresh)
+
+(* ------------------------------------------------------------------ *)
+(* Stratum drivers *)
+
+let round_marker env =
   if env.observe then begin
-    Obs.count "eval.derived_facts" !added;
-    Obs.incr "eval.parallel_rounds"
+    Fault.hit Fault.eval_ndl_round;
+    Obs.incr "eval.rounds"
   end
 
-let run_unobserved ?pool ~observe ~budget ~deadline ~edb ~extra_domain
-    (q : Ndl.query) abox =
-  let order = Ndl.topo_order q in
+let eval_straight env pool ~naive (st : cstraight) =
+  round_marker env;
+  let target = relation_create st.sarity in
+  (* register first so in-stratum references resolve to the (empty) target *)
+  Symbol.Tbl.replace env.relations st.spred target;
+  let ccs =
+    match st.sccs with
+    | Some ccs -> ccs
+    | None ->
+      let ccs =
+        List.map
+          (compile_and_plan env ~naive ~transient:Symbol.Set.empty)
+          st.sclauses
+      in
+      st.sccs <- Some ccs;
+      ccs
+  in
+  eval_batch env pool [| target |] (List.map (fun cc -> (0, cc)) ccs)
+
+(* Semi-naïve fixpoint for a recursive stratum (naïve re-derivation when
+   [naive]).  Derivation happens into per-round accumulators under an
+   unobserved child environment; the driver itself counts the genuinely new
+   tuples and fires the per-round fault site / counters, so telemetry means
+   the same thing it does on the straight path. *)
+let eval_fixpoint env pool ~naive (fx : cfixpoint) =
+  let qenv = { env with observe = false } in
+  let fulls =
+    Array.map
+      (fun (p, arity) ->
+        let r = relation_create arity in
+        Symbol.Tbl.replace env.relations p r;
+        r)
+      fx.fpreds
+  in
+  let fresh_accs () = Array.map (fun (r : relation) -> relation_create r.arity) fulls in
+  let merge accs =
+    let added = ref 0 in
+    let deltas =
+      Array.mapi
+        (fun i (acc : relation) ->
+          let delta = relation_create acc.arity in
+          Hashtbl.iter
+            (fun tuple () ->
+              if relation_add fulls.(i) tuple then begin
+                incr added;
+                ignore (relation_add delta tuple)
+              end)
+            acc.tuples;
+          delta)
+        accs
+    in
+    if env.observe then Obs.count "eval.derived_facts" !added;
+    (deltas, !added)
+  in
+  let compile_assignments ~naive clauses =
+    List.map
+      (fun (ti, c) ->
+        (ti, compile_and_plan qenv ~naive ~transient:fx.ftransient c))
+      clauses
+  in
+  let base_ccs =
+    match fx.fbase with
+    | Some ccs -> ccs
+    | None ->
+      let ccs = compile_assignments ~naive fx.fbase_clauses in
+      fx.fbase <- Some ccs;
+      ccs
+  in
+  if naive then begin
+    (* naïve fixpoint: re-derive every clause from the full relations *)
+    let rec loop () =
+      round_marker env;
+      let accs = fresh_accs () in
+      eval_batch qenv ~count_derived:false pool accs base_ccs;
+      let _, added = merge accs in
+      if added > 0 then loop ()
+    in
+    loop ()
+  end
+  else begin
+    round_marker env;
+    let acc0 = fresh_accs () in
+    eval_batch qenv ~count_derived:false pool acc0 base_ccs;
+    let deltas0, added0 = merge acc0 in
+    if added0 > 0 then begin
+      let register deltas =
+        Array.iteri
+          (fun i d -> Symbol.Tbl.replace qenv.relations fx.fdelta.(i) d)
+          deltas
+      in
+      register deltas0;
+      (* delta variants are planned once, here, against the true round-0
+         sizes of the full and delta relations *)
+      let variant_ccs =
+        match fx.fvariants with
+        | Some ccs -> ccs
+        | None ->
+          let ccs = compile_assignments ~naive:false fx.fvariant_clauses in
+          fx.fvariants <- Some ccs;
+          ccs
+      in
+      let rec loop deltas =
+        register deltas;
+        round_marker env;
+        let accs = fresh_accs () in
+        eval_batch qenv ~count_derived:false pool accs variant_ccs;
+        let deltas', added = merge accs in
+        if added > 0 then loop deltas'
+      in
+      loop deltas0;
+      (* the delta views are dead past the fixpoint *)
+      Array.iter (fun d -> Symbol.Tbl.remove qenv.relations d) fx.fdelta
+    end
+  end;
+  env.reads <- qenv.reads;
+  env.ticks <- qenv.ticks
+
+(* ------------------------------------------------------------------ *)
+
+let plan_gauges cstrata =
+  let index_probes = ref 0
+  and hash_joins = ref 0
+  and scans = ref 0
+  and reordered = ref 0 in
+  let note (cc : compiled) =
+    if cc.plan.Plan.reordered then incr reordered;
+    List.iter
+      (fun (s : Plan.step) ->
+        match s.atom with
+        | CPred _ -> (
+          match s.strategy with
+          | Plan.Index -> incr index_probes
+          | Plan.Hash -> incr hash_joins
+          | Plan.Scan -> incr scans)
+        | CEq _ | CDom _ -> ())
+      cc.plan.Plan.steps
+  in
+  Array.iter
+    (function
+      | CStraight st -> List.iter note (Option.value ~default:[] st.sccs)
+      | CFixpoint fx ->
+        List.iter (fun (_, cc) -> note cc) (Option.value ~default:[] fx.fbase);
+        List.iter
+          (fun (_, cc) -> note cc)
+          (Option.value ~default:[] fx.fvariants))
+    cstrata;
+  Obs.set_int "eval.plan.index_probes" !index_probes;
+  Obs.set_int "eval.plan.hash_joins" !hash_joins;
+  Obs.set_int "eval.plan.scans" !scans;
+  Obs.set_int "eval.plan.reordered" !reordered
+
+let run_unobserved ?pool ?plan ~naive ~observe ~budget ~deadline ~edb
+    ~extra_domain ~explain (q : Ndl.query) abox =
   let idb = Ndl.idb_preds q in
   let domain =
     Array.of_list
@@ -474,38 +872,32 @@ let run_unobserved ?pool ~observe ~budget ~deadline ~edb ~extra_domain
       deadline;
       budget;
       observe;
+      explain;
       ticks = 0;
+      reads = 0;
     }
   in
-  (* group clauses by head *)
-  let by_head = Symbol.Tbl.create 16 in
-  List.iter
-    (fun (c : Ndl.clause) ->
-      let cur = Option.value ~default:[] (Symbol.Tbl.find_opt by_head (fst c.head)) in
-      Symbol.Tbl.replace by_head (fst c.head) (c :: cur))
-    q.clauses;
-  List.iter
-    (fun p ->
-      (* one materialisation round per IDB predicate (dependencies first) *)
-      if observe then begin
-        Fault.hit Fault.eval_ndl_round;
-        Obs.incr "eval.rounds"
-      end;
-      let clauses = Option.value ~default:[] (Symbol.Tbl.find_opt by_head p) in
-      let arity =
-        match clauses with
-        | c :: _ -> List.length (snd c.Ndl.head)
-        | [] -> 0
-      in
-      let target = relation_create arity in
-      (* register first so self-references would be caught by topo_order *)
-      Symbol.Tbl.replace env.relations p target;
-      let clauses = List.rev clauses in
-      match pool with
-      | Some pool when Pool.jobs pool > 1 && clauses <> [] ->
-        eval_stratum_parallel env pool target clauses
-      | _ -> List.iter (fun c -> eval_clause env target c) clauses)
-    order;
+  let disposition = cache_disposition ?plan ~naive q abox in
+  let program =
+    match (disposition, plan) with
+    | `Hit, Some cache -> Option.get cache.slot
+    | (`Replan | `Fresh), Some cache ->
+      let cp = skeleton ~naive ~atoms:(Abox.num_atoms abox) q in
+      cache.slot <- Some cp;
+      cp
+    | _ -> skeleton ~naive ~atoms:(Abox.num_atoms abox) q
+  in
+  if observe then begin
+    match disposition with
+    | `Hit -> Obs.incr "eval.plan.cache_hits"
+    | `Replan -> Obs.incr "eval.plan.replans"
+    | `Fresh | `Uncached -> ()
+  end;
+  Array.iter
+    (function
+      | CStraight st -> eval_straight env pool ~naive st
+      | CFixpoint fx -> eval_fixpoint env pool ~naive fx)
+    program.cstrata;
   let idb_relations =
     Symbol.Set.fold
       (fun p acc ->
@@ -525,6 +917,8 @@ let run_unobserved ?pool ~observe ~budget ~deadline ~edb ~extra_domain
   if observe && Obs.enabled () then begin
     Obs.set_int "eval.answers" (List.length answers);
     Obs.set_int "eval.generated_tuples" generated_tuples;
+    Obs.count "eval.tuples_read" env.reads;
+    plan_gauges program.cstrata;
     (match pool with
     | Some p when Pool.jobs p > 1 -> Obs.set_int "eval.workers" (Pool.jobs p)
     | _ -> ());
@@ -533,28 +927,46 @@ let run_unobserved ?pool ~observe ~budget ~deadline ~edb ~extra_domain
       Obs.set_int "budget.size" (Budget.size_spent budget)
     end
   end;
-  { answers; generated_tuples; idb_relations }
+  { answers; generated_tuples; tuples_read = env.reads; idb_relations }
 
-let run ?pool ?(observe = true) ?(budget = Budget.none)
+let run ?pool ?plan ?(naive = false) ?(observe = true) ?(budget = Budget.none)
     ?(deadline = fun () -> false) ?(edb = fun _ _ -> None)
-    ?(extra_domain = []) q abox =
+    ?(extra_domain = []) ?explain q abox =
   if observe then
     let attrs =
-      match pool with
+      let plan_attr =
+        if naive then "naive"
+        else
+          match cache_disposition ?plan ~naive q abox with
+          | `Hit -> "cached"
+          | `Replan -> "replanned"
+          | `Fresh | `Uncached -> "fresh"
+      in
+      ("plan", plan_attr)
+      ::
+      (match pool with
       | Some p when Pool.jobs p > 1 -> [ ("workers", string_of_int (Pool.jobs p)) ]
-      | _ -> []
+      | _ -> [])
     in
     Obs.with_span ~attrs "eval.ndl" (fun () ->
-        run_unobserved ?pool ~observe ~budget ~deadline ~edb ~extra_domain q
-          abox)
+        run_unobserved ?pool ?plan ~naive ~observe ~budget ~deadline ~edb
+          ~extra_domain ~explain q abox)
   else
-    run_unobserved ?pool ~observe ~budget ~deadline ~edb ~extra_domain q abox
+    run_unobserved ?pool ?plan ~naive ~observe ~budget ~deadline ~edb
+      ~extra_domain ~explain q abox
 
-let answers ?pool ?observe ?budget q abox =
-  (run ?pool ?observe ?budget q abox).answers
+let answers ?pool ?observe ?budget ?plan ?naive q abox =
+  (run ?pool ?observe ?budget ?plan ?naive q abox).answers
 
 let boolean q abox =
   match (run q abox).answers with [] -> false | _ :: _ -> true
+
+let explain ?(naive = false) ?(edb = fun _ _ -> None) q abox =
+  let lines = ref [] in
+  ignore
+    (run ~observe:false ~naive ~edb ~explain:(fun s -> lines := s :: !lines) q
+       abox);
+  List.rev !lines
 
 (* Testing hooks: the unit suite pins the relation-internals contract —
    indexes are built by one full scan per position list and then maintained
@@ -573,5 +985,6 @@ module Internal = struct
          (List.map (fun (c : Symbol.t) -> (c :> int)) key))
 
   let index_builds r = r.index_builds
+  let index_positions r = List.map fst r.indexes
   let sorted_view_memoised r = r.sorted_view <> None
 end

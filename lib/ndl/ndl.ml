@@ -143,6 +143,64 @@ let topo_order_opt q =
 
 let is_nonrecursive q = topo_order_opt q <> None
 
+(* Tarjan's SCC algorithm over the IDB dependence graph.  Components are
+   emitted dependencies-first (an SCC is completed only after every SCC it
+   depends on), which is exactly the stratum evaluation order.  Predicates
+   are visited in [Symbol.compare] order so the result is deterministic. *)
+let strata q =
+  let deps = idb_deps q in
+  let index = Symbol.Tbl.create 16 in
+  let lowlink = Symbol.Tbl.create 16 in
+  let on_stack = Symbol.Tbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let preds =
+    Symbol.Tbl.fold (fun p _ acc -> p :: acc) deps []
+    |> List.sort Symbol.compare
+  in
+  let rec strong p =
+    Symbol.Tbl.replace index p !counter;
+    Symbol.Tbl.replace lowlink p !counter;
+    incr counter;
+    stack := p :: !stack;
+    Symbol.Tbl.replace on_stack p ();
+    Symbol.Set.iter
+      (fun d ->
+        if Symbol.Tbl.mem deps d then
+          if not (Symbol.Tbl.mem index d) then begin
+            strong d;
+            Symbol.Tbl.replace lowlink p
+              (min (Symbol.Tbl.find lowlink p) (Symbol.Tbl.find lowlink d))
+          end
+          else if Symbol.Tbl.mem on_stack d then
+            Symbol.Tbl.replace lowlink p
+              (min (Symbol.Tbl.find lowlink p) (Symbol.Tbl.find index d)))
+      (Symbol.Tbl.find deps p);
+    if Symbol.Tbl.find lowlink p = Symbol.Tbl.find index p then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | d :: rest ->
+          stack := rest;
+          Symbol.Tbl.remove on_stack d;
+          if Symbol.equal d p then d :: acc else pop (d :: acc)
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  List.iter (fun p -> if not (Symbol.Tbl.mem index p) then strong p) preds;
+  List.rev_map
+    (fun scc ->
+      let scc = List.sort Symbol.compare scc in
+      let recursive =
+        match scc with
+        | [ p ] -> Symbol.Set.mem p (Symbol.Tbl.find deps p)
+        | _ -> true
+      in
+      (scc, recursive))
+    !sccs
+
 let topo_order q =
   match topo_order_opt q with
   | Some o -> o

@@ -57,6 +57,14 @@ val topo_order : query -> Symbol.t list
 (** IDB predicates, dependencies first.  Raises [Invalid_argument] if the
     program is recursive. *)
 
+val strata : query -> (Symbol.t list * bool) list
+(** Strongly connected components of the IDB dependence graph in
+    dependencies-first order, each with a flag telling whether the stratum
+    is recursive (more than one predicate, or a self-dependent singleton).
+    For a nonrecursive program this is [topo_order] as singletons, all
+    flagged [false].  Deterministic: components and their members are in
+    [Symbol.compare] order. *)
+
 val depth : query -> int
 (** d(Π,G): longest dependence path from the goal (counting edges; EDB
     predicates are sinks). *)

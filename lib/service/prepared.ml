@@ -4,6 +4,7 @@ module Omq = Obda_rewriting.Omq
 module Tbox = Obda_ontology.Tbox
 module Cq = Obda_cq.Cq
 module Ndl = Obda_ndl.Ndl
+module Eval = Obda_ndl.Eval
 module Error = Obda_runtime.Error
 
 type t = {
@@ -13,6 +14,10 @@ type t = {
   digest : string;
   rewriting : Ndl.query;
   classification : Omq.classification;
+  plan : Eval.plan_cache;
+      (* per-prepared-query evaluation plans: the rewriting object is
+         stable across ANSWER calls, so plans survive until the store
+         drifts past the evaluator's replan threshold *)
 }
 
 let name p = p.name
@@ -21,6 +26,7 @@ let algorithm p = p.algorithm
 let digest p = p.digest
 let rewriting p = p.rewriting
 let classification p = p.classification
+let plan p = p.plan
 let arity p = List.length (Cq.answer_vars p.omq.cq)
 
 let prepare ?budget ~cache ~name ?algorithm tbox cq =
@@ -45,6 +51,7 @@ let prepare ?budget ~cache ~name ?algorithm tbox cq =
       digest;
       rewriting;
       classification = Omq.classify omq;
+      plan = Eval.plan_cache ();
     }
   in
   (prepared, origin)

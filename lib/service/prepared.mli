@@ -33,5 +33,12 @@ val digest : t -> string
 val rewriting : t -> Obda_ndl.Ndl.query
 val classification : t -> Omq.classification
 
+val plan : t -> Obda_ndl.Eval.plan_cache
+(** The prepared query's evaluation-plan cache: [rewriting] is stable
+    across ANSWER calls, so the evaluator reuses its compiled plans until
+    the store size drifts past the replan threshold.  Note the cached
+    rewriting may be shared across prepared queries (the content-addressed
+    {!Cache}), but each prepared query plans independently. *)
+
 val arity : t -> int
 (** Number of answer variables. *)

@@ -282,7 +282,9 @@ let prepared_names t =
 
 let answer_at ?budget t p s =
   if not (consistent_at t s) then Omq.all_tuples s.sdata (Prepared.arity p)
-  else Eval.answers ?pool:(pool t) ?budget (Prepared.rewriting p) s.sdata
+  else
+    Eval.answers ?pool:(pool t) ?budget ~plan:(Prepared.plan p)
+      (Prepared.rewriting p) s.sdata
 
 let answer ?budget t p = answer_at ?budget t p (freeze t)
 

@@ -25,7 +25,12 @@ let test_example1_analysis () =
   check "nonrecursive" true (Ndl.is_nonrecursive example1);
   check "linear" true (Ndl.is_linear example1);
   check_int "width 1 (x is a parameter)" 1 (Ndl.width example1);
-  check_int "depth 2" 2 (Ndl.depth example1)
+  check_int "depth 2" 2 (Ndl.depth example1);
+  match Ndl.strata example1 with
+  | [ ([ q1 ], false); ([ g1 ], false) ] ->
+    check "strata dependencies first" true
+      (Symbol.equal q1 (sym "Q1") && Symbol.equal g1 (sym "G1"))
+  | _ -> Alcotest.fail "unexpected strata for example 1"
 
 let test_example1_eval () =
   let a = abox_of_facts [ `B ("R", "c1", "c2"); `B ("R", "c2", "c1") ] in
@@ -34,21 +39,6 @@ let test_example1_eval () =
     "answers"
     [ [ "c1" ]; [ "c2" ] ]
     (show_tuples r.Eval.answers)
-
-let test_recursive_detected () =
-  let bad =
-    Ndl.make ~goal:(sym "G2") ~goal_args:[]
-      [
-        { Ndl.head = (sym "G2", []); body = [ p "H2" [] ] };
-        { Ndl.head = (sym "H2", []); body = [ p "G2" [] ] };
-      ]
-  in
-  check "recursive detected" false (Ndl.is_nonrecursive bad);
-  check "eval rejects recursion" true
-    (try
-       ignore (Eval.run bad (abox_of_facts []));
-       false
-     with Invalid_argument _ -> true)
 
 let test_eval_equality_and_dom () =
   let q =
@@ -348,6 +338,265 @@ let test_unbound_unbound_eq_sweep () =
   check_seq_par "x = x sweeps the domain once" q2 a
     [ [ "a" ]; [ "b" ]; [ "c" ] ]
 
+(* Recursion is supported now: a recursive stratum runs a semi-naïve
+   fixpoint.  [Ndl.topo_order] keeps its old contract (it stratifies
+   nonrecursive programs only), and a recursive stratum with no base case
+   converges to the empty fixpoint instead of raising. *)
+let test_recursive_fixpoint () =
+  let bad =
+    Ndl.make ~goal:(sym "G2") ~goal_args:[]
+      [
+        { Ndl.head = (sym "G2", []); body = [ p "H2" [] ] };
+        { Ndl.head = (sym "H2", []); body = [ p "G2" [] ] };
+      ]
+  in
+  check "recursive detected" false (Ndl.is_nonrecursive bad);
+  check "topo_order still rejects recursion" true
+    (try
+       ignore (Ndl.topo_order bad);
+       false
+     with Invalid_argument _ -> true);
+  (match Ndl.strata bad with
+  | [ (scc, true) ] ->
+    check "one recursive stratum of G2 and H2" true
+      (List.exists (Symbol.equal (sym "G2")) scc
+      && List.exists (Symbol.equal (sym "H2")) scc
+      && List.length scc = 2)
+  | _ -> Alcotest.fail "expected a single recursive stratum");
+  check "no base case: empty fixpoint, not an error" false
+    (Eval.boolean bad (abox_of_facts [ `U ("A", "c1") ]));
+  (* transitive closure of a chain, with a quadratic recursive clause so
+     the full relation is probed while it grows across rounds *)
+  let tc =
+    Ndl.make ~goal:(sym "T") ~goal_args:[ "x"; "y" ]
+      [
+        { Ndl.head = (sym "T", [ v "x"; v "y" ]); body = [ p "E" [ v "x"; v "y" ] ] };
+        {
+          Ndl.head = (sym "T", [ v "x"; v "z" ]);
+          body = [ p "T" [ v "x"; v "y" ]; p "T" [ v "y"; v "z" ] ];
+        };
+      ]
+  in
+  check "tc is recursive" false (Ndl.is_nonrecursive tc);
+  let n = 24 in
+  let name i = Printf.sprintf "n%02d" i in
+  let a =
+    abox_of_facts (List.init (n - 1) (fun i -> `B ("E", name i, name (i + 1))))
+  in
+  let expected =
+    List.concat
+      (List.init n (fun i ->
+           List.init (n - 1 - i) (fun k -> [ name i; name (i + k + 1) ])))
+  in
+  (* answers come back sorted by symbol id, which depends on global intern
+     order; pin byte-identity across engines and set equality by name *)
+  let seq = show_tuples (Eval.answers tc a) in
+  let par =
+    Obda_runtime.Pool.with_pool ~jobs:4 (fun pool ->
+        show_tuples (Eval.answers ~pool tc a))
+  in
+  Alcotest.(check (list (list string)))
+    "4 workers byte-identical to sequential" seq par;
+  Alcotest.(check (list (list string)))
+    "naive fixpoint byte-identical" seq
+    (show_tuples (Eval.answers ~naive:true tc a));
+  Alcotest.(check (list (list string)))
+    "transitive closure of a chain" expected
+    (List.sort compare seq);
+  (* the delta rounds must not thrash the full relation's indexes: one
+     full-scan build per position list, maintained incrementally as the
+     fixpoint grows the relation *)
+  let r = Eval.run tc a in
+  let module I = Eval.Internal in
+  let trel = Symbol.Map.find (sym "T") r.Eval.idb_relations in
+  check_int "one index build per position list on the full relation"
+    (List.length (I.index_positions trel))
+    (I.index_builds trel);
+  check "full relation was probed via a maintained index" true
+    (I.index_builds trel >= 1);
+  check "rounds did not rebuild indexes" true (I.index_builds trel <= 2)
+
+let test_mutual_recursion () =
+  let q =
+    Ndl.make ~goal:(sym "Even") ~goal_args:[ "x" ]
+      [
+        { Ndl.head = (sym "Even", [ v "x" ]); body = [ p "Zero" [ v "x" ] ] };
+        {
+          Ndl.head = (sym "Even", [ v "y" ]);
+          body = [ p "Odd" [ v "x" ]; p "E" [ v "x"; v "y" ] ];
+        };
+        {
+          Ndl.head = (sym "Odd", [ v "y" ]);
+          body = [ p "Even" [ v "x" ]; p "E" [ v "x"; v "y" ] ];
+        };
+      ]
+  in
+  (match Ndl.strata q with
+  | [ (scc, true) ] ->
+    check "Even and Odd share a recursive stratum" true
+      (List.exists (Symbol.equal (sym "Even")) scc
+      && List.exists (Symbol.equal (sym "Odd")) scc)
+  | _ -> Alcotest.fail "expected a single recursive stratum");
+  let a =
+    abox_of_facts
+      [
+        `U ("Zero", "mr0"); `B ("E", "mr0", "mr1"); `B ("E", "mr1", "mr2");
+        `B ("E", "mr2", "mr3"); `B ("E", "mr3", "mr4");
+      ]
+  in
+  let seq = show_tuples (Eval.answers q a) in
+  let par =
+    Obda_runtime.Pool.with_pool ~jobs:4 (fun pool ->
+        show_tuples (Eval.answers ~pool q a))
+  in
+  Alcotest.(check (list (list string)))
+    "4 workers byte-identical to sequential" seq par;
+  Alcotest.(check (list (list string)))
+    "naive fixpoint byte-identical" seq
+    (show_tuples (Eval.answers ~naive:true q a));
+  Alcotest.(check (list (list string)))
+    "mutual recursion fixpoint"
+    [ [ "mr0" ]; [ "mr2" ]; [ "mr4" ] ]
+    (List.sort compare seq)
+
+(* The planner must rescue a deliberately pessimal written order: a large
+   unbound relation first, the selective unary filter last. *)
+let test_planner_reorders () =
+  let q =
+    Ndl.make ~goal:(sym "G18") ~goal_args:[ "x" ]
+      [
+        {
+          Ndl.head = (sym "G18", [ v "x" ]);
+          body = [ p "R" [ v "x"; v "y" ]; p "A" [ v "x" ] ];
+        };
+      ]
+  in
+  let a =
+    abox_of_facts
+      (`U ("A", "r00")
+      :: List.init 20 (fun i ->
+             `B ("R", Printf.sprintf "r%02d" i, Printf.sprintf "s%02d" i)))
+  in
+  let index_of hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      if i + nn > nh then None
+      else if String.sub hay i nn = needle then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  (match Eval.explain q a with
+  | [ line ] ->
+    check "plan marked as reordered" true (index_of line "(reordered)" <> None);
+    (match (index_of line "A(x)", index_of line "R(x,y)") with
+    | Some ia, Some ir -> check "selective atom runs first" true (ia < ir)
+    | _ -> Alcotest.fail ("atoms missing from plan line: " ^ line))
+  | lines ->
+    Alcotest.fail
+      (Printf.sprintf "expected one plan line, got %d" (List.length lines)));
+  (match Eval.explain ~naive:true q a with
+  | [ line ] ->
+    check "naive plan keeps the written order" true
+      (index_of line "(reordered)" = None)
+  | _ -> Alcotest.fail "expected one naive plan line");
+  let planned = Eval.run q a in
+  let naive = Eval.run ~naive:true q a in
+  Alcotest.(check (list (list string)))
+    "planned and naive agree"
+    (show_tuples naive.Eval.answers)
+    (show_tuples planned.Eval.answers);
+  check "reorder reads strictly fewer tuples" true
+    (planned.Eval.tuples_read < naive.Eval.tuples_read);
+  let par =
+    Obda_runtime.Pool.with_pool ~jobs:4 (fun pool -> Eval.run ~pool q a)
+  in
+  Alcotest.(check (list (list string)))
+    "answers identical under 4 workers"
+    (show_tuples planned.Eval.answers)
+    (show_tuples par.Eval.answers);
+  check_int "tuples_read identical under 4 workers" planned.Eval.tuples_read
+    par.Eval.tuples_read
+
+(* Pinned cost-model behaviour on synthetic statistics: greedy reorder,
+   index probes for large maintained relations, hash joins for transient
+   (delta) relations, scans for tiny ones. *)
+let test_plan_cost_model () =
+  let module Plan = Obda_ndl.Plan in
+  let big = sym "Big19" and small = sym "Small19" and delta = sym "Delta19" in
+  let stats =
+    {
+      Plan.card =
+        (fun s ->
+          if Symbol.equal s big then 1000
+          else if Symbol.equal s delta then 40
+          else 2);
+      distinct = (fun _ _ -> None);
+      transient = (fun s -> Symbol.equal s delta);
+      domain = 50;
+    }
+  in
+  let atoms =
+    [
+      Plan.CPred (big, [| Plan.CV 0; Plan.CV 1 |]);
+      Plan.CPred (small, [| Plan.CV 0 |]);
+      Plan.CPred (delta, [| Plan.CV 1; Plan.CV 2 |]);
+    ]
+  in
+  let plan = Plan.make stats ~nvars:3 atoms in
+  check "pessimal body reordered" true plan.Plan.reordered;
+  (match plan.Plan.steps with
+  | [ s1; s2; s3 ] ->
+    let pred_of s =
+      match s.Plan.atom with
+      | Plan.CPred (pr, _) -> pr
+      | _ -> Alcotest.fail "expected predicate steps"
+    in
+    check "tiny relation leads" true (Symbol.equal (pred_of s1) small);
+    check "tiny relation scanned" true (s1.Plan.strategy = Plan.Scan);
+    check "large relation second" true (Symbol.equal (pred_of s2) big);
+    check "large relation probed on the bound position" true
+      (s2.Plan.probe = [ 0 ]);
+    check "large maintained relation uses the index" true
+      (s2.Plan.strategy = Plan.Index);
+    check "delta joined last" true (Symbol.equal (pred_of s3) delta);
+    check "delta probed on its bound position" true (s3.Plan.probe = [ 0 ]);
+    check "transient delta gets a transient hash join" true
+      (s3.Plan.strategy = Plan.Hash)
+  | _ -> Alcotest.fail "expected three steps");
+  let trivial = Plan.trivial ~nvars:3 atoms in
+  check "trivial plan keeps written order" true (not trivial.Plan.reordered);
+  match trivial.Plan.steps with
+  | s :: _ ->
+    check "trivial plan starts with the written first atom" true
+      (match s.Plan.atom with
+      | Plan.CPred (pr, _) -> Symbol.equal pr big
+      | _ -> false)
+  | [] -> Alcotest.fail "trivial plan has no steps"
+
+let test_plan_cache_reuse () =
+  let cache = Eval.plan_cache () in
+  let a = abox_of_facts [ `B ("R", "c1", "c2"); `B ("R", "c2", "c1") ] in
+  let r1 = Eval.run ~plan:cache example1 a in
+  let r2 = Eval.run ~plan:cache example1 a in
+  Alcotest.(check (list (list string)))
+    "cached run agrees"
+    (show_tuples r1.Eval.answers)
+    (show_tuples r2.Eval.answers);
+  (* grow the store past the 2x replan threshold: the next run must replan
+     against the new sizes and still answer correctly *)
+  let big =
+    abox_of_facts
+      (List.init 6 (fun i ->
+           let c j = Printf.sprintf "d%02d" j in
+           `B ("R", c i, c (i + 1))))
+  in
+  let r3 = Eval.run ~plan:cache example1 big in
+  Alcotest.(check (list (list string)))
+    "replanned run answers the new store"
+    (show_tuples (Eval.answers example1 big))
+    (show_tuples r3.Eval.answers)
+
 (* The relation-internals contract behind evaluator rounds: one full-scan
    index build per position list (later additions maintain it in place and
    lookups reuse it), and a sorted tuple view that is memoised until the
@@ -402,7 +651,15 @@ let suites =
       [
         Alcotest.test_case "example 1 analysis" `Quick test_example1_analysis;
         Alcotest.test_case "example 1 evaluation" `Quick test_example1_eval;
-        Alcotest.test_case "recursion detection" `Quick test_recursive_detected;
+        Alcotest.test_case "recursion detection and fixpoint" `Quick
+          test_recursive_fixpoint;
+        Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+        Alcotest.test_case "planner reorders pessimal clause" `Quick
+          test_planner_reorders;
+        Alcotest.test_case "plan cost model (pinned)" `Quick
+          test_plan_cost_model;
+        Alcotest.test_case "plan cache reuse and replan" `Quick
+          test_plan_cache_reuse;
         Alcotest.test_case "equality and domain atoms" `Quick
           test_eval_equality_and_dom;
         Alcotest.test_case "constants" `Quick test_eval_constants;
